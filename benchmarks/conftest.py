@@ -1,0 +1,61 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench draws on one session-scoped synthetic ecosystem whose scale
+is controlled by ``REPRO_BENCH_DOMAINS`` (default 10,000).  Benches
+regenerate the corresponding paper table/figure, assert its *shape*
+against the paper's numbers, and print the rendered artefact (visible
+with ``pytest -s``); EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.chainbuilder import DifferentialHarness
+from repro.measurement import Campaign, TableContext
+from repro.webpki import Ecosystem, EcosystemConfig
+
+#: Scale knob: the paper measured 906,336 chains; benches default to a
+#: 10k-domain world, which reproduces every rate within sampling noise.
+BENCH_DOMAINS = int(os.environ.get("REPRO_BENCH_DOMAINS", "10000"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "833"))
+
+#: Paper scale, used to rescale absolute counts for comparison.
+PAPER_TOTAL = 906_336
+
+
+@pytest.fixture(scope="session")
+def ecosystem() -> Ecosystem:
+    return Ecosystem.generate(
+        EcosystemConfig(n_domains=BENCH_DOMAINS, seed=BENCH_SEED)
+    )
+
+
+@pytest.fixture(scope="session")
+def ctx(ecosystem) -> TableContext:
+    return TableContext.build(ecosystem)
+
+
+@pytest.fixture(scope="session")
+def campaign(ecosystem) -> Campaign:
+    return Campaign(ecosystem)
+
+
+@pytest.fixture(scope="session")
+def differential_report(ecosystem):
+    harness = DifferentialHarness(
+        ecosystem.registry, aia_fetcher=ecosystem.aia_repo
+    )
+    report = harness.run(
+        ecosystem.observations(),
+        at_time=ecosystem.config.now,
+        observe_into_cache=True,
+    )
+    return harness, report
+
+
+def scale_to_paper(count: int, total: int) -> int:
+    """Project a bench-scale count onto the paper's 906,336 chains."""
+    return round(count * PAPER_TOTAL / total) if total else 0

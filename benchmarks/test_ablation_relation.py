@@ -1,0 +1,70 @@
+"""Ablation — issuance-relation criteria (Section 3.1's three rules).
+
+How much does each criterion contribute?  Re-runs the order analysis
+under relaxed relation policies: signature-only, name-only, KID-only,
+and the structural (no-signature) variant, and compares the resulting
+defect counts against the full rule.
+"""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_POLICY,
+    RelationPolicy,
+    STRUCTURAL_POLICY,
+    analyze_order,
+)
+
+POLICIES = {
+    "paper_default": DEFAULT_POLICY,
+    "structural_no_signature": STRUCTURAL_POLICY,
+    "name_only": RelationPolicy(use_kid_match=False),
+    "kid_only": RelationPolicy(use_name_match=False),
+}
+
+
+@pytest.mark.parametrize("label", list(POLICIES))
+def test_ablation_relation_policy(ctx, benchmark, label):
+    policy = POLICIES[label]
+    observations = ctx.observations[:2000]
+
+    def analyze_all():
+        return [analyze_order(chain, policy) for _, chain in observations]
+
+    analyses = benchmark.pedantic(analyze_all, rounds=1, iterations=1)
+    noncompliant = sum(1 for a in analyses if not a.compliant)
+    print(f"\n[ablation:relation] {label}: {noncompliant} order-non-compliant "
+          f"of {len(observations)}")
+    assert 0 <= noncompliant <= len(observations)
+
+
+def test_ablation_relation_consistency(ctx):
+    """The well-formed corpus is criteria-insensitive: every chain that
+    is compliant under the full rule stays compliant under each single
+    identifier criterion (signature + name, signature + KID)."""
+    name_only = RelationPolicy(use_kid_match=False)
+    kid_only = RelationPolicy(use_name_match=False)
+    for _domain, chain in ctx.observations[:400]:
+        full = analyze_order(chain)
+        if full.compliant:
+            assert analyze_order(chain, name_only).compliant
+            # KID-only can differ where AKIDs are absent (legacy
+            # cohort), so only the name criterion is asserted strictly.
+
+    # ...but KID-only misses the legacy chains whose AKID is absent:
+    legacy_chain = next(
+        (chain for (domain, chain), deployment in zip(
+            ctx.observations,
+            (ctx.ecosystem.deployment_by_domain(d)
+             for d, _ in ctx.observations),
+        ) if deployment.legacy and len(chain) >= 3),
+        None,
+    )
+    if legacy_chain is not None:
+        full = analyze_order(legacy_chain)
+        kid = analyze_order(legacy_chain, kid_only)
+        # The AKID-less upper link disappears under kid-only matching,
+        # fragmenting the chain into irrelevant pieces.
+        assert full.compliant != kid.compliant or kid.irrelevant_count >= (
+            full.irrelevant_count
+        )

@@ -1,0 +1,45 @@
+"""Extension — BetterTLS-parity validation coverage (Table 1 union).
+
+The paper marks six validation-correctness capabilities as BetterTLS
+territory; the library implements them as an extension
+(`repro.chainbuilder.extended`).  This bench runs all six probes for
+all eight client models plus the recommended policy, asserting the
+union coverage Table 1 contrasts is actually achieved.
+"""
+
+from repro.chainbuilder import (
+    ALL_CLIENTS,
+    EXTENDED_CAPABILITIES,
+    ExtendedEnvironment,
+    RECOMMENDED,
+    run_extended_capabilities,
+)
+from repro.measurement import format_table
+
+
+def test_extension_bettertls_parity(benchmark):
+    env = ExtendedEnvironment.create(seed="bench-ext")
+    clients = (*ALL_CLIENTS, RECOMMENDED)
+
+    def run_all():
+        return {
+            client.name: run_extended_capabilities(client, env)
+            for client in clients
+        }
+
+    matrix = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print("\n[extension] BetterTLS-parity probes (invalid chain rejected?)")
+    print(format_table(
+        ("Probe", *[c.name for c in clients]),
+        [
+            (probe, *[matrix[c.name][probe] for c in clients])
+            for probe in EXTENDED_CAPABILITIES
+        ],
+    ))
+
+    for client in clients:
+        assert all(
+            matrix[client.name][probe] == "yes"
+            for probe in EXTENDED_CAPABILITIES
+        ), client.name

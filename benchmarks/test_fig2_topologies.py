@@ -1,0 +1,41 @@
+"""Figure 2 — server-side certificate chain topologies (a–d).
+
+Regenerates all four panels from the corpus: (a) a compliant chain,
+(b) stale multiple leaves (webcanny.com), (c) a cross-signed multi-path
+chain, (d) a foreign chain with the paper's 4[1] duplicate relabelling.
+"""
+
+from repro.measurement import figure_2_sketches
+
+
+def test_fig2_topologies(ecosystem, benchmark):
+    sketches = benchmark.pedantic(
+        figure_2_sketches, args=(ecosystem,), rounds=1, iterations=1
+    )
+
+    print("\n[Figure 2] chain topologies")
+    for panel, sketch in sketches.items():
+        print(f"--- {panel} ---")
+        print(sketch.render())
+
+    assert set(sketches) == {
+        "a_compliant", "b_stale_leaves", "c_cross_signed",
+        "d_foreign_chain",
+    }
+
+    # (a) one in-order path.
+    a = sketches["a_compliant"]
+    assert len(a.paths) == 1
+
+    # (b) five leaves under one issuer, newest first.
+    b = sketches["b_stale_leaves"]
+    assert b.roles.count("leaf") == 5
+
+    # (c) cross-signing yields two leaf paths.
+    c = sketches["c_cross_signed"]
+    assert len(c.paths) == 2
+
+    # (d) the duplicated node relabels exactly as the paper shows.
+    d = sketches["d_foreign_chain"]
+    assert "4[1]" in d.labels
+    assert len(d.paths) == 1  # the foreign block never joins the path

@@ -1,0 +1,49 @@
+"""Figure 3 / I-2 — the assiste6.serpro.gov.br long-list case.
+
+A 17-certificate list whose correct path is 8->1->16->0: GnuTLS rejects
+the list outright (its 16-certificate bound applies to the *presented
+list*), every reordering-capable client builds the 4-certificate path.
+"""
+
+from repro.chainbuilder import ALL_CLIENTS
+from repro.measurement import figure_case_outcomes
+
+
+def test_fig3_long_chain_case(ecosystem, benchmark):
+    data = benchmark.pedantic(
+        figure_case_outcomes, args=(ecosystem, "fig3_long_list"),
+        rounds=1, iterations=1,
+    )
+
+    print(f"\n[Figure 3] {data['domain']} (list of {data['list_length']})")
+    print(data["sketch"].render())
+    for client in ALL_CLIENTS:
+        print(f"  {client.display_name:15} {data['results'][client.name]:>22} "
+              f"path={data['structures'][client.name]}")
+
+    assert data["list_length"] == 17
+    assert data["results"]["gnutls"] == "input_list_too_long"
+    # The paper's exact path for capable clients.
+    for client in ("chrome", "edge", "safari", "cryptoapi", "openssl"):
+        assert data["results"][client] == "ok"
+        assert data["structures"][client] == "8->1->16->0"
+    # MbedTLS finds the first hop (position 16) but cannot walk back to
+    # position 1, so it dead-ends — an I-1-style casualty.
+    assert data["results"]["mbedtls"] != "ok"
+
+
+def test_fig3_gnutls_limit_is_presented_list_not_path(ecosystem):
+    """Dropping irrelevant filler under 16 certs makes GnuTLS succeed —
+    proving the bound applies pre-construction (the paper's point)."""
+    from repro.chainbuilder import DifferentialHarness
+
+    deployment = ecosystem.case_studies()["fig3_long_list"]
+    harness = DifferentialHarness(
+        ecosystem.registry, aia_fetcher=ecosystem.aia_repo
+    )
+    # Keep only the four real path members, in their odd positions.
+    chain = deployment.chain
+    trimmed = [chain[0], chain[1], chain[8], chain[16]]
+    outcome = harness.evaluate(deployment.domain, trimmed,
+                               at_time=ecosystem.config.now)
+    assert outcome.result_of("gnutls") == "ok"

@@ -1,0 +1,53 @@
+"""Figure 4 / I-3 — the moex.gov.tw backtracking case.
+
+Candidates for the intermediate's issuer: an untrusted self-signed
+government root (node 1) and a cross-sign under a trusted root (node 3).
+OpenSSL and GnuTLS commit to node 1 and fail; CryptoAPI backtracks to
+the trusted path 4->3->2->0; MbedTLS lands on the valid path only
+because its forward-only scan skips node 1 — swap nodes 1 and 2 and it
+fails too.
+"""
+
+from repro.ca import malform
+from repro.chainbuilder import ALL_CLIENTS, DifferentialHarness
+from repro.measurement import figure_case_outcomes
+
+
+def test_fig4_backtracking_case(ecosystem, benchmark):
+    data = benchmark.pedantic(
+        figure_case_outcomes, args=(ecosystem, "fig4_backtracking"),
+        rounds=1, iterations=1,
+    )
+
+    print(f"\n[Figure 4] {data['domain']}")
+    print(data["sketch"].render())
+    for client in ALL_CLIENTS:
+        print(f"  {client.display_name:15} {data['results'][client.name]:>18} "
+              f"path={data['structures'][client.name]}")
+
+    results, structures = data["results"], data["structures"]
+    # Non-backtracking libraries die on the untrusted node 1.
+    assert results["openssl"] == "untrusted_root"
+    assert results["gnutls"] == "untrusted_root"
+    assert structures["openssl"] == "1->2->0"
+    # CryptoAPI and the browsers backtrack onto the trusted path.
+    for client in ("cryptoapi", "chrome", "edge", "safari"):
+        assert results[client] == "ok"
+        assert structures[client] == "4->3->2->0"
+    # MbedTLS gets lucky through its ordering deficiency.
+    assert results["mbedtls"] == "ok"
+
+
+def test_fig4_swap_breaks_mbedtls(ecosystem):
+    """The paper's control experiment: swapping nodes 1 and 2 makes
+    MbedTLS include the untrusted root in its construction."""
+    deployment = ecosystem.case_studies()["fig4_backtracking"]
+    harness = DifferentialHarness(
+        ecosystem.registry, aia_fetcher=ecosystem.aia_repo
+    )
+    swapped = malform.swap(deployment.chain, 1, 2)
+    outcome = harness.evaluate(deployment.domain, swapped,
+                               at_time=ecosystem.config.now)
+    assert outcome.result_of("mbedtls") == "untrusted_root"
+    # Backtracking clients are unaffected by the swap.
+    assert outcome.result_of("cryptoapi") == "ok"

@@ -1,0 +1,51 @@
+"""Figure 5 / §6.2 — priority selection among same-subject candidates.
+
+The paper's recommendation: when two candidate issuers share subject DN
+and KID and differ only in validity, prefer the most recently issued.
+The bench builds the DigiCert-style candidate pair and checks which one
+each client model selects.
+"""
+
+from repro.chainbuilder import ALL_CLIENTS, CapabilityEnvironment, ChainBuilder
+from repro.chainbuilder.capabilities import NOW
+from repro.measurement import figure_5_candidates
+from repro.x509 import Validity, utc
+
+
+def test_fig5_priority_case(benchmark):
+    candidates = figure_5_candidates()
+    print("\n[Figure 5] candidates:")
+    for candidate in candidates:
+        mark = " (preferred)" if candidate.preferred else ""
+        print(f"  {candidate.label}: {candidate.validity!r}{mark}")
+    assert candidates[0].preferred
+
+    env = CapabilityEnvironment.create(seed="fig5")
+    candidate_a = env.variant_issuer(
+        validity=Validity(utc(2021, 4, 14), utc(2031, 4, 13)))
+    candidate_b = env.variant_issuer(
+        validity=Validity(utc(2020, 9, 24), utc(2030, 9, 23)))
+    presented = [env.leaf, candidate_b, candidate_a,
+                 env.i2.certificate, env.root.certificate]
+
+    def select_all():
+        choices = {}
+        for client in ALL_CLIENTS:
+            builder = ChainBuilder(client, env.store, aia_fetcher=env.aia)
+            result = builder.build(presented, at_time=NOW)
+            if len(result.steps) >= 2:
+                chosen = result.steps[1].certificate
+                choices[client.name] = (
+                    "A(recent)" if chosen == candidate_a else "B(older)"
+                )
+        return choices
+
+    choices = benchmark.pedantic(select_all, rounds=1, iterations=1)
+    print(f"issuer selection: {choices}")
+
+    # VP2 clients follow the recommendation (most recent first)...
+    for client in ("cryptoapi", "chrome", "edge", "safari"):
+        assert choices[client] == "A(recent)"
+    # ...VP1/none clients take the first listed (the older candidate).
+    for client in ("openssl", "mbedtls", "firefox", "gnutls"):
+        assert choices[client] == "B(older)"

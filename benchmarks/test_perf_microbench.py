@@ -1,0 +1,88 @@
+"""Performance microbenchmarks with real repetition statistics.
+
+Unlike the table benches (single-shot, correctness-oriented), these
+measure steady-state throughput of the hot paths — topology
+construction, compliance analysis, client path building, PEM encoding —
+so performance regressions in the core surface in CI.
+"""
+
+import pytest
+
+from repro.chainbuilder import CHROME, ChainBuilder, MBEDTLS
+from repro.core import ChainTopology, analyze_chain, analyze_order
+from repro.x509 import load_pem_bundle, to_pem_bundle
+
+
+@pytest.fixture(scope="module")
+def sample(ecosystem):
+    """A representative messy chain plus trust environment."""
+    deployment = next(
+        d for d in ecosystem.deployments
+        if d.plan.reversed_seq and len(d.chain) >= 3
+    )
+    union = ecosystem.registry.union()
+    return deployment, union, ecosystem
+
+
+def test_perf_topology_build(sample, benchmark):
+    deployment, _union, _eco = sample
+    topology = benchmark(ChainTopology, deployment.chain)
+    assert topology.leaf_paths
+
+
+def test_perf_order_analysis(sample, benchmark):
+    deployment, _union, _eco = sample
+    analysis = benchmark(analyze_order, deployment.chain)
+    assert analysis.reversed_any
+
+
+def test_perf_full_compliance_analysis(sample, benchmark):
+    deployment, union, eco = sample
+    report = benchmark(
+        analyze_chain, deployment.domain, deployment.chain, union,
+        eco.aia_repo,
+    )
+    assert not report.compliant
+
+
+def test_perf_chrome_build(sample, benchmark):
+    deployment, _union, eco = sample
+    builder = ChainBuilder(
+        CHROME, eco.registry.store("chrome"), aia_fetcher=eco.aia_repo
+    )
+    result = benchmark(
+        builder.build, deployment.chain, at_time=eco.config.now
+    )
+    assert result.anchored
+
+
+def test_perf_mbedtls_build(sample, benchmark):
+    deployment, _union, eco = sample
+    builder = ChainBuilder(
+        MBEDTLS, eco.registry.store("mozilla"), aia_fetcher=eco.aia_repo
+    )
+    benchmark(builder.build, deployment.chain, at_time=eco.config.now)
+
+
+def test_perf_pem_roundtrip(sample, benchmark):
+    deployment, _union, _eco = sample
+
+    def roundtrip():
+        return load_pem_bundle(to_pem_bundle(deployment.chain))
+
+    restored = benchmark(roundtrip)
+    assert restored == deployment.chain
+
+
+def test_perf_certificate_issuance(benchmark):
+    from repro.ca import build_hierarchy
+
+    hierarchy = build_hierarchy("Perf", depth=1, key_seed_prefix="perf")
+
+    counter = iter(range(10_000_000))
+
+    def issue():
+        return hierarchy.issue_leaf(f"perf-{next(counter)}.example")
+
+    leaf = benchmark(issue)
+    assert leaf.is_valid_at(hierarchy.root.certificate.validity.not_before)

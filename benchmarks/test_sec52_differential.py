@@ -1,0 +1,74 @@
+"""Section 5.2 — differential testing over the measured corpus.
+
+Paper: of the 26,361 non-compliant chains, 61.1% pass all 3 differential
+browsers and 47.4% pass all 4 libraries; 3,295 browser discrepancies vs
+10,804 library discrepancies; across the whole corpus 40.9% of chains
+hit building issues in libraries vs 12.5% in browsers; causes attribute
+to I-1 (order), I-2 (length), I-3 (backtracking), I-4 (AIA).
+"""
+
+from repro.chainbuilder import DIFFERENTIAL_BROWSERS, LIBRARIES
+from repro.chainbuilder.differential import (
+    ISSUE_AIA,
+    ISSUE_LONG_CHAIN,
+    ISSUE_ORDER,
+)
+from repro.core import analyze_chain
+
+
+def test_sec52_differential(ctx, differential_report, benchmark):
+    harness, report = differential_report
+
+    def evaluate_slice():
+        # Benchmark the differential evaluation itself on a slice.
+        for domain, chain in ctx.observations[:300]:
+            harness.evaluate(domain, chain, at_time=ctx.ecosystem.config.now)
+
+    benchmark.pedantic(evaluate_slice, rounds=1, iterations=1)
+
+    lib_fail = report.failure_rate(LIBRARIES)
+    browser_fail = report.failure_rate(DIFFERENTIAL_BROWSERS)
+    print(f"\n[§5.2] building issues: libraries {lib_fail:.1f}% "
+          f"(paper 40.9%), browsers {browser_fail:.1f}% (paper 12.5%)")
+
+    # Shape: libraries fail a large share, browsers several times less.
+    assert 18.0 <= lib_fail <= 50.0
+    assert browser_fail <= lib_fail / 2.2
+    assert browser_fail <= 20.0
+
+    # Non-compliant subset pass rates.
+    union = ctx.ecosystem.registry.union()
+    nc_domains = {
+        report_.domain for report_ in ctx.reports if not report_.compliant
+    }
+    nc_outcomes = [o for o in report.outcomes if o.domain in nc_domains]
+    total = len(nc_outcomes)
+    browsers_pass = 100.0 * sum(
+        o.all_pass(DIFFERENTIAL_BROWSERS) for o in nc_outcomes
+    ) / total
+    libs_pass = 100.0 * sum(o.all_pass(LIBRARIES) for o in nc_outcomes) / total
+    print(f"non-compliant subset (n={total}): pass-all browsers "
+          f"{browsers_pass:.1f}% (paper 61.1%), pass-all libraries "
+          f"{libs_pass:.1f}% (paper 47.4%)")
+    assert browsers_pass > libs_pass
+    assert 45.0 <= browsers_pass <= 85.0
+
+    browser_disc = sum(o.discrepant(DIFFERENTIAL_BROWSERS) for o in nc_outcomes)
+    lib_disc = sum(o.discrepant(LIBRARIES) for o in nc_outcomes)
+    print(f"discrepancies: browsers {browser_disc} vs libraries {lib_disc} "
+          f"(paper 3,295 vs 10,804)")
+    assert lib_disc > 3 * max(browser_disc, 1)
+
+
+def test_sec52_issue_attribution(differential_report):
+    _harness, report = differential_report
+    counts = report.attribution_counts()
+    print(f"\n[§5.2] attribution: {dict(counts)}")
+    # Every construction-rooted cause class appears in the corpus, and
+    # the AIA gap dominates, as in the paper (I-4: 8,553 chains).
+    assert counts[ISSUE_AIA] > 0
+    assert counts[ISSUE_ORDER] > 0
+    assert counts[ISSUE_LONG_CHAIN] > 0
+    assert counts[ISSUE_AIA] == max(
+        counts[tag] for tag in (ISSUE_AIA, ISSUE_ORDER, ISSUE_LONG_CHAIN)
+    )

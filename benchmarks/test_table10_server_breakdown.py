@@ -1,0 +1,39 @@
+"""Table 10 — HTTP servers hosting non-compliant chains.
+
+Paper shape: Apache and Nginx host most non-compliant chains overall;
+duplicate-leaf chains concentrate on Apache (63.3%); Azure shows zero
+duplicate leaves (its upload check) yet a large share (14.2%) of
+reversed sequences.
+"""
+
+from repro.measurement import render_table_10, table_10
+
+
+def test_table10_server_breakdown(ctx, benchmark):
+    rows = benchmark.pedantic(table_10, args=(ctx,), rounds=1, iterations=1)
+
+    print("\n[Table 10] HTTP servers of non-compliant chains")
+    print(render_table_10(ctx))
+    print("paper: Apache 39.7% / Nginx 35.7% overall; Azure dup-leaf = 0")
+
+    overview = rows["overview"]
+    total = sum(overview.values())
+    assert total == ctx.dataset.noncompliant
+
+    apache_nginx = overview.get("apache", 0) + overview.get("nginx", 0)
+    assert apache_nginx >= 0.55 * total
+
+    # Azure's duplicate-leaf check shows as an exact zero.
+    assert rows["duplicate_leaf"].get("azure", 0) == 0
+
+    # Apache dominates duplicate-leaf deployments (the SF1 layout).
+    dup_leaf = rows["duplicate_leaf"]
+    if sum(dup_leaf.values()) >= 10:
+        assert dup_leaf.get("apache", 0) == max(dup_leaf.values())
+
+    # Azure carries a visible share of reversed chains (it checks
+    # duplicates, not order).
+    reversed_rows = rows["reversed_sequences"]
+    if sum(reversed_rows.values()) >= 20:
+        share = reversed_rows.get("azure", 0) / sum(reversed_rows.values())
+        assert share >= 0.04

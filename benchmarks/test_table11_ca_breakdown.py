@@ -1,0 +1,48 @@
+"""Table 11 — CAs/resellers behind non-compliant chains.
+
+Paper shape: Let's Encrypt has the lowest non-compliance rate (1.2%)
+despite the largest volume; GoGetSSL / cyber_Folks / Trustico show the
+highest rates (16.7% / 66.2% / 65.7%), dominated by reversed sequences;
+TAIWAN-CA's non-compliance (50.4%) is dominated by incomplete chains.
+"""
+
+from repro.measurement import render_table_11, table_11
+
+
+def test_table11_ca_breakdown(ctx, benchmark):
+    data = benchmark.pedantic(table_11, args=(ctx,), rounds=1, iterations=1)
+
+    print("\n[Table 11] CAs/resellers of non-compliant chains")
+    print(render_table_11(ctx))
+    print("paper rates: LE 1.2% / DigiCert 7.9% / Sectigo 10.7% / "
+          "GoGetSSL 16.7% / TAIWAN-CA 50.4% / cyber_Folks 66.2% / "
+          "Trustico 65.7%")
+
+    rates = {ca: row["noncompliant_rate"] for ca, row in data.items()}
+
+    # Let's Encrypt: biggest issuer, cleanest deployments.
+    assert data["lets-encrypt"]["total"] == max(
+        row["total"] for ca, row in data.items() if ca != "other"
+    )
+    assert rates["lets-encrypt"] <= 3.5
+
+    # The reseller trio fails most often, mostly through reversals.
+    for ca in ("cyber-folks", "trustico"):
+        if data[ca]["total"] >= 5:
+            assert rates[ca] >= 35.0
+            assert data[ca]["reversed_sequences"] >= max(
+                data[ca]["duplicate_certificates"],
+                data[ca]["incomplete_chain"],
+            )
+
+    # TAIWAN-CA: dominated by incomplete chains.
+    if data["taiwan-ca"]["total"] >= 5:
+        assert data["taiwan-ca"]["incomplete_chain"] >= (
+            data["taiwan-ca"]["reversed_sequences"]
+        )
+        assert rates["taiwan-ca"] >= 25.0
+
+    # Ordering of the big commercial CAs.
+    if min(data["digicert"]["total"], data["sectigo"]["total"]) >= 100:
+        assert rates["lets-encrypt"] < rates["digicert"]
+        assert rates["digicert"] < rates["taiwan-ca"]

@@ -1,0 +1,42 @@
+"""Table 4 — SSL certificate deployment characteristics per HTTP server.
+
+A modelled-characteristics table; the bench re-renders it and verifies
+the behavioural claims hold in the generated corpus (Azure's duplicate
+check, universal private-key matching).
+"""
+
+from repro.measurement import render_table_4, table_4
+
+
+def test_table4_http_servers(ctx, benchmark):
+    rows = benchmark.pedantic(table_4, rounds=1, iterations=1)
+
+    print("\n[Table 4] HTTP server deployment characteristics")
+    print(render_table_4())
+
+    by_server = {r["server"]: r for r in rows}
+    assert by_server["Nginx"]["supported_certificate_fields"] == "SF2"
+    assert by_server["IIS"]["automatic_certificate_management"] == "no"
+    assert by_server["AWS ELB"]["supported_certificate_fields"] == "SF1"
+    assert all(
+        r["private_key_and_leaf_certificate_matching_check"] == "yes"
+        for r in rows
+    )
+    checkers = [
+        r["server"] for r in rows
+        if r["duplicate_leaf_certificate_check"] == "yes"
+    ]
+    assert sorted(checkers) == ["IIS", "Microsoft-Azure-Application-Gateway"]
+
+
+def test_table4_checks_shape_the_corpus(ctx):
+    """Azure's upload check shows up as zero duplicate-leaf chains."""
+    from repro.core import OrderDefect
+
+    azure_dup_leaf = sum(
+        1 for report in ctx.reports
+        if ctx.report_server(report) == "azure"
+        and report.order.has(OrderDefect.DUPLICATE_CERTIFICATES)
+        and "leaf" in report.order.duplicate_roles
+    )
+    assert azure_dup_leaf == 0

@@ -1,0 +1,51 @@
+"""Table 5 — chains with non-compliant issuance order.
+
+Paper: 16,952 order-non-compliant chains (1.9% of the corpus), split
+duplicates 35.2% / irrelevant 17.9% / multiple paths 1.5% / reversed
+sequences 50.5% (shares of the non-compliant set; classes overlap).
+"""
+
+from repro.core import analyze_order
+from repro.measurement import render_table_5, table_5
+
+
+def test_table5_issuance_order(ctx, benchmark):
+    observations = ctx.observations
+
+    def analyze_all():
+        return [analyze_order(chain) for _, chain in observations]
+
+    analyses = benchmark.pedantic(analyze_all, rounds=1, iterations=1)
+    noncompliant = sum(1 for a in analyses if not a.compliant)
+
+    print("\n[Table 5] Non-compliant issuance order")
+    print(render_table_5(ctx))
+    print("paper: dup 35.2% / irrelevant 17.9% / multipath 1.5% / reversed 50.5%")
+
+    dataset = ctx.dataset
+    rate = 100.0 * dataset.order_noncompliant / dataset.total
+    assert 1.2 <= rate <= 3.2, f"order non-compliance {rate:.2f}% vs paper 1.9%"
+
+    shares = {
+        r["type"]: r["percent_of_noncompliant"] for r in table_5(ctx)
+    }
+    # Reversed sequences are the most prevalent class; duplicates next.
+    assert shares["reversed_sequences"] >= 30.0
+    assert shares["duplicate_certificates"] >= 20.0
+    assert shares["reversed_sequences"] + shares["duplicate_certificates"] > (
+        shares["irrelevant_certificates"] + shares["multiple_paths"]
+    )
+    assert shares["multiple_paths"] <= 10.0
+    assert noncompliant == dataset.order_noncompliant
+
+
+def test_table5_reversed_structures(ctx):
+    """The dominant reversed structures are 1->2->0 and 1->2->3->0."""
+    from collections import Counter
+
+    structures = Counter()
+    for report in ctx.reports:
+        if report.order.reversed_any and report.order.path_count == 1:
+            structures[report.order.path_structures[0]] += 1
+    top = [structure for structure, _ in structures.most_common(2)]
+    assert "1->2->0" in top or "1->2->3->0" in top

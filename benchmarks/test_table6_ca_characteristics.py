@@ -1,0 +1,50 @@
+"""Table 6 — SSL certificate issuance characteristics per CA/reseller.
+
+Modelled delivery characteristics, plus a live check that the reversed
+ca-bundle files really produce reversed deployments when merged naively.
+"""
+
+from repro.ca import (
+    GOGETSSL,
+    LETS_ENCRYPT,
+    TRUSTICO,
+    build_hierarchy,
+    deliver,
+)
+from repro.core import OrderDefect, analyze_order
+from repro.measurement import render_table_6, table_6
+
+
+def test_table6_ca_characteristics(benchmark):
+    rows = benchmark.pedantic(table_6, rounds=1, iterations=1)
+
+    print("\n[Table 6] CA/reseller issuance characteristics")
+    print(render_table_6())
+
+    by_ca = {r["ca"]: r for r in rows}
+    assert by_ca["Let's Encrypt"]["automatic_certificate_management"] == "yes"
+    assert by_ca["Let's Encrypt"]["compliant_issuance_order_in_ca_bundle"] == "yes"
+    for reseller in ("GoGetSSL", "cyber_Folks S.A.", "Trustico"):
+        assert by_ca[reseller]["compliant_issuance_order_in_ca_bundle"] == "no"
+        assert by_ca[reseller]["provides_root_certificate"] == "yes"
+
+
+def test_table6_reversed_bundles_cause_reversed_chains(benchmark):
+    """The causal chain the paper establishes: reversed ca-bundle file +
+    naive merge = reversed deployment; compliant bundle = compliant."""
+    hierarchy = build_hierarchy("Table6", depth=2, key_seed_prefix="t6")
+    leaf = hierarchy.issue_leaf("t6.example")
+
+    def merge_all():
+        return {
+            profile.name: deliver(hierarchy, leaf, profile)
+            .naive_concatenation()
+            for profile in (LETS_ENCRYPT, GOGETSSL, TRUSTICO)
+        }
+
+    merged = benchmark.pedantic(merge_all, rounds=1, iterations=1)
+    assert analyze_order(merged["lets-encrypt"]).compliant
+    for reseller in ("gogetssl", "trustico"):
+        assert analyze_order(merged[reseller]).has(
+            OrderDefect.REVERSED_SEQUENCES
+        )

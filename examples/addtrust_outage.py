@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Replay of the 2020 AddTrust expiry outage (paper introduction).
+
+On 2020-05-30 the AddTrust External CA Root expired.  Sites serving the
+legacy cross-sign kept working in clients that could *backtrack* to the
+modern USERTrust root, and broke in clients that committed to the first
+(expired) path — "many clients fail[ed] to identify a valid certificate
+path, leading to the unavailability of numerous websites".
+
+This script builds the same topology, rolls the clock across the expiry
+instant, and shows per-client availability before and after, plus the
+cross-sign risk report the pool analysis produces ahead of time.
+
+Run: ``python examples/addtrust_outage.py``
+"""
+
+from repro.ca import build_cross_signed_pair
+from repro.chainbuilder import ALL_CLIENTS, ChainBuilder
+from repro.core import CertificatePool
+from repro.trust import RootStoreRegistry
+from repro.x509 import Validity, utc
+
+EXPIRY = utc(2020, 5, 30, 10, 48, 38)  # the real AddTrust expiry instant
+
+
+def main() -> None:
+    # USERTrust-style modern root + AddTrust-style legacy root.  The
+    # legacy root cross-signs the *modern root itself* (the real
+    # AddTrust topology), and the cross-sign expires with it.
+    primary, legacy, _intermediate_cross = build_cross_signed_pair(
+        "Sectigo-like",
+        validity=Validity(utc(2010, 1, 1), utc(2038, 1, 1)),
+        key_seed_prefix="addtrust",
+    )
+    cross = legacy.root.cross_sign(
+        primary.root,
+        validity=Validity(utc(2010, 1, 1), EXPIRY),
+    )
+    leaf = primary.issue_leaf(
+        "shop.example", not_before=utc(2020, 1, 1), days=365,
+    )
+    # The deployed list carries the legacy compatibility path: the
+    # cross-signed modern root plus the (expiring) legacy root.
+    deployed = [
+        leaf,
+        primary.intermediates[0].certificate,
+        cross,                       # modern root signed by AddTrust-like
+        legacy.root.certificate,     # the expiring legacy root
+    ]
+
+    registry = RootStoreRegistry()
+    registry.add_everywhere(primary.root.certificate)
+    registry.add_everywhere(legacy.root.certificate)
+
+    # --- the early warning a pool analysis would have raised ---------
+    pool = CertificatePool()
+    pool.add_chain(deployed)
+    pool.add(primary.root.certificate)
+    report = pool.outage_report(leaf, utc(2020, 5, 31))
+    print("cross-sign risk report for the day after expiry:")
+    print(f"  anchored paths: {report.total_paths}, still valid: "
+          f"{report.valid_paths}, expired: {report.expired_paths}")
+    print(f"  at risk (valid path exists but some clients will miss it): "
+          f"{report.at_risk}\n")
+
+    # --- per-client availability across the expiry -------------------
+    moments = {
+        "day before": utc(2020, 5, 29),
+        "day after ": utc(2020, 5, 31),
+    }
+    print(f"{'client':16}" + "".join(f"{label:>14}" for label in moments))
+    for client in ALL_CLIENTS:
+        builder = ChainBuilder(
+            client, registry.store(client.root_store)
+        )
+        row = []
+        for moment in moments.values():
+            verdict = builder.build_and_validate(
+                deployed, domain="shop.example", at_time=moment
+            )
+            row.append("OK" if verdict.ok else f"{verdict.error[:12]}")
+        print(f"{client.display_name:16}" + "".join(f"{r:>14}" for r in row))
+
+    print("\nclients that rank candidate issuers by validity (or prefer")
+    print("trusted anchors) swing onto the modern root and survive the")
+    print("expiry; GnuTLS — no validity priority — keeps picking the dead")
+    print("cross-sign, exactly as it did in May 2020.")
+
+
+if __name__ == "__main__":
+    main()

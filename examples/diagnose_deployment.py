@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Chain deployment linter — the paper's §6 recommendations as a tool.
+
+Given a PEM bundle (the certificate list a server would send), run the
+full structural analysis, predict how each of the eight client models
+will fare, and print actionable recommendations.  Without an argument
+the script demonstrates itself on a deliberately broken bundle.
+
+Run: ``python examples/diagnose_deployment.py [chain.pem domain]``
+"""
+
+import sys
+
+from repro.ca import build_hierarchy, deliver, malform, TRUSTICO
+from repro.chainbuilder import ALL_CLIENTS, DifferentialHarness
+from repro.core import analyze_chain, OrderDefect
+from repro.trust import RootStoreRegistry, StaticAIARepository
+from repro.x509 import load_pem_bundle, to_pem_bundle, utc
+
+NOW = utc(2024, 6, 1)
+
+
+def diagnose(domain, chain, registry, aia) -> None:
+    union = registry.union()
+    report = analyze_chain(domain, chain, union, aia)
+
+    print(f"=== structural analysis for {domain} "
+          f"({len(chain)} certificates) ===")
+    print(f"leaf placement : {report.leaf.placement.value}")
+    print(f"issuance order : "
+          f"{'compliant' if report.order.compliant else 'NON-COMPLIANT'}")
+    print(f"completeness   : {report.completeness.category.value}")
+    print(f"verdict        : "
+          f"{'COMPLIANT' if report.compliant else 'NON-COMPLIANT'}")
+
+    print("\n=== predicted client behaviour ===")
+    harness = DifferentialHarness(registry, aia_fetcher=aia)
+    outcome = harness.evaluate(domain, chain, at_time=NOW)
+    first_failure = None
+    for client in ALL_CLIENTS:
+        result = outcome.result_of(client.name)
+        mark = "ok " if result == "ok" else "FAIL"
+        if result != "ok" and first_failure is None:
+            first_failure = client
+        print(f"  [{mark}] {client.display_name:15} {result}")
+
+    if first_failure is not None:
+        from repro.chainbuilder import ChainBuilder, explain_build
+
+        print(f"\n=== why {first_failure.display_name} fails ===")
+        builder = ChainBuilder(
+            first_failure, registry.store(first_failure.root_store),
+            aia_fetcher=aia,
+        )
+        print(explain_build(builder, chain, at_time=NOW).render())
+
+    print("\n=== recommendations (paper §6) ===")
+    order = report.order
+    if order.has(OrderDefect.REVERSED_SEQUENCES):
+        print("- reorder the list: leaf first, then each certificate's")
+        print("  issuer directly after it (your ca-bundle is reversed)")
+    if order.has(OrderDefect.DUPLICATE_CERTIFICATES):
+        print("- remove duplicate certificates (check you did not paste")
+        print("  the leaf into SSLCertificateChainFile as well)")
+    if order.has(OrderDefect.IRRELEVANT_CERTIFICATES):
+        print("- drop certificates unrelated to the leaf (old leaves,")
+        print("  other sites' chains)")
+    if not report.completeness.complete:
+        print("- include every intermediate certificate; clients without")
+        print("  AIA fetching cannot download missing issuers")
+    if report.compliant:
+        print("- nothing to do: the deployment is structurally compliant")
+
+
+def demo() -> None:
+    """Build a broken bundle and diagnose it."""
+    hierarchy = build_hierarchy(
+        "Diagnose CA", depth=2, key_seed_prefix="diagnose",
+        aia_base="http://aia.diagnose.example",
+    )
+    leaf = hierarchy.issue_leaf("broken.example",
+                                not_before=utc(2024, 1, 1), days=365)
+    # Reversed bundle + duplicated leaf: two defects at once.
+    deployed = malform.duplicate_leaf(
+        deliver(hierarchy, leaf, TRUSTICO).naive_concatenation()
+    )
+
+    registry = RootStoreRegistry()
+    registry.add_everywhere(hierarchy.root.certificate)
+    aia = StaticAIARepository()
+    for authority in hierarchy.authorities:
+        aia.publish(authority.aia_uri, authority.certificate)
+
+    print("(demo mode: diagnosing a deliberately broken bundle;")
+    print(" pass `chain.pem domain` to lint your own)\n")
+    diagnose("broken.example", deployed, registry, aia)
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) >= 2:
+        with open(argv[0]) as handle:
+            chain = load_pem_bundle(handle.read())
+        registry = RootStoreRegistry()
+        for cert in chain:
+            if cert.is_self_signed:
+                registry.add_everywhere(cert)
+        diagnose(argv[1], chain, registry, StaticAIARepository())
+    else:
+        demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""A miniature Tranco scan campaign (the paper's Section 3.1 / 4).
+
+Generates a synthetic Web PKI world, installs it on the simulated
+network, scans every domain from two vantage points under the 500 KB/s
+cap, merges the vantages, runs the compliance analysis, and prints the
+paper's server-side tables.
+
+Run: ``python examples/scan_campaign.py [n_domains] [seed]``
+"""
+
+import sys
+
+from repro.measurement import (
+    Campaign,
+    TableContext,
+    render_table_3,
+    render_table_5,
+    render_table_7,
+    render_table_8,
+)
+from repro.webpki import Ecosystem, EcosystemConfig
+
+
+def main(n_domains: int = 3000, seed: int = 833) -> None:
+    print(f"generating a {n_domains}-domain ecosystem (seed {seed})...")
+    ecosystem = Ecosystem.generate(
+        EcosystemConfig(n_domains=n_domains, seed=seed)
+    )
+    campaign = Campaign(ecosystem)
+
+    print("scanning from two vantage points (rate-limited)...")
+    collection = campaign.collect()
+    for vantage, count in collection.reachable_counts.items():
+        print(f"  {vantage}: {count:,} domains reachable")
+    print(f"  union dataset: {collection.total_observations:,} chains, "
+          f"{collection.unique_certificates:,} unique certificates")
+
+    identical = campaign.compare_tls_versions(sample=min(n_domains, 500))
+    print(f"  TLS1.2 == TLS1.3 chains: {identical:.1f}% (paper: 98.8%)")
+
+    print("\nanalysing structural compliance...")
+    report, _ = campaign.analyze(collection.observations)
+    print(f"  non-compliant: {report.noncompliant:,} of {report.total:,} "
+          f"({report.noncompliance_rate:.2f}%; paper: 2.9%)")
+
+    ctx = TableContext.build(ecosystem)
+    print("\n=== Table 3: leaf certificate deployment ===")
+    print(render_table_3(ctx))
+    print("\n=== Table 5: non-compliant issuance order ===")
+    print(render_table_5(ctx))
+    print("\n=== Table 7: completeness of certificate chain ===")
+    print(render_table_7(ctx))
+    print("\n=== Table 8: additional incomplete chains (store x AIA) ===")
+    print(render_table_8(ctx))
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

@@ -1,0 +1,43 @@
+"""repro — reproduction of "Chaos in the Chain" (IMC 2025).
+
+A library for studying Web PKI certificate-chain *structure*: the
+compliance of server-deployed certificate lists (leaf placement,
+issuance order, completeness) and the chain-construction capabilities
+of TLS clients (modelled on OpenSSL, GnuTLS, MbedTLS, CryptoAPI,
+Chrome, Edge, Safari, Firefox).
+
+Quick start::
+
+    from repro.webpki import Ecosystem, EcosystemConfig
+    from repro.measurement import Campaign
+
+    eco = Ecosystem.generate(EcosystemConfig(n_domains=2_000))
+    report, _ = Campaign(eco).analyze()
+    print(f"non-compliant: {report.noncompliance_rate:.1f}%")
+
+Subpackages
+-----------
+``repro.x509``
+    Certificate substrate (names, keys, extensions, PEM encoding).
+``repro.ca``
+    Certificate authorities, hierarchies, delivery profiles, mutations.
+``repro.core``
+    The paper's compliance analyses (Sections 3.1 & 4).
+``repro.chainbuilder``
+    The client path-building engine, 8 client models, capability tests
+    and differential testing (Sections 3.2 & 5).
+``repro.trust``
+    Root stores, AIA fetching, intermediate caching.
+``repro.net``
+    Simulated network: TLS handshakes, HTTP, rate-limited scanning.
+``repro.webpki``
+    The synthetic Tranco-scale ecosystem generator.
+``repro.measurement``
+    Campaigns and regeneration of every table/figure in the paper.
+"""
+
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "__version__"]

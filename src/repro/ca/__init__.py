@@ -1,0 +1,66 @@
+"""CA toolkit: authorities, hierarchies, delivery profiles, mutations."""
+
+from repro.ca.authority import CertificateAuthority, next_serial
+from repro.ca.delivery import (
+    BUNDLE_FILE,
+    DeliveredBundle,
+    FULLCHAIN_FILE,
+    LEAF_FILE,
+    deliver,
+)
+from repro.ca.hierarchy import (
+    DEFAULT_ROOT_VALIDITY,
+    Hierarchy,
+    build_cross_signed_pair,
+    build_hierarchy,
+    build_long_chain,
+)
+from repro.ca.profiles import (
+    ALL_CAS,
+    CAProfile,
+    CYBER_FOLKS,
+    DIGICERT,
+    GOGETSSL,
+    LETS_ENCRYPT,
+    OTHER_CAS,
+    PROFILED_CAS,
+    SECTIGO,
+    TABLE6_CAS,
+    TAIWAN_CA,
+    TRUSTICO,
+    ZEROSSL,
+    profile_by_name,
+    table6_rows,
+)
+from repro.ca import malform
+
+__all__ = [
+    "ALL_CAS",
+    "BUNDLE_FILE",
+    "CAProfile",
+    "CertificateAuthority",
+    "CYBER_FOLKS",
+    "DEFAULT_ROOT_VALIDITY",
+    "DeliveredBundle",
+    "DIGICERT",
+    "FULLCHAIN_FILE",
+    "GOGETSSL",
+    "Hierarchy",
+    "LEAF_FILE",
+    "LETS_ENCRYPT",
+    "OTHER_CAS",
+    "PROFILED_CAS",
+    "SECTIGO",
+    "TABLE6_CAS",
+    "TAIWAN_CA",
+    "TRUSTICO",
+    "ZEROSSL",
+    "build_cross_signed_pair",
+    "build_hierarchy",
+    "build_long_chain",
+    "deliver",
+    "malform",
+    "next_serial",
+    "profile_by_name",
+    "table6_rows",
+]

@@ -1,0 +1,116 @@
+"""Certificate delivery: the files a CA hands to its customer.
+
+When a certificate is issued manually, the CA or reseller ships one or
+more files — ``certificate.pem`` (leaf only), ``ca-bundle.pem``
+(intermediates, maybe the root, maybe in reverse order), or
+``fullchain.pem`` (the complete ordered chain).  The administrator then
+pastes those files into a web-server configuration; how they merge them
+is where the paper's defects are born.
+
+:func:`deliver` materialises a :class:`DeliveredBundle` from a
+hierarchy, a fresh leaf, and a :class:`~repro.ca.profiles.CAProfile`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ca.hierarchy import Hierarchy
+from repro.ca.profiles import CAProfile
+from repro.errors import IssuanceError
+from repro.x509 import Certificate, to_pem_bundle
+
+#: Conventional file names, matching the SF_1/SF_2 layouts of Table 4.
+LEAF_FILE = "certificate.pem"
+BUNDLE_FILE = "ca-bundle.pem"
+FULLCHAIN_FILE = "fullchain.pem"
+
+
+@dataclass
+class DeliveredBundle:
+    """The set of certificate files a customer receives for one order.
+
+    ``files`` maps a conventional file name to the ordered list of
+    certificates inside it.  ``pem(name)`` renders any file the way it
+    would sit on disk.
+    """
+
+    profile: CAProfile
+    leaf: Certificate
+    files: dict[str, list[Certificate]] = field(default_factory=dict)
+
+    def pem(self, name: str) -> str:
+        """The PEM text of file ``name``."""
+        try:
+            return to_pem_bundle(self.files[name])
+        except KeyError:
+            raise IssuanceError(
+                f"{self.profile.display_name} did not deliver {name!r}"
+            ) from None
+
+    @property
+    def has_fullchain(self) -> bool:
+        return FULLCHAIN_FILE in self.files
+
+    @property
+    def has_ca_bundle(self) -> bool:
+        return BUNDLE_FILE in self.files
+
+    def naive_concatenation(self) -> list[Certificate]:
+        """Leaf file + bundle file, merged verbatim without reordering.
+
+        This is what an administrator who "just pastes the two files
+        together" deploys — the root cause of reversed sequences when
+        the bundle ships root-first.
+        """
+        chain = list(self.files.get(LEAF_FILE, [self.leaf]))
+        chain.extend(self.files.get(BUNDLE_FILE, ()))
+        return chain
+
+
+def deliver(
+    hierarchy: Hierarchy,
+    leaf: Certificate,
+    profile: CAProfile,
+    *,
+    omit_intermediate_index: int | None = None,
+) -> DeliveredBundle:
+    """Package ``leaf`` and its chain the way ``profile`` ships files.
+
+    Parameters
+    ----------
+    omit_intermediate_index:
+        If given, drop that intermediate (0-based, counted from the
+        leaf-adjacent end) from the bundle — the TAIWAN-CA defect.
+        Callers decide *whether* to omit (usually by sampling the
+        profile's ``omits_intermediate`` rate); this function only
+        executes the omission.
+    """
+    intermediates = [ca.certificate for ca in reversed(hierarchy.intermediates)]
+    if profile.cross_signed and hierarchy.cross_signed:
+        # Sectigo-style: the bundle carries the cross-signed variant too,
+        # placed right after the certificate it duplicates.
+        augmented: list[Certificate] = []
+        for cert in intermediates:
+            augmented.append(cert)
+            for cross in hierarchy.cross_signed:
+                if cross.subject == cert.subject:
+                    augmented.append(cross)
+        intermediates = augmented
+    if omit_intermediate_index is not None and intermediates:
+        index = min(omit_intermediate_index, len(intermediates) - 1)
+        intermediates = [c for i, c in enumerate(intermediates) if i != index]
+
+    bundle_certs = list(intermediates)
+    if profile.includes_root:
+        bundle_certs.append(hierarchy.root.certificate)
+    if profile.bundle_order == "reversed":
+        bundle_certs = list(reversed(bundle_certs))
+
+    files: dict[str, list[Certificate]] = {LEAF_FILE: [leaf]}
+    if profile.provides_ca_bundle:
+        files[BUNDLE_FILE] = bundle_certs
+    if profile.provides_fullchain:
+        ordered = list(intermediates)
+        files[FULLCHAIN_FILE] = [leaf, *ordered]
+    return DeliveredBundle(profile=profile, leaf=leaf, files=files)

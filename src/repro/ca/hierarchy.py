@@ -1,0 +1,180 @@
+"""CA hierarchies: roots, intermediate ladders, and cross-sign webs.
+
+The capability tests (Table 2) and the synthetic ecosystem both need
+ready-made hierarchies of controlled depth, so this module provides a
+:class:`Hierarchy` value object plus constructors for the common shapes:
+a simple root→intermediate(s)→leaf ladder, and a cross-signed pair in
+the style of USERTrust/AddTrust (Figure 2c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ca.authority import CertificateAuthority
+from repro.errors import HierarchyError
+from repro.x509 import Certificate, Name, Validity, utc
+
+#: Default validity used by hierarchy constructors when none is given:
+#: generous enough that test chains are valid "today" for years.
+DEFAULT_ROOT_VALIDITY = Validity(utc(2020, 1, 1), utc(2040, 1, 1))
+
+
+@dataclass
+class Hierarchy:
+    """A root CA, its ladder of intermediates, and optional cross-signs.
+
+    ``authorities[0]`` is the root; ``authorities[-1]`` is the CA that
+    issues leaves.  ``cross_signed`` holds alternate certificates for
+    authorities in the ladder (same subject/key, different issuer).
+    """
+
+    authorities: list[CertificateAuthority]
+    cross_signed: list[Certificate] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.authorities:
+            raise HierarchyError("a hierarchy needs at least a root")
+        if not self.authorities[0].is_root:
+            raise HierarchyError("authorities[0] must be self-signed")
+
+    @property
+    def root(self) -> CertificateAuthority:
+        return self.authorities[0]
+
+    @property
+    def issuing_ca(self) -> CertificateAuthority:
+        """The deepest CA — the one that signs end-entity certificates."""
+        return self.authorities[-1]
+
+    @property
+    def intermediates(self) -> list[CertificateAuthority]:
+        return self.authorities[1:]
+
+    def issue_leaf(self, domain: str, **kwargs) -> Certificate:
+        """Issue a leaf for ``domain`` from the issuing CA."""
+        return self.issuing_ca.issue_leaf(domain, **kwargs)
+
+    def chain_for(self, leaf: Certificate, *, include_root: bool = False
+                  ) -> list[Certificate]:
+        """The compliant certificate list for ``leaf`` (leaf first).
+
+        ``include_root`` appends the self-signed root, which TLS 1.2
+        permits but does not require.
+        """
+        chain = [leaf]
+        chain.extend(ca.certificate for ca in reversed(self.intermediates))
+        if include_root:
+            chain.append(self.root.certificate)
+        return chain
+
+    def all_certificates(self) -> list[Certificate]:
+        """Every CA certificate in the hierarchy, root first."""
+        certs = [ca.certificate for ca in self.authorities]
+        certs.extend(self.cross_signed)
+        return certs
+
+
+def build_hierarchy(
+    org: str,
+    *,
+    depth: int = 1,
+    validity: Validity = DEFAULT_ROOT_VALIDITY,
+    aia_base: str | None = None,
+    key_seed_prefix: str | None = None,
+    path_lengths: tuple[int | None, ...] | None = None,
+) -> Hierarchy:
+    """Build a root with ``depth`` chained intermediates under it.
+
+    ``depth=0`` yields a lone root that signs leaves directly (seen in
+    the wild for private CAs).  ``key_seed_prefix`` makes every key in
+    the hierarchy deterministic.  ``path_lengths[i]`` sets the
+    pathLenConstraint of intermediate ``i`` (root excluded).
+    """
+    if depth < 0:
+        raise HierarchyError("depth must be non-negative")
+    if path_lengths is not None and len(path_lengths) != depth:
+        raise HierarchyError("path_lengths must have one entry per intermediate")
+
+    def seed(tag: str) -> bytes | None:
+        if key_seed_prefix is None:
+            return None
+        return f"{key_seed_prefix}/{tag}".encode()
+
+    root = CertificateAuthority(
+        Name.build(organization=org, common_name=f"{org} Root CA"),
+        validity=validity,
+        aia_base=aia_base,
+        key_seed=seed("root"),
+    )
+    authorities = [root]
+    # Intermediates span the root's whole validity window, as real CA
+    # ceremonies aim for: a hierarchy is usable for its root's lifetime.
+    span_days = (validity.not_after - validity.not_before).days
+    for level in range(1, depth + 1):
+        parent = authorities[-1]
+        constraint = path_lengths[level - 1] if path_lengths is not None else None
+        child = parent.issue_intermediate(
+            Name.build(organization=org, common_name=f"{org} Intermediate CA {level}"),
+            path_length=constraint,
+            key_seed=seed(f"int{level}"),
+            days=span_days,
+        )
+        authorities.append(child)
+    return Hierarchy(authorities)
+
+
+def build_cross_signed_pair(
+    org: str,
+    *,
+    validity: Validity = DEFAULT_ROOT_VALIDITY,
+    aia_base: str | None = None,
+    key_seed_prefix: str | None = None,
+    cross_sign_validity: Validity | None = None,
+) -> tuple[Hierarchy, Hierarchy, Certificate]:
+    """Two roots where the second cross-signs the first's intermediate.
+
+    Returns ``(primary, legacy, cross_sign)``: the primary hierarchy
+    (new root → intermediate), a legacy hierarchy (old root only), and
+    the cross-signed certificate giving the intermediate a second parent
+    under the legacy root — the AddTrust/USERTrust shape.  Passing an
+    expired ``cross_sign_validity`` reproduces the 2020 AddTrust outage
+    scenario.
+    """
+    primary = build_hierarchy(
+        org, depth=1, validity=validity, aia_base=aia_base,
+        key_seed_prefix=key_seed_prefix,
+    )
+    legacy_seed = (
+        f"{key_seed_prefix}/legacy".encode() if key_seed_prefix is not None else None
+    )
+    legacy_root = CertificateAuthority(
+        Name.build(organization=f"{org} Legacy", common_name=f"{org} Legacy Root"),
+        validity=validity,
+        aia_base=aia_base,
+        key_seed=legacy_seed,
+    )
+    legacy = Hierarchy([legacy_root])
+    cross = legacy_root.cross_sign(
+        primary.intermediates[0]
+        if primary.intermediates
+        else primary.root,
+        validity=cross_sign_validity,
+        days=3650,
+    )
+    primary.cross_signed.append(cross)
+    return primary, legacy, cross
+
+
+def build_long_chain(
+    org: str,
+    n_intermediates: int,
+    *,
+    validity: Validity = DEFAULT_ROOT_VALIDITY,
+    key_seed_prefix: str | None = None,
+) -> Hierarchy:
+    """A ladder of ``n_intermediates`` — the Table 2 test-8 substrate."""
+    return build_hierarchy(
+        org, depth=n_intermediates, validity=validity,
+        key_seed_prefix=key_seed_prefix,
+    )

@@ -1,0 +1,142 @@
+"""Chain mutation operators.
+
+Every non-compliance class the paper measures can be produced by
+composing a handful of list-level mutations on a compliant chain.  The
+ecosystem generator applies them according to modelled causes (CA
+bundle order, Apache two-file layout, stale-leaf accumulation), and the
+capability tests use them to craft Table 2 inputs.
+
+All operators are pure: they return a new list and never modify the
+input.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.x509 import Certificate
+
+
+def reverse_chain(chain: Sequence[Certificate]) -> list[Certificate]:
+    """Reverse the entire list (root-first delivery merged verbatim)."""
+    return list(reversed(chain))
+
+
+def reverse_intermediates(chain: Sequence[Certificate]) -> list[Certificate]:
+    """Keep the leaf first but reverse everything after it.
+
+    This is the signature defect of GoGetSSL-style ca-bundle files: the
+    administrator concatenates ``leaf.pem`` with a bundle whose
+    certificates run root→intermediate, producing paths like ``1->2->0``
+    in the paper's notation.
+    """
+    if len(chain) <= 2:
+        return list(chain)
+    return [chain[0], *reversed(chain[1:])]
+
+
+def duplicate_leaf(chain: Sequence[Certificate], *, copies: int = 1,
+                   adjacent: bool = True) -> list[Certificate]:
+    """Repeat the leaf certificate (Apache SSLCertificateChainFile misuse).
+
+    With ``adjacent=True`` the copies sit right behind the original —
+    the dominant in-the-wild pattern (4,231 of 4,730 chains); otherwise
+    they are appended at the end.
+    """
+    if not chain:
+        return []
+    result = list(chain)
+    if adjacent:
+        for _ in range(copies):
+            result.insert(1, chain[0])
+    else:
+        result.extend([chain[0]] * copies)
+    return result
+
+
+def duplicate_certificate(chain: Sequence[Certificate], index: int,
+                          *, copies: int = 1) -> list[Certificate]:
+    """Append ``copies`` duplicates of ``chain[index]`` to the end."""
+    result = list(chain)
+    result.extend([chain[index]] * copies)
+    return result
+
+
+def duplicate_block(chain: Sequence[Certificate], indices: Sequence[int],
+                    *, repetitions: int = 1) -> list[Certificate]:
+    """Repeat a block of positions, ns3.link-style (29-cert chains)."""
+    result = list(chain)
+    block = [chain[i] for i in indices]
+    for _ in range(repetitions):
+        result.extend(block)
+    return result
+
+
+def insert_irrelevant(chain: Sequence[Certificate],
+                      extras: Sequence[Certificate],
+                      *, position: int | None = None) -> list[Certificate]:
+    """Splice certificates that have no issuance link to the leaf.
+
+    ``position=None`` appends at the end (the archives.gov.tw pattern of
+    a second, unrelated chain trailing the real one).
+    """
+    result = list(chain)
+    if position is None:
+        result.extend(extras)
+    else:
+        result[position:position] = list(extras)
+    return result
+
+
+def drop_intermediates(chain: Sequence[Certificate],
+                       indices: Sequence[int]) -> list[Certificate]:
+    """Remove the certificates at ``indices`` (incomplete chain)."""
+    doomed = set(indices)
+    return [cert for i, cert in enumerate(chain) if i not in doomed]
+
+
+def drop_all_but_leaf(chain: Sequence[Certificate]) -> list[Certificate]:
+    """Keep only the first certificate — the bare-leaf deployment."""
+    return list(chain[:1])
+
+
+def append_stale_leaves(chain: Sequence[Certificate],
+                        stale: Sequence[Certificate]) -> list[Certificate]:
+    """Insert outdated leaf certificates behind the current one.
+
+    Models update processes that add the renewed certificate at the
+    front without removing predecessors (webcanny.com, Figure 2b) —
+    newest first, progressively older to the right.
+    """
+    result = list(chain)
+    result[1:1] = list(stale)
+    return result
+
+
+def shuffle_chain(chain: Sequence[Certificate], rng: random.Random,
+                  *, keep_leaf_first: bool = False) -> list[Certificate]:
+    """Random permutation, optionally pinning the leaf in front."""
+    if keep_leaf_first:
+        tail = list(chain[1:])
+        rng.shuffle(tail)
+        return [chain[0], *tail] if chain else []
+    result = list(chain)
+    rng.shuffle(result)
+    return result
+
+
+def swap(chain: Sequence[Certificate], i: int, j: int) -> list[Certificate]:
+    """Exchange two positions (misplaced cross-sign insertions)."""
+    result = list(chain)
+    result[i], result[j] = result[j], result[i]
+    return result
+
+
+def move_leaf(chain: Sequence[Certificate], to_index: int) -> list[Certificate]:
+    """Relocate the first certificate to ``to_index``."""
+    if not chain:
+        return []
+    result = list(chain[1:])
+    result.insert(to_index, chain[0])
+    return result

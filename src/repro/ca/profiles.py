@@ -1,0 +1,261 @@
+"""Issuance-delivery profiles of real CAs and resellers (Table 6 / 11).
+
+The paper traces server-side non-compliance back to *how certificate
+files are delivered*: GoGetSSL, cyber_Folks and Trustico ship a
+``ca-bundle`` whose certificates run in reverse issuance order, Let's
+Encrypt automates deployment end-to-end, TAIWAN-CA's bundles omit an
+intermediate.  Each :class:`CAProfile` captures one issuer's delivery
+characteristics plus the calibrated knobs the ecosystem generator needs
+(market weight, automation adoption, defect propensities).
+
+The descriptive columns regenerate Table 6; the quantitative knobs are
+calibrated so the generated corpus reproduces the *shape* of Table 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class CAProfile:
+    """Delivery characteristics and generator knobs for one CA/reseller.
+
+    Descriptive fields (Table 6 columns)
+    ------------------------------------
+    automatic_management:
+        The CA offers an ACME-style automated issue-and-install flow.
+    provides_fullchain:
+        Ships a single ``fullchain.pem`` with the whole chain in order.
+    provides_ca_bundle:
+        Ships a separate ``ca-bundle.pem`` next to the leaf file.
+    includes_root:
+        The bundle contains the (optional) root certificate.
+    bundle_order:
+        ``"issuance"`` (leaf-adjacent first) or ``"reversed"``
+        (root first) — the defect behind reversed sequences.
+    install_guide:
+        ``"full"``, ``"partial"`` (e.g. only Apache/IIS), or ``"none"``.
+
+    Generator knobs
+    ---------------
+    market_weight:
+        Relative share of issued certificates (Table 11 totals).
+    automation_adoption:
+        Fraction of this CA's customers who actually use the automated
+        flow (automated deployments are essentially always compliant).
+    hierarchy_depth:
+        Number of intermediates between root and leaf.
+    omits_intermediate:
+        Probability the delivered bundle is missing an intermediate
+        (TAIWAN-CA's signature defect).
+    cross_signed:
+        The intermediate also has a cross-signed variant under a legacy
+        root, which the CA includes in bundles (Sectigo/USERTrust).
+    """
+
+    name: str
+    display_name: str
+    automatic_management: bool
+    provides_fullchain: bool
+    provides_ca_bundle: bool
+    includes_root: bool
+    bundle_order: str
+    install_guide: str
+    market_weight: float
+    automation_adoption: float = 0.0
+    hierarchy_depth: int = 1
+    omits_intermediate: float = 0.0
+    cross_signed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bundle_order not in ("issuance", "reversed"):
+            raise ValueError(f"bad bundle_order {self.bundle_order!r}")
+        if self.install_guide not in ("full", "partial", "none"):
+            raise ValueError(f"bad install_guide {self.install_guide!r}")
+        if not 0.0 <= self.automation_adoption <= 1.0:
+            raise ValueError("automation_adoption must be in [0,1]")
+        if not 0.0 <= self.omits_intermediate <= 1.0:
+            raise ValueError("omits_intermediate must be in [0,1]")
+
+
+#: The eight issuers the paper profiles (Table 11), plus a catch-all for
+#: the long tail.  Market weights follow the Table 11 "Total" row;
+#: behavioural flags follow Table 6 and the Section 4 narrative.
+LETS_ENCRYPT = CAProfile(
+    name="lets-encrypt",
+    display_name="Let's Encrypt",
+    automatic_management=True,
+    provides_fullchain=True,
+    provides_ca_bundle=True,
+    includes_root=False,
+    bundle_order="issuance",
+    install_guide="full",
+    market_weight=400_737,
+    automation_adoption=0.92,
+)
+
+DIGICERT = CAProfile(
+    name="digicert",
+    display_name="DigiCert",
+    automatic_management=True,
+    provides_fullchain=False,
+    provides_ca_bundle=True,
+    includes_root=False,
+    bundle_order="issuance",
+    install_guide="full",
+    market_weight=60_894,
+    automation_adoption=0.35,
+    hierarchy_depth=2,
+)
+
+SECTIGO = CAProfile(
+    name="sectigo",
+    display_name="Sectigo Limited",
+    automatic_management=True,
+    provides_fullchain=False,
+    provides_ca_bundle=True,
+    includes_root=False,
+    bundle_order="issuance",
+    install_guide="partial",
+    market_weight=48_042,
+    automation_adoption=0.30,
+    cross_signed=True,
+)
+
+ZEROSSL = CAProfile(
+    name="zerossl",
+    display_name="ZeroSSL",
+    automatic_management=True,
+    provides_fullchain=True,
+    provides_ca_bundle=True,
+    includes_root=False,
+    bundle_order="issuance",
+    install_guide="full",
+    market_weight=8_219,
+    automation_adoption=0.70,
+)
+
+GOGETSSL = CAProfile(
+    name="gogetssl",
+    display_name="GoGetSSL",
+    automatic_management=False,
+    provides_fullchain=False,
+    provides_ca_bundle=True,
+    includes_root=True,
+    bundle_order="reversed",
+    install_guide="partial",  # only Apache/IIS, per Table 6
+    market_weight=1_617,
+)
+
+TAIWAN_CA = CAProfile(
+    name="taiwan-ca",
+    display_name="TAIWAN-CA",
+    automatic_management=False,
+    provides_fullchain=False,
+    provides_ca_bundle=True,
+    includes_root=False,
+    bundle_order="issuance",
+    install_guide="none",
+    market_weight=492,
+    hierarchy_depth=2,
+    omits_intermediate=0.83,  # the TWCA Global Root CA link, §C
+)
+
+CYBER_FOLKS = CAProfile(
+    name="cyber-folks",
+    display_name="cyber_Folks S.A.",
+    automatic_management=False,
+    provides_fullchain=False,
+    provides_ca_bundle=True,
+    includes_root=True,
+    bundle_order="reversed",
+    install_guide="none",
+    market_weight=142,
+)
+
+TRUSTICO = CAProfile(
+    name="trustico",
+    display_name="Trustico",
+    automatic_management=False,
+    provides_fullchain=False,
+    provides_ca_bundle=True,
+    includes_root=True,
+    bundle_order="reversed",
+    install_guide="none",
+    market_weight=108,
+)
+
+#: Long tail of issuers not individually profiled by the paper.  Their
+#: aggregate weight tops the corpus up to the Tranco-scale total; their
+#: behaviour is DigiCert-like (manual but compliant delivery).
+OTHER_CAS = CAProfile(
+    name="other",
+    display_name="Other CAs",
+    automatic_management=False,
+    provides_fullchain=True,
+    provides_ca_bundle=True,
+    includes_root=False,
+    bundle_order="issuance",
+    install_guide="partial",
+    market_weight=386_085,
+    hierarchy_depth=1,
+)
+
+PROFILED_CAS: tuple[CAProfile, ...] = (
+    LETS_ENCRYPT,
+    DIGICERT,
+    SECTIGO,
+    ZEROSSL,
+    GOGETSSL,
+    TAIWAN_CA,
+    CYBER_FOLKS,
+    TRUSTICO,
+)
+
+ALL_CAS: tuple[CAProfile, ...] = PROFILED_CAS + (OTHER_CAS,)
+
+#: The subset shown in Table 6 (the delivery-characteristics table).
+TABLE6_CAS: tuple[CAProfile, ...] = (
+    LETS_ENCRYPT,
+    ZEROSSL,
+    GOGETSSL,
+    CYBER_FOLKS,
+    TRUSTICO,
+)
+
+
+def profile_by_name(name: str) -> CAProfile:
+    """Look up a profile by its ``name`` slug."""
+    for profile in ALL_CAS:
+        if profile.name == name:
+            return profile
+    raise KeyError(f"no CA profile named {name!r}")
+
+
+def table6_rows() -> list[dict[str, str]]:
+    """Regenerate Table 6 as a list of row dictionaries."""
+    rows = []
+    for profile in TABLE6_CAS:
+        rows.append(
+            {
+                "ca": profile.display_name,
+                "automatic_certificate_management": _mark(profile.automatic_management),
+                "provides_fullchain_file": _mark(profile.provides_fullchain),
+                "provides_ca_bundle_file": _mark(profile.provides_ca_bundle),
+                "provides_root_certificate": _mark(profile.includes_root),
+                "compliant_issuance_order_in_ca_bundle": _mark(
+                    profile.bundle_order == "issuance"
+                ),
+                "provides_certificate_installation_guide": {
+                    "full": "yes",
+                    "partial": "only Apache/IIS",
+                    "none": "no",
+                }[profile.install_guide],
+            }
+        )
+    return rows
+
+
+def _mark(flag: bool) -> str:
+    return "yes" if flag else "no"

@@ -1,0 +1,429 @@
+"""Chain-construction capability tests (Table 2) and the Table 9 matrix.
+
+Nine targeted test cases probe a client model exactly as the paper
+probes real clients: three *basic capabilities* (order reorganisation,
+redundancy elimination, AIA completion), four *priority preferences*
+(validity, KID, KeyUsage, BasicConstraints — inferred by permuting
+candidate arrangements and observing which candidate the client picks),
+and two *restriction settings* (maximum constructible path length,
+self-signed leaf acceptance).
+
+:func:`run_capability_matrix` reproduces Table 9 for any set of client
+policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from repro.ca import CertificateAuthority, build_hierarchy, next_serial
+from repro.chainbuilder.clients import PATH_LENGTH_PROBE_LIMIT
+from repro.chainbuilder.engine import ChainBuilder
+from repro.chainbuilder.policy import ClientPolicy
+from repro.trust.aia import StaticAIARepository
+from repro.trust.cache import IntermediateCache
+from repro.trust.rootstore import RootStore
+from repro.x509 import (
+    Certificate,
+    CertificateBuilder,
+    KeyUsage,
+    Name,
+    SimulatedKeyPair,
+    SubjectKeyIdentifier,
+    Validity,
+    generate_keypair,
+    utc,
+)
+
+#: The fixed evaluation instant for every capability test.
+NOW = utc(2024, 6, 15)
+
+#: Capability identifiers in Table 9 row order.
+CAPABILITIES = (
+    "order_reorganization",
+    "redundancy_elimination",
+    "aia_completion",
+    "validity_priority",
+    "kid_matching_priority",
+    "key_usage_priority",
+    "basic_constraints_priority",
+    "path_length_constraint",
+    "self_signed_leaf",
+)
+
+
+@dataclass
+class CapabilityEnvironment:
+    """Shared PKI fixture: hierarchy, root store, AIA repository.
+
+    ``root -> I2 -> I1 -> E`` with the root anchored; an unrelated
+    hierarchy provides the irrelevant certificate ``X``.
+    """
+
+    root: CertificateAuthority
+    i2: CertificateAuthority
+    i1: CertificateAuthority
+    leaf: Certificate
+    irrelevant: Certificate
+    store: RootStore
+    aia: StaticAIARepository
+    domain: str = "chain-test.example"
+
+    @classmethod
+    def create(cls, seed: str = "capenv") -> "CapabilityEnvironment":
+        hierarchy = build_hierarchy(
+            "CapTest", depth=2, key_seed_prefix=seed,
+            aia_base="http://aia.captest.example",
+        )
+        root, i2, i1 = hierarchy.authorities
+        leaf = i1.issue_leaf(
+            "chain-test.example", not_before=utc(2024, 1, 1), days=365,
+            key_seed=f"{seed}/leaf".encode(),
+        )
+        other = build_hierarchy("Unrelated", depth=1,
+                                key_seed_prefix=f"{seed}/other")
+        store = RootStore("test", [root.certificate])
+        aia = StaticAIARepository()
+        for authority in hierarchy.authorities:
+            if authority.aia_uri is not None:
+                aia.publish(authority.aia_uri, authority.certificate)
+        return cls(
+            root=root,
+            i2=i2,
+            i1=i1,
+            leaf=leaf,
+            irrelevant=other.intermediates[0].certificate,
+            store=store,
+            aia=aia,
+        )
+
+    def builder(self, policy: ClientPolicy, *,
+                cache: IntermediateCache | None = None) -> ChainBuilder:
+        return ChainBuilder(policy, self.store, aia_fetcher=self.aia, cache=cache)
+
+    # ------------------------------------------------------------------
+    # Variant-intermediate forge (shares the I1 key so each variant is a
+    # plausible issuer of E; fields differ per test)
+    # ------------------------------------------------------------------
+
+    def variant_issuer(
+        self,
+        *,
+        validity: Validity | None = None,
+        skid: bytes | None | str = "match",
+        key_usage: KeyUsage | None | str = "correct",
+        signer: CertificateAuthority | None = None,
+    ) -> Certificate:
+        """An alternative certificate for the I1 identity.
+
+        ``skid``: ``"match"`` (the real key id), ``None`` (omit the
+        extension), or explicit bytes (mismatch).  ``key_usage``:
+        ``"correct"``, ``None`` (omit), or a :class:`KeyUsage` value.
+        """
+        signer = signer or self.i2
+        key = self.i1.keypair
+        builder = (
+            CertificateBuilder()
+            .subject_name(self.i1.name)
+            .issuer_name(signer.name)
+            .serial_number(next_serial())
+            .validity(validity or Validity(utc(2024, 1, 1), utc(2025, 1, 1)))
+            .public_key(key.public_key)
+            .ca()
+        )
+        if skid == "match":
+            builder.add_extension(SubjectKeyIdentifier(key.public_key.key_id))
+        elif isinstance(skid, bytes):
+            builder.add_extension(SubjectKeyIdentifier(skid))
+        # skid None: omit the extension entirely
+        if key_usage == "correct":
+            builder.key_usage(KeyUsage.for_ca())
+        elif isinstance(key_usage, KeyUsage):
+            builder.key_usage(key_usage)
+        builder.akid(signer.keypair.public_key.key_id)
+        return builder.sign(signer.keypair)
+
+
+# ---------------------------------------------------------------------------
+# Basic capabilities (tests 1–3)
+# ---------------------------------------------------------------------------
+
+def test_order_reorganization(policy: ClientPolicy,
+                              env: CapabilityEnvironment) -> bool:
+    """Table 2 #1 — {E, I2, I1, R}: disordered intermediates."""
+    presented = [env.leaf, env.i2.certificate, env.i1.certificate,
+                 env.root.certificate]
+    verdict = env.builder(policy).build_and_validate(
+        presented, domain=env.domain, at_time=NOW
+    )
+    return verdict.ok
+
+
+def test_redundancy_elimination(policy: ClientPolicy,
+                                env: CapabilityEnvironment) -> bool:
+    """Table 2 #2 — {E, X, I, R}: an irrelevant certificate mid-chain.
+
+    Uses a depth-1 view (E directly under I1) so forward-scope clients
+    face exactly one extraneous hop, matching the paper's test shape.
+    """
+    presented = [env.leaf, env.irrelevant, env.i1.certificate,
+                 env.i2.certificate, env.root.certificate]
+    verdict = env.builder(policy).build_and_validate(
+        presented, domain=env.domain, at_time=NOW
+    )
+    return verdict.ok
+
+
+def test_aia_completion(policy: ClientPolicy, env: CapabilityEnvironment,
+                        *, cache: IntermediateCache | None = None) -> bool:
+    """Table 2 #3 — {E, I1}: the I2 link only reachable through AIA."""
+    presented = [env.leaf, env.i1.certificate]
+    verdict = env.builder(policy, cache=cache).build_and_validate(
+        presented, domain=env.domain, at_time=NOW
+    )
+    return verdict.ok
+
+
+# ---------------------------------------------------------------------------
+# Priority preferences (tests 4–7)
+# ---------------------------------------------------------------------------
+
+def _selected_issuer_of_leaf(policy: ClientPolicy, env: CapabilityEnvironment,
+                             presented: list[Certificate]) -> Certificate | None:
+    """Build and return the certificate chosen as the leaf's issuer."""
+    result = env.builder(policy).build(presented, at_time=NOW)
+    if len(result.steps) < 2:
+        return None
+    return result.steps[1].certificate
+
+
+def classify_validity_priority(policy: ClientPolicy,
+                               env: CapabilityEnvironment) -> str:
+    """Table 2 #4 — returns ``"VP1"``, ``"VP2"`` or ``"none"``.
+
+    Candidates (all same subject & key, KIDs matching):
+    I — valid, 1 year, listed first among valid;
+    I1 — expired;
+    I2 — valid, 1 year, more recent notBefore;
+    I3 — same start as I, 10-year validity.
+    """
+    i_expired = env.variant_issuer(
+        validity=Validity(utc(2022, 1, 1), utc(2023, 1, 1)))
+    i_plain = env.variant_issuer(
+        validity=Validity(utc(2024, 1, 1), utc(2025, 1, 1)))
+    i_recent = env.variant_issuer(
+        validity=Validity(utc(2024, 4, 1), utc(2025, 4, 1)))
+    i_long = env.variant_issuer(
+        validity=Validity(utc(2024, 1, 1), utc(2034, 1, 1)))
+    tail = [env.i2.certificate, env.root.certificate]
+
+    # Round 1: an expired candidate listed first.  Clients with no
+    # validity rule take it anyway.
+    arrangement = [env.leaf, i_expired, i_plain, i_recent, i_long, *tail]
+    chosen = _selected_issuer_of_leaf(policy, env, arrangement)
+    if chosen is not None and chosen.fingerprint == i_expired.fingerprint:
+        return "none"
+
+    # Round 2: among valid candidates, does list order or recency win?
+    arrangement = [env.leaf, i_plain, i_expired, i_long, i_recent, *tail]
+    chosen = _selected_issuer_of_leaf(policy, env, arrangement)
+    if chosen is None:
+        return "none"
+    if chosen.fingerprint == i_plain.fingerprint:
+        return "VP1"
+    if chosen.fingerprint == i_recent.fingerprint:
+        return "VP2"
+    return "none"
+
+
+def classify_kid_priority(policy: ClientPolicy,
+                          env: CapabilityEnvironment) -> str:
+    """Table 2 #5 — returns ``"KP1"``, ``"KP2"`` or ``"none"``.
+
+    Candidates share subject, key and validity; they differ only in
+    SKID: match / mismatch / absent.  Arrangement lists the mismatch
+    first and the match last so every policy's choice is diagnostic.
+    """
+    i_match = env.variant_issuer(skid="match")
+    i_mismatch = env.variant_issuer(skid=b"\x00" * 20)
+    i_absent = env.variant_issuer(skid=None)
+    tail = [env.i2.certificate, env.root.certificate]
+
+    arrangement = [env.leaf, i_mismatch, i_absent, i_match, *tail]
+    chosen = _selected_issuer_of_leaf(policy, env, arrangement)
+    if chosen is None:
+        return "none"
+    if chosen.fingerprint == i_mismatch.fingerprint:
+        return "none"
+    if chosen.fingerprint == i_absent.fingerprint:
+        return "KP1"
+    if chosen.fingerprint == i_match.fingerprint:
+        # Match beat an earlier-listed absent candidate: strict ordering.
+        return "KP2"
+    return "none"
+
+
+def classify_key_usage_priority(policy: ClientPolicy,
+                                env: CapabilityEnvironment) -> str:
+    """Table 2 #6 — returns ``"KUP"`` or ``"none"``."""
+    bad_usage = KeyUsage(frozenset({"digital_signature"}))  # no keyCertSign
+    i_bad = env.variant_issuer(key_usage=bad_usage)
+    i_missing = env.variant_issuer(key_usage=None)
+    i_good = env.variant_issuer(key_usage="correct")
+    tail = [env.i2.certificate, env.root.certificate]
+
+    arrangement = [env.leaf, i_bad, i_missing, i_good, *tail]
+    chosen = _selected_issuer_of_leaf(policy, env, arrangement)
+    if chosen is None:
+        return "none"
+    return "none" if chosen.fingerprint == i_bad.fingerprint else "KUP"
+
+
+def classify_basic_constraints_priority(policy: ClientPolicy,
+                                        env: CapabilityEnvironment) -> str:
+    """Table 2 #7 — returns ``"BP"`` or ``"none"``.
+
+    Two candidates for I1's issuer share subject and key; one carries a
+    pathLenConstraint that admits the path, the other one that forbids
+    it.  The violating candidate is listed first.
+    """
+    key = env.i2.keypair
+
+    def sign_i2_variant(path_length: int) -> Certificate:
+        return (
+            CertificateBuilder()
+            .subject_name(env.i2.name)
+            .issuer_name(env.root.name)
+            .serial_number(next_serial())
+            .validity(Validity(utc(2024, 1, 1), utc(2026, 1, 1)))
+            .public_key(key.public_key)
+            .ca(path_length=path_length)
+            .key_usage(KeyUsage.for_ca())
+            .add_extension(SubjectKeyIdentifier(key.public_key.key_id))
+            .akid(env.root.keypair.public_key.key_id)
+            .sign(env.root.keypair)
+        )
+
+    # Path will be E <- I1 <- (I2 variant): one intermediate (I1) below
+    # the candidate, so pathLen 1 admits it and pathLen 0 violates.
+    i2_bad = sign_i2_variant(0)
+    i2_good = sign_i2_variant(1)
+    presented = [env.leaf, env.i1.certificate, i2_bad, i2_good,
+                 env.root.certificate]
+    result = env.builder(policy).build(presented, at_time=NOW)
+    if len(result.steps) < 3:
+        return "none"
+    chosen = result.steps[2].certificate
+    return "BP" if chosen.fingerprint == i2_good.fingerprint else "none"
+
+
+# ---------------------------------------------------------------------------
+# Restriction settings (tests 8–9)
+# ---------------------------------------------------------------------------
+
+def probe_path_length_limit(policy: ClientPolicy,
+                            *, probe_limit: int = PATH_LENGTH_PROBE_LIMIT,
+                            seed: str = "ladder") -> str:
+    """Table 2 #8 — the longest chain the client validates.
+
+    Returns the maximum total path length as a string, or ``">N"`` when
+    the client handled every probed ladder.  Probing is monotonic so a
+    binary search over the ladder depth suffices.
+    """
+    max_depth = probe_limit - 2  # so the deepest probed chain has probe_limit certs
+    hierarchy = build_hierarchy("Ladder", depth=max_depth,
+                                key_seed_prefix=seed)
+    store = RootStore("ladder", [hierarchy.root.certificate])
+    repo = StaticAIARepository()
+
+    def attempt(n_intermediates: int) -> bool:
+        issuing = hierarchy.authorities[n_intermediates]
+        leaf = issuing.issue_leaf(
+            "ladder.example", not_before=utc(2024, 1, 1), days=365,
+            key_seed=f"{seed}/leaf{n_intermediates}".encode(),
+        )
+        presented = [leaf] + [
+            hierarchy.authorities[i].certificate
+            for i in range(n_intermediates, 0, -1)
+        ] + [hierarchy.root.certificate]
+        builder = ChainBuilder(policy, store, aia_fetcher=repo)
+        verdict = builder.build_and_validate(
+            presented, domain="ladder.example", at_time=NOW
+        )
+        return verdict.ok
+
+    low, high = 0, max_depth  # in intermediates
+    if attempt(max_depth):
+        return f">{max_depth + 2}"
+    if not attempt(0):
+        return "0"
+    while high - low > 1:
+        mid = (low + high) // 2
+        if attempt(mid):
+            low = mid
+        else:
+            high = mid
+    return str(low + 2)  # leaf + intermediates + root
+
+
+def test_self_signed_leaf(policy: ClientPolicy,
+                          env: CapabilityEnvironment) -> bool:
+    """Table 2 #9 — {ES, E, I, R}: is a self-signed leaf accepted?
+
+    "Accepted" means the client *constructs* with ES as the leaf rather
+    than aborting; trust failure afterwards is expected and fine.
+    """
+    es_key = generate_keypair("simulated", seed=b"capenv/es")
+    es = (
+        CertificateBuilder()
+        .subject_name(env.leaf.subject)
+        .issuer_name(env.leaf.subject)
+        .serial_number(next_serial())
+        .validity(Validity(utc(2024, 1, 1), utc(2025, 1, 1)))
+        .public_key(es_key.public_key)
+        .end_entity()
+        .san_domains(env.domain)
+        .add_extension(SubjectKeyIdentifier(es_key.public_key.key_id))
+        .sign(es_key)
+    )
+    presented = [es, env.leaf, env.i1.certificate, env.i2.certificate,
+                 env.root.certificate]
+    result = env.builder(policy).build(presented, at_time=NOW)
+    return result.error != "self_signed_leaf_rejected"
+
+
+# ---------------------------------------------------------------------------
+# The full matrix (Table 9)
+# ---------------------------------------------------------------------------
+
+def run_capabilities(policy: ClientPolicy,
+                     env: CapabilityEnvironment | None = None) -> dict[str, str]:
+    """All nine capability results for one client, Table 9 cell format."""
+    env = env or CapabilityEnvironment.create()
+    mark = lambda flag: "yes" if flag else "no"  # noqa: E731 - tiny local
+    return {
+        "order_reorganization": mark(test_order_reorganization(policy, env)),
+        "redundancy_elimination": mark(test_redundancy_elimination(policy, env)),
+        "aia_completion": mark(test_aia_completion(policy, env)),
+        "validity_priority": _dash(classify_validity_priority(policy, env)),
+        "kid_matching_priority": _dash(classify_kid_priority(policy, env)),
+        "key_usage_priority": _dash(classify_key_usage_priority(policy, env)),
+        "basic_constraints_priority": _dash(
+            classify_basic_constraints_priority(policy, env)
+        ),
+        "path_length_constraint": probe_path_length_limit(policy),
+        "self_signed_leaf": mark(test_self_signed_leaf(policy, env)),
+    }
+
+
+def run_capability_matrix(
+    clients: tuple[ClientPolicy, ...],
+) -> dict[str, dict[str, str]]:
+    """Table 9: capability results per client, keyed by client name."""
+    env = CapabilityEnvironment.create()
+    return {client.name: run_capabilities(client, env) for client in clients}
+
+
+def _dash(label: str) -> str:
+    return "-" if label == "none" else label

@@ -1,0 +1,226 @@
+"""The eight TLS client profiles the paper evaluates (Section 3.2).
+
+Four libraries — OpenSSL (v3.0.2), GnuTLS (v3.7.3), MbedTLS (v3.5.2),
+CryptoAPI (v10.0.19041) — and four browsers — Chrome (v128), Edge
+(v128), Safari (v17.4), Firefox (v126).  Each profile encodes the
+behaviour the paper established through source analysis (Chromium, NSS,
+OpenSSL, GnuTLS, MbedTLS) and black-box testing (Table 9):
+
+* MbedTLS searches for issuers only *forward* of the current
+  certificate, cannot reorder, validates while building, and caps
+  constructed paths at 10.
+* GnuTLS caps the *presented list* at 16 certificates — the paper's
+  I-2 defect — and orders candidates only by KID (KP1).
+* OpenSSL orders by KID (KP1) then first-valid (VP1); no backtracking.
+* CryptoAPI is the only library with AIA fetching and backtracking.
+* Chrome/Edge share Chromium behaviour (KP2, VP2, backtracking, AIA);
+  Edge additionally caps paths at 21.
+* Safari ranks KID like OpenSSL (KP1) but validity like Chromium (VP2),
+  allows self-signed leaves, fetches AIA.
+* Firefox has no AIA but compensates with the NSS intermediate cache;
+  no KID priority; path cap 8.
+"""
+
+from __future__ import annotations
+
+from repro.chainbuilder.policy import (
+    ClientPolicy,
+    KIDPriority,
+    SearchScope,
+    ValidityPriority,
+)
+
+#: Probe ceiling for the Table 9 "Path Length Constraint" row: clients
+#: whose limit exceeds this print as ">52", as in the paper.
+PATH_LENGTH_PROBE_LIMIT = 52
+
+OPENSSL = ClientPolicy(
+    name="openssl",
+    display_name="OpenSSL",
+    kind="library",
+    search_scope=SearchScope.ALL,
+    backtracking=False,
+    aia_fetching=False,
+    max_path_length=None,
+    allow_self_signed_leaf=False,
+    kid_priority=KIDPriority.MATCH_OR_ABSENT_OVER_MISMATCH,
+    validity_priority=ValidityPriority.FIRST_VALID,
+    key_usage_priority=False,
+    basic_constraints_priority=False,
+    root_store="mozilla",
+)
+
+GNUTLS = ClientPolicy(
+    name="gnutls",
+    display_name="GnuTLS",
+    kind="library",
+    search_scope=SearchScope.ALL,
+    backtracking=False,
+    aia_fetching=False,
+    max_input_list=16,
+    allow_self_signed_leaf=False,
+    kid_priority=KIDPriority.MATCH_OR_ABSENT_OVER_MISMATCH,
+    validity_priority=ValidityPriority.NONE,
+    key_usage_priority=False,
+    basic_constraints_priority=False,
+    root_store="mozilla",
+)
+
+MBEDTLS = ClientPolicy(
+    name="mbedtls",
+    display_name="MbedTLS",
+    kind="library",
+    search_scope=SearchScope.FORWARD,
+    backtracking=False,
+    aia_fetching=False,
+    max_path_length=10,
+    allow_self_signed_leaf=True,
+    kid_priority=KIDPriority.NONE,
+    validity_priority=ValidityPriority.FIRST_VALID,
+    key_usage_priority=True,
+    basic_constraints_priority=True,
+    partial_validation=True,
+    root_store="mozilla",
+)
+
+CRYPTOAPI = ClientPolicy(
+    name="cryptoapi",
+    display_name="CryptoAPI",
+    kind="library",
+    search_scope=SearchScope.ALL,
+    backtracking=True,
+    aia_fetching=True,
+    max_path_length=13,
+    allow_self_signed_leaf=False,
+    kid_priority=KIDPriority.MATCH_OVER_ABSENT_OVER_MISMATCH,
+    validity_priority=ValidityPriority.RECENT_THEN_LONGEST,
+    key_usage_priority=True,
+    basic_constraints_priority=True,
+    prefer_trusted_anchor=True,
+    root_store="microsoft",
+)
+
+CHROME = ClientPolicy(
+    name="chrome",
+    display_name="Chrome",
+    kind="browser",
+    search_scope=SearchScope.ALL,
+    backtracking=True,
+    aia_fetching=True,
+    max_path_length=None,
+    allow_self_signed_leaf=False,
+    kid_priority=KIDPriority.MATCH_OVER_ABSENT_OVER_MISMATCH,
+    validity_priority=ValidityPriority.RECENT_THEN_LONGEST,
+    key_usage_priority=True,
+    basic_constraints_priority=True,
+    prefer_trusted_anchor=True,
+    root_store="chrome",
+)
+
+EDGE = ClientPolicy(
+    name="edge",
+    display_name="Microsoft Edge",
+    kind="browser",
+    search_scope=SearchScope.ALL,
+    backtracking=True,
+    aia_fetching=True,
+    max_path_length=21,
+    allow_self_signed_leaf=False,
+    kid_priority=KIDPriority.MATCH_OVER_ABSENT_OVER_MISMATCH,
+    validity_priority=ValidityPriority.RECENT_THEN_LONGEST,
+    key_usage_priority=True,
+    basic_constraints_priority=True,
+    prefer_trusted_anchor=True,
+    root_store="microsoft",
+)
+
+SAFARI = ClientPolicy(
+    name="safari",
+    display_name="Safari",
+    kind="browser",
+    search_scope=SearchScope.ALL,
+    backtracking=True,
+    aia_fetching=True,
+    max_path_length=None,
+    allow_self_signed_leaf=True,
+    kid_priority=KIDPriority.MATCH_OR_ABSENT_OVER_MISMATCH,
+    validity_priority=ValidityPriority.RECENT_THEN_LONGEST,
+    key_usage_priority=True,
+    basic_constraints_priority=True,
+    prefer_trusted_anchor=True,
+    root_store="apple",
+)
+
+FIREFOX = ClientPolicy(
+    name="firefox",
+    display_name="Firefox",
+    kind="browser",
+    search_scope=SearchScope.ALL,
+    backtracking=True,
+    aia_fetching=False,
+    use_intermediate_cache=True,
+    max_path_length=8,
+    allow_self_signed_leaf=False,
+    kid_priority=KIDPriority.NONE,
+    validity_priority=ValidityPriority.FIRST_VALID,
+    key_usage_priority=True,
+    basic_constraints_priority=True,
+    root_store="mozilla",
+)
+
+#: Column order used throughout the paper's Table 9.
+ALL_CLIENTS: tuple[ClientPolicy, ...] = (
+    OPENSSL,
+    GNUTLS,
+    MBEDTLS,
+    CRYPTOAPI,
+    CHROME,
+    EDGE,
+    SAFARI,
+    FIREFOX,
+)
+
+LIBRARIES: tuple[ClientPolicy, ...] = tuple(
+    c for c in ALL_CLIENTS if c.kind == "library"
+)
+BROWSERS: tuple[ClientPolicy, ...] = tuple(
+    c for c in ALL_CLIENTS if c.kind == "browser"
+)
+
+#: The paper excludes Safari from browser differential testing because
+#: it cannot report per-chain validation errors the way the others do.
+DIFFERENTIAL_BROWSERS: tuple[ClientPolicy, ...] = tuple(
+    c for c in BROWSERS if c.name != "safari"
+)
+
+
+#: The Section 6.2 recommendation, assembled as a policy: every basic
+#: capability (reordering, AIA, backtracking, cache), KID priority
+#: match > absent > mismatch, trusted anchors preferred among equal
+#: candidates, most-recent validity first, and no arbitrary limits.
+#: Not one of the paper's measured clients — the paper's *prescription*.
+RECOMMENDED = ClientPolicy(
+    name="recommended",
+    display_name="Recommended (§6.2)",
+    kind="library",
+    search_scope=SearchScope.ALL,
+    backtracking=True,
+    aia_fetching=True,
+    use_intermediate_cache=True,
+    max_path_length=None,
+    allow_self_signed_leaf=False,
+    kid_priority=KIDPriority.MATCH_OVER_ABSENT_OVER_MISMATCH,
+    validity_priority=ValidityPriority.RECENT_THEN_LONGEST,
+    key_usage_priority=True,
+    basic_constraints_priority=True,
+    prefer_trusted_anchor=True,
+    root_store="mozilla",
+)
+
+
+def client_by_name(name: str) -> ClientPolicy:
+    """Look up a client profile by slug or display name."""
+    for client in (*ALL_CLIENTS, RECOMMENDED):
+        if name in (client.name, client.display_name):
+            return client
+    raise KeyError(f"no client named {name!r}")

@@ -1,0 +1,215 @@
+"""Differential testing of client models over a chain corpus (§5.2).
+
+Real-world chains have no ground-truth verdict, so the paper compares
+clients against each other: chains where implementations disagree are
+the interesting ones, and manual review attributes each disagreement to
+a construction deficiency (I-1 order reorganisation, I-2 long chains,
+I-3 backtracking, I-4 AIA).  This module runs any set of client models
+over a corpus, groups outcomes, and auto-attributes library
+discrepancies to those four causes using the same reasoning the paper
+applies by hand.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from repro.chainbuilder.clients import (
+    ALL_CLIENTS,
+    DIFFERENTIAL_BROWSERS,
+    LIBRARIES,
+)
+from repro.chainbuilder.engine import ChainBuilder, ClientVerdict
+from repro.chainbuilder.policy import ClientPolicy
+from repro.trust.aia import AIAFetcher
+from repro.trust.cache import IntermediateCache
+from repro.trust.rootstore import RootStoreRegistry
+from repro.x509 import Certificate
+
+#: Attribution tags mirroring the paper's issue identifiers.
+ISSUE_ORDER = "I-1:order_reorganization"
+ISSUE_LONG_CHAIN = "I-2:long_chain"
+ISSUE_BACKTRACKING = "I-3:backtracking"
+ISSUE_AIA = "I-4:aia_completion"
+ISSUE_OTHER = "other"
+
+
+@dataclass
+class ChainOutcome:
+    """All client verdicts for one (domain, chain) observation."""
+
+    domain: str
+    chain_length: int
+    verdicts: dict[str, ClientVerdict]
+
+    def result_of(self, client: str) -> str:
+        """Normalised result label: ``"ok"`` or the error reason."""
+        verdict = self.verdicts[client]
+        return "ok" if verdict.ok else (verdict.error or "unknown_error")
+
+    def subset_results(self, clients: tuple[ClientPolicy, ...]) -> dict[str, str]:
+        return {c.name: self.result_of(c.name) for c in clients
+                if c.name in self.verdicts}
+
+    def all_pass(self, clients: tuple[ClientPolicy, ...]) -> bool:
+        return all(v == "ok" for v in self.subset_results(clients).values())
+
+    def discrepant(self, clients: tuple[ClientPolicy, ...]) -> bool:
+        results = set(self.subset_results(clients).values())
+        return len(results) > 1
+
+
+@dataclass
+class DifferentialReport:
+    """Aggregated §5.2 statistics over one corpus."""
+
+    outcomes: list[ChainOutcome] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    def pass_all(self, clients: tuple[ClientPolicy, ...]) -> int:
+        return sum(1 for o in self.outcomes if o.all_pass(clients))
+
+    def discrepancies(self, clients: tuple[ClientPolicy, ...]
+                      ) -> list[ChainOutcome]:
+        return [o for o in self.outcomes if o.discrepant(clients)]
+
+    def failure_rate(self, clients: tuple[ClientPolicy, ...]) -> float:
+        """Share of chains failing in at least one of ``clients``."""
+        if not self.outcomes:
+            return 0.0
+        failing = sum(1 for o in self.outcomes if not o.all_pass(clients))
+        return 100.0 * failing / len(self.outcomes)
+
+    def attribution_counts(self) -> Counter:
+        """Counts per paper issue tag among library discrepancies."""
+        counts: Counter = Counter()
+        for outcome in self.discrepancies(LIBRARIES):
+            for tag in attribute_library_discrepancy(outcome):
+                counts[tag] += 1
+        return counts
+
+
+def attribute_library_discrepancy(outcome: ChainOutcome) -> set[str]:
+    """Attribute one library discrepancy to the paper's I-1..I-4 causes.
+
+    The rules formalise the paper's manual analysis:
+
+    * I-1 — MbedTLS alone cannot find an issuer while another library
+      validates: the forward-only scan met a disordered chain.
+    * I-2 — GnuTLS rejects the presented list as too long.
+    * I-3 — a non-backtracking library anchored at an untrusted root
+      while CryptoAPI (backtracking) validated.
+    * I-4 — CryptoAPI validates but AIA-less libraries cannot complete
+      the chain.
+    """
+    results = outcome.subset_results(LIBRARIES)
+    tags: set[str] = set()
+    ok_clients = {name for name, result in results.items() if result == "ok"}
+
+    if results.get("mbedtls") in ("no_issuer_found", "unknown_issuer") and (
+        "openssl" in ok_clients or "gnutls" in ok_clients
+    ):
+        # Another AIA-less library succeeded, so the chain was locally
+        # completable: MbedTLS's failure is its forward-only scan.
+        tags.add(ISSUE_ORDER)
+    if results.get("gnutls") == "input_list_too_long":
+        tags.add(ISSUE_LONG_CHAIN)
+    if "cryptoapi" in ok_clients and any(
+        results.get(name) == "untrusted_root"
+        for name in ("openssl", "gnutls", "mbedtls")
+    ):
+        tags.add(ISSUE_BACKTRACKING)
+    if "cryptoapi" in ok_clients and all(
+        results.get(name) in ("no_issuer_found", "unknown_issuer")
+        for name in ("openssl", "gnutls")
+    ):
+        # Both scope-unrestricted, AIA-less libraries dead-ended: the
+        # chain needed a certificate that only AIA could supply.
+        tags.add(ISSUE_AIA)
+    if not tags:
+        tags.add(ISSUE_OTHER)
+    return tags
+
+
+class DifferentialHarness:
+    """Runs a set of client models over (domain, chain) observations.
+
+    Each client consults its own root program from ``registry``;
+    AIA-capable clients share ``aia_fetcher``; Firefox gets a private
+    :class:`IntermediateCache` that can be pre-warmed with
+    :meth:`prime_cache` to model an aged browser profile.
+    """
+
+    def __init__(
+        self,
+        registry: RootStoreRegistry,
+        *,
+        clients: tuple[ClientPolicy, ...] = ALL_CLIENTS,
+        aia_fetcher: AIAFetcher | None = None,
+        cache_capacity: int = 10_000,
+    ) -> None:
+        self.clients = clients
+        self.cache = IntermediateCache(capacity=cache_capacity)
+        self._builders: dict[str, ChainBuilder] = {}
+        for client in clients:
+            self._builders[client.name] = ChainBuilder(
+                client,
+                registry.store(client.root_store),
+                aia_fetcher=aia_fetcher,
+                cache=self.cache if client.use_intermediate_cache else None,
+            )
+
+    def prime_cache(self, chains: list[list[Certificate]]) -> int:
+        """Warm the intermediate cache from previously seen chains."""
+        return sum(self.cache.observe_chain(chain) for chain in chains)
+
+    def evaluate(self, domain: str, chain: list[Certificate], *,
+                 at_time: datetime) -> ChainOutcome:
+        """One observation through every client."""
+        verdicts = {
+            name: builder.build_and_validate(
+                chain, domain=domain, at_time=at_time
+            )
+            for name, builder in self._builders.items()
+        }
+        return ChainOutcome(domain, len(chain), verdicts)
+
+    def run(
+        self,
+        observations: list[tuple[str, list[Certificate]]],
+        *,
+        at_time: datetime,
+        observe_into_cache: bool = False,
+    ) -> DifferentialReport:
+        """Evaluate a corpus; optionally let Firefox learn as it goes.
+
+        With ``observe_into_cache`` the cache ingests each chain *after*
+        evaluating it, modelling a browsing session in corpus order.
+        """
+        report = DifferentialReport()
+        for domain, chain in observations:
+            report.outcomes.append(
+                self.evaluate(domain, chain, at_time=at_time)
+            )
+            if observe_into_cache:
+                self.cache.observe_chain(chain)
+        return report
+
+
+__all__ = [
+    "ChainOutcome",
+    "DifferentialHarness",
+    "DifferentialReport",
+    "ISSUE_AIA",
+    "ISSUE_BACKTRACKING",
+    "ISSUE_LONG_CHAIN",
+    "ISSUE_ORDER",
+    "ISSUE_OTHER",
+    "attribute_library_discrepancy",
+    "DIFFERENTIAL_BROWSERS",
+]

@@ -1,0 +1,355 @@
+"""Extended validation: the BetterTLS-side capabilities of Table 1.
+
+The paper deliberately scopes its client study to chain *construction*
+and marks the validation-correctness capabilities (NAME_CONSTRAINTS,
+BAD_EKU, NOT_A_CA, MISS_BASIC_CONSTRAINTS, DEPRECATED_CRYPTO) as
+BetterTLS territory.  This module closes that gap as an extension:
+:func:`validate_path_extended` layers the three missing checks on top
+of :func:`~repro.chainbuilder.verify.validate_path`, and
+:func:`run_extended_capabilities` probes any client policy with
+BetterTLS-style test chains, giving the library the union of both
+studies' coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+
+from repro.ca import CertificateAuthority, build_hierarchy, next_serial
+from repro.chainbuilder.engine import ChainBuilder
+from repro.chainbuilder.policy import ClientPolicy
+from repro.chainbuilder.verify import ValidationResult, validate_path
+from repro.trust.revocation import RevocationRegistry
+from repro.trust.rootstore import RootStore
+from repro.x509 import (
+    Certificate,
+    CertificateBuilder,
+    DEPRECATED_SIGNATURE_ALGORITHMS,
+    ExtendedKeyUsage,
+    KeyUsage,
+    Name,
+    NameConstraints,
+    SubjectKeyIdentifier,
+    Validity,
+    WeakSimulatedKeyPair,
+    generate_keypair,
+    utc,
+)
+
+#: Extra reason codes on top of ``verify.ERROR_CODES``.
+EXTENDED_ERROR_CODES = (
+    "name_constraints_violation",
+    "bad_eku",
+    "deprecated_crypto",
+)
+
+
+def _leaf_identities(leaf: Certificate) -> list[str]:
+    """The dNSNames a leaf claims (SAN, CN fallback per RFC 6125)."""
+    san = leaf.extensions.subject_alternative_name
+    if san is not None:
+        return [name.value for name in san.names if name.kind == "dns"]
+    cn = leaf.subject.common_name
+    return [cn] if cn else []
+
+
+def validate_path_extended(
+    path: list[Certificate],
+    store: RootStore,
+    *,
+    at_time: datetime,
+    domain: str | None = None,
+    check_trust: bool = True,
+    revocation: RevocationRegistry | None = None,
+    check_name_constraints: bool = True,
+    check_eku: bool = True,
+    reject_deprecated: bool = True,
+) -> ValidationResult:
+    """Full validation: the paper's checks plus the BetterTLS trio.
+
+    Extended checks run after the base checks succeed:
+
+    * **name constraints** — every CA constraint on the path must admit
+      every identity the leaf claims;
+    * **EKU** — a leaf carrying extKeyUsage must allow serverAuth;
+    * **deprecated crypto** — no certificate below the trust anchor may
+      be signed with a deprecated algorithm (anchors are exempt, as in
+      real clients).
+    """
+    base = validate_path(
+        path, store, at_time=at_time, domain=domain,
+        check_trust=check_trust, revocation=revocation,
+    )
+    if not base.ok:
+        return base
+
+    if check_name_constraints and path:
+        identities = _leaf_identities(path[0])
+        for index, cert in enumerate(path[1:], start=1):
+            constraints = cert.extensions.name_constraints
+            if constraints is None:
+                continue
+            if not all(constraints.allows(identity) for identity in identities):
+                return ValidationResult(
+                    False, "name_constraints_violation", index
+                )
+
+    if check_eku and path:
+        eku = path[0].extensions.extended_key_usage
+        if eku is not None and not eku.allows_server_auth():
+            return ValidationResult(False, "bad_eku", 0)
+
+    if reject_deprecated:
+        for index, cert in enumerate(path):
+            if index == len(path) - 1 and cert.is_self_signed:
+                continue  # anchor signatures are never evaluated
+            algorithm = cert.signature_algorithm
+            if (algorithm is not None
+                    and algorithm.dotted in DEPRECATED_SIGNATURE_ALGORITHMS):
+                return ValidationResult(False, "deprecated_crypto", index)
+
+    return ValidationResult(True)
+
+
+# ---------------------------------------------------------------------------
+# BetterTLS-style capability probes
+# ---------------------------------------------------------------------------
+
+#: Probe identifiers, matching Table 1's BetterTLS rows.
+EXTENDED_CAPABILITIES = (
+    "expired",
+    "name_constraints",
+    "bad_eku",
+    "not_a_ca",
+    "miss_basic_constraints",
+    "deprecated_crypto",
+)
+
+NOW = utc(2024, 6, 15)
+
+
+@dataclass
+class ExtendedEnvironment:
+    """Fixture PKI for the extended probes."""
+
+    root: CertificateAuthority
+    issuing: CertificateAuthority
+    store: RootStore
+    domain: str = "ext-test.example"
+
+    @classmethod
+    def create(cls, seed: str = "extenv") -> "ExtendedEnvironment":
+        hierarchy = build_hierarchy(
+            "ExtTest", depth=1, key_seed_prefix=seed,
+        )
+        return cls(
+            root=hierarchy.root,
+            issuing=hierarchy.issuing_ca,
+            store=RootStore("ext", [hierarchy.root.certificate]),
+        )
+
+    def leaf(self, **kwargs) -> Certificate:
+        return self.issuing.issue_leaf(
+            self.domain, not_before=utc(2024, 1, 1), days=365, **kwargs
+        )
+
+
+def _probe(policy: ClientPolicy, env: ExtendedEnvironment,
+           presented: list[Certificate], *, domain: str | None = None
+           ) -> ValidationResult:
+    """Build with the client model, then validate with extended checks."""
+    builder = ChainBuilder(policy, env.store)
+    build = builder.build(presented, at_time=NOW)
+    if not build.path:
+        return ValidationResult(False, build.error or "empty_path")
+    return validate_path_extended(
+        build.path, env.store, at_time=NOW,
+        domain=domain or env.domain,
+    )
+
+
+def probe_expired(policy: ClientPolicy, env: ExtendedEnvironment) -> bool:
+    """EXPIRED — an expired leaf must be rejected."""
+    leaf = env.issuing.issue_leaf(
+        env.domain, not_before=utc(2022, 1, 1), days=90,
+    )
+    result = _probe(policy, env, [leaf, env.issuing.certificate])
+    return not result.ok and result.error == "date_invalid"
+
+
+def probe_name_constraints(policy: ClientPolicy,
+                           env: ExtendedEnvironment) -> bool:
+    """NAME_CONSTRAINTS — a CA constrained away from the leaf's name."""
+    constrained_key = generate_keypair("simulated", seed=b"extenv/nc")
+    constrained = (
+        CertificateBuilder()
+        .subject_name(Name.build(common_name="Constrained CA"))
+        .issuer_name(env.root.name)
+        .serial_number(next_serial())
+        .validity(Validity(utc(2024, 1, 1), utc(2026, 1, 1)))
+        .public_key(constrained_key.public_key)
+        .ca()
+        .key_usage(KeyUsage.for_ca())
+        .add_extension(SubjectKeyIdentifier(constrained_key.public_key.key_id))
+        .add_extension(NameConstraints(permitted=("allowed.example",)))
+        .akid(env.root.keypair.public_key.key_id)
+        .sign(env.root.keypair)
+    )
+    leaf_key = generate_keypair("simulated", seed=b"extenv/nc-leaf")
+    leaf = (
+        CertificateBuilder()
+        .subject_name(Name.build(common_name="forbidden.example"))
+        .issuer_name(constrained.subject)
+        .serial_number(next_serial())
+        .validity(Validity(utc(2024, 1, 1), utc(2025, 1, 1)))
+        .public_key(leaf_key.public_key)
+        .end_entity()
+        .san_domains("forbidden.example")
+        .sign(constrained_key)
+    )
+    result = _probe(policy, env, [leaf, constrained],
+                    domain="forbidden.example")
+    return not result.ok and result.error == "name_constraints_violation"
+
+
+def probe_bad_eku(policy: ClientPolicy, env: ExtendedEnvironment) -> bool:
+    """BAD_EKU — a codeSigning-only leaf must fail serverAuth."""
+    from repro.x509 import EKUOID
+
+    leaf_key = generate_keypair("simulated", seed=b"extenv/eku")
+    leaf = (
+        CertificateBuilder()
+        .subject_name(Name.build(common_name=env.domain))
+        .issuer_name(env.issuing.name)
+        .serial_number(next_serial())
+        .validity(Validity(utc(2024, 1, 1), utc(2025, 1, 1)))
+        .public_key(leaf_key.public_key)
+        .end_entity()
+        .san_domains(env.domain)
+        .extended_key_usage(ExtendedKeyUsage((EKUOID.CODE_SIGNING,)))
+        .akid(env.issuing.keypair.public_key.key_id)
+        .sign(env.issuing.keypair)
+    )
+    result = _probe(policy, env, [leaf, env.issuing.certificate])
+    return not result.ok and result.error == "bad_eku"
+
+
+def probe_not_a_ca(policy: ClientPolicy, env: ExtendedEnvironment) -> bool:
+    """NOT_A_CA — a leaf-signed leaf must be rejected."""
+    rogue_key = generate_keypair("simulated", seed=b"extenv/rogue")
+    rogue = (
+        CertificateBuilder()
+        .subject_name(Name.build(common_name="Rogue Non-CA"))
+        .issuer_name(env.issuing.name)
+        .serial_number(next_serial())
+        .validity(Validity(utc(2024, 1, 1), utc(2026, 1, 1)))
+        .public_key(rogue_key.public_key)
+        .end_entity()  # cA=FALSE: must not be allowed to sign
+        .akid(env.issuing.keypair.public_key.key_id)
+        .sign(env.issuing.keypair)
+    )
+    victim_key = generate_keypair("simulated", seed=b"extenv/victim")
+    victim = (
+        CertificateBuilder()
+        .subject_name(Name.build(common_name=env.domain))
+        .issuer_name(rogue.subject)
+        .serial_number(next_serial())
+        .validity(Validity(utc(2024, 1, 1), utc(2025, 1, 1)))
+        .public_key(victim_key.public_key)
+        .end_entity()
+        .san_domains(env.domain)
+        .sign(rogue_key)
+    )
+    result = _probe(policy, env,
+                    [victim, rogue, env.issuing.certificate])
+    return not result.ok and result.error == "not_a_ca"
+
+
+def probe_miss_basic_constraints(policy: ClientPolicy,
+                                 env: ExtendedEnvironment) -> bool:
+    """MISS_BASIC_CONSTRAINTS — an intermediate without the extension."""
+    bare_key = generate_keypair("simulated", seed=b"extenv/barebc")
+    bare = (
+        CertificateBuilder()
+        .subject_name(Name.build(common_name="No BC CA"))
+        .issuer_name(env.issuing.name)
+        .serial_number(next_serial())
+        .validity(Validity(utc(2024, 1, 1), utc(2026, 1, 1)))
+        .public_key(bare_key.public_key)
+        # No basicConstraints at all: v3 certs must assert cA=TRUE to sign.
+        .akid(env.issuing.keypair.public_key.key_id)
+        .sign(env.issuing.keypair)
+    )
+    victim_key = generate_keypair("simulated", seed=b"extenv/bc-victim")
+    victim = (
+        CertificateBuilder()
+        .subject_name(Name.build(common_name=env.domain))
+        .issuer_name(bare.subject)
+        .serial_number(next_serial())
+        .validity(Validity(utc(2024, 1, 1), utc(2025, 1, 1)))
+        .public_key(victim_key.public_key)
+        .end_entity()
+        .san_domains(env.domain)
+        .sign(bare_key)
+    )
+    result = _probe(policy, env, [victim, bare, env.issuing.certificate])
+    return not result.ok and result.error == "not_a_ca"
+
+
+def probe_deprecated_crypto(policy: ClientPolicy,
+                            env: ExtendedEnvironment) -> bool:
+    """DEPRECATED_CRYPTO — a SHA-1-signed intermediate must be rejected."""
+    weak_key = WeakSimulatedKeyPair(seed=b"extenv/weak")
+    weak_ca = (
+        CertificateBuilder()
+        .subject_name(Name.build(common_name="Weak Sig CA"))
+        .issuer_name(env.root.name)
+        .serial_number(next_serial())
+        .validity(Validity(utc(2024, 1, 1), utc(2026, 1, 1)))
+        .public_key(weak_key.public_key)
+        .ca()
+        .key_usage(KeyUsage.for_ca())
+        .add_extension(SubjectKeyIdentifier(weak_key.public_key.key_id))
+        .akid(env.root.keypair.public_key.key_id)
+        .sign(env.root.keypair)
+    )
+    leaf_key = generate_keypair("simulated", seed=b"extenv/weak-leaf")
+    leaf = (
+        CertificateBuilder()
+        .subject_name(Name.build(common_name=env.domain))
+        .issuer_name(weak_ca.subject)
+        .serial_number(next_serial())
+        .validity(Validity(utc(2024, 1, 1), utc(2025, 1, 1)))
+        .public_key(leaf_key.public_key)
+        .end_entity()
+        .san_domains(env.domain)
+        .sign(weak_key)  # the deprecated signature
+    )
+    result = _probe(policy, env, [leaf, weak_ca])
+    return not result.ok and result.error == "deprecated_crypto"
+
+
+_PROBES = {
+    "expired": probe_expired,
+    "name_constraints": probe_name_constraints,
+    "bad_eku": probe_bad_eku,
+    "not_a_ca": probe_not_a_ca,
+    "miss_basic_constraints": probe_miss_basic_constraints,
+    "deprecated_crypto": probe_deprecated_crypto,
+}
+
+
+def run_extended_capabilities(policy: ClientPolicy,
+                              env: ExtendedEnvironment | None = None
+                              ) -> dict[str, str]:
+    """All six BetterTLS-side probes for one client policy.
+
+    ``"yes"`` means the invalid chain was correctly rejected with the
+    expected reason — the union coverage Table 1 contrasts.
+    """
+    env = env or ExtendedEnvironment.create()
+    return {
+        name: "yes" if probe(policy, env) else "no"
+        for name, probe in _PROBES.items()
+    }

@@ -1,0 +1,181 @@
+"""Frankencert-style chain fuzzing for differential testing.
+
+Brubaker et al.'s frankencerts (cited by the paper as the origin of
+differential certificate testing) mutate certificates randomly and hunt
+for validator disagreements.  This module applies the idea to chain
+*structure*: random compositions of the :mod:`repro.ca.malform`
+operators over a seed corpus, each mutant evaluated by every client
+model, disagreements deduplicated by their behavioural signature.
+
+The capability tests (Table 2) are hand-crafted probes for *known*
+behaviours; the fuzzer searches for *unknown* ones.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from repro.ca import malform
+from repro.chainbuilder.clients import ALL_CLIENTS
+from repro.chainbuilder.differential import DifferentialHarness
+from repro.chainbuilder.policy import ClientPolicy
+from repro.x509 import Certificate
+
+#: Mutation operators the fuzzer composes.  Each entry is
+#: (name, callable(chain, rng, extras) -> chain).
+MUTATORS: tuple[tuple[str, object], ...] = (
+    ("reverse_chain",
+     lambda chain, rng, extras: malform.reverse_chain(chain)),
+    ("reverse_intermediates",
+     lambda chain, rng, extras: malform.reverse_intermediates(chain)),
+    ("duplicate_leaf",
+     lambda chain, rng, extras: malform.duplicate_leaf(
+         chain, copies=rng.randint(1, 3), adjacent=rng.random() < 0.8)),
+    ("duplicate_random",
+     lambda chain, rng, extras: malform.duplicate_certificate(
+         chain, rng.randrange(len(chain)), copies=rng.randint(1, 4))),
+    ("insert_irrelevant",
+     lambda chain, rng, extras: malform.insert_irrelevant(
+         chain, rng.sample(extras, k=min(len(extras), rng.randint(1, 2))),
+         position=rng.choice([None, rng.randrange(1, len(chain) + 1)]))),
+    ("drop_random",
+     lambda chain, rng, extras: malform.drop_intermediates(
+         chain, [rng.randrange(1, len(chain))]) if len(chain) > 1 else chain),
+    ("shuffle_tail",
+     lambda chain, rng, extras: malform.shuffle_chain(
+         chain, rng, keep_leaf_first=True)),
+    ("shuffle_all",
+     lambda chain, rng, extras: malform.shuffle_chain(chain, rng)),
+    ("swap_random",
+     lambda chain, rng, extras: malform.swap(
+         chain, rng.randrange(len(chain)), rng.randrange(len(chain)))
+     if len(chain) > 1 else chain),
+    ("move_leaf",
+     lambda chain, rng, extras: malform.move_leaf(
+         chain, rng.randrange(len(chain))) if len(chain) > 1 else chain),
+)
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One behavioural split found by the fuzzer.
+
+    ``signature`` maps each client to its normalised result — the
+    deduplication key: two mutants with the same signature exercise the
+    same behavioural difference.
+    """
+
+    domain: str
+    mutations: tuple[str, ...]
+    chain_length: int
+    signature: tuple[tuple[str, str], ...]
+
+    def render(self) -> str:
+        results = ", ".join(f"{name}={result}" for name, result in
+                            self.signature)
+        return (
+            f"[{'+'.join(self.mutations)}] len={self.chain_length}: {results}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate fuzzing outcome."""
+
+    iterations: int = 0
+    mutants_evaluated: int = 0
+    unanimous_ok: int = 0
+    unanimous_fail: int = 0
+    disagreements: list[Disagreement] = field(default_factory=list)
+    mutation_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def unique_signatures(self) -> int:
+        return len({d.signature for d in self.disagreements})
+
+
+class ChainFuzzer:
+    """Mutation-based differential fuzzing over a seed corpus.
+
+    Parameters
+    ----------
+    harness:
+        The differential harness (clients + trust environment) to probe.
+    seed_corpus:
+        (domain, compliant chain) pairs used as mutation bases.
+    extras:
+        Unrelated certificates available to the irrelevant-insertion
+        mutator; defaults to recycling certificates across corpus
+        entries.
+    """
+
+    def __init__(
+        self,
+        harness: DifferentialHarness,
+        seed_corpus: list[tuple[str, list[Certificate]]],
+        *,
+        rng: random.Random | None = None,
+        extras: list[Certificate] | None = None,
+        clients: tuple[ClientPolicy, ...] = ALL_CLIENTS,
+    ) -> None:
+        if not seed_corpus:
+            raise ValueError("the fuzzer needs at least one seed chain")
+        self.harness = harness
+        self.seed_corpus = seed_corpus
+        self.rng = rng or random.Random(0xF122)
+        self.clients = clients
+        if extras is None:
+            extras = []
+            for _, chain in seed_corpus[:20]:
+                extras.extend(chain[1:])
+        self.extras = extras or [seed_corpus[0][1][0]]
+
+    def mutate(self, chain: list[Certificate],
+               depth: int) -> tuple[list[Certificate], tuple[str, ...]]:
+        """Apply ``depth`` random mutators in sequence."""
+        applied: list[str] = []
+        current = list(chain)
+        for _ in range(depth):
+            name, mutator = self.rng.choice(MUTATORS)
+            mutated = mutator(current, self.rng, self.extras)
+            if mutated:  # never fuzz down to an empty list
+                current = mutated
+                applied.append(name)
+        return current, tuple(applied)
+
+    def run(self, *, iterations: int, at_time: datetime,
+            max_depth: int = 3) -> FuzzReport:
+        """Fuzz for ``iterations`` mutants and report disagreements."""
+        report = FuzzReport()
+        seen_signatures: set[tuple] = set()
+        for _ in range(iterations):
+            report.iterations += 1
+            domain, base = self.rng.choice(self.seed_corpus)
+            depth = self.rng.randint(1, max_depth)
+            mutant, applied = self.mutate(base, depth)
+            if not mutant:
+                continue
+            report.mutants_evaluated += 1
+            report.mutation_counts.update(applied)
+            outcome = self.harness.evaluate(domain, mutant, at_time=at_time)
+            results = outcome.subset_results(self.clients)
+            distinct = set(results.values())
+            if len(distinct) == 1:
+                if "ok" in distinct:
+                    report.unanimous_ok += 1
+                else:
+                    report.unanimous_fail += 1
+                continue
+            signature = tuple(sorted(results.items()))
+            disagreement = Disagreement(
+                domain=domain,
+                mutations=applied,
+                chain_length=len(mutant),
+                signature=signature,
+            )
+            report.disagreements.append(disagreement)
+            seen_signatures.add(signature)
+        return report

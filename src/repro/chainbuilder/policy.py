@@ -1,0 +1,148 @@
+"""Client chain-construction policies.
+
+Every behavioural difference Table 9 reports between the eight TLS
+implementations is expressed here as *data*: one
+:class:`ClientPolicy` per client, consumed by the shared engine in
+:mod:`repro.chainbuilder.engine`.  The paper's empirical analysis of
+Chromium/NSS/OpenSSL/GnuTLS/MbedTLS source informs the encoding:
+
+* **search scope** — most clients consider every presented certificate
+  when looking for an issuer; MbedTLS only scans *forward* from the
+  current certificate, which simultaneously explains its failed
+  order-reorganisation test and its passed redundancy-elimination test.
+* **candidate priorities** — when several candidates share the needed
+  subject DN, clients order them by KID status, validity, KeyUsage and
+  BasicConstraints correctness in client-specific ways (the VP/KP/KUP/BP
+  labels of Table 9).
+* **limits** — a maximum constructed-path length, and for GnuTLS a
+  limit on the *presented list* length (the I-2 defect: the bound
+  applies before construction, so duplicates/irrelevant certificates
+  count against it).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SearchScope(enum.Enum):
+    """Where a client looks for issuer candidates among presented certs."""
+
+    #: Consider the whole presented list (order-reorganisation capable).
+    ALL = "all"
+    #: Only certificates *after* the current one in list order (MbedTLS).
+    FORWARD = "forward"
+
+
+class KIDPriority(enum.Enum):
+    """Candidate ordering by Authority/Subject Key Identifier status."""
+
+    #: No ordering: first listed candidate wins (MbedTLS, Firefox).
+    NONE = "none"
+    #: KP1 — match and absence rank equally, above mismatch
+    #: (OpenSSL, GnuTLS, Safari).
+    MATCH_OR_ABSENT_OVER_MISMATCH = "kp1"
+    #: KP2 — match above absence above mismatch (CryptoAPI, Chromium).
+    MATCH_OVER_ABSENT_OVER_MISMATCH = "kp2"
+
+
+class ValidityPriority(enum.Enum):
+    """Candidate ordering by validity period."""
+
+    #: No ordering at all (GnuTLS).
+    NONE = "none"
+    #: VP1 — first currently-valid candidate in list order
+    #: (OpenSSL, MbedTLS, Firefox).
+    FIRST_VALID = "vp1"
+    #: VP2 — among valid candidates, most recent notBefore first, then
+    #: longest validity (CryptoAPI and the browsers).
+    RECENT_THEN_LONGEST = "vp2"
+
+
+@dataclass(frozen=True, slots=True)
+class ClientPolicy:
+    """Everything the engine needs to impersonate one TLS client.
+
+    Attributes
+    ----------
+    name / display_name:
+        Identifier slug and the paper's column label.
+    kind:
+        ``"library"`` or ``"browser"`` (Section 5 aggregates by this).
+    search_scope:
+        See :class:`SearchScope`.
+    backtracking:
+        Whether the builder tries an alternative candidate after a path
+        fails (CryptoAPI and the browsers do; the paper's I-3 shows
+        OpenSSL/GnuTLS/MbedTLS do not).
+    aia_fetching:
+        Fetch missing issuers via AIA caIssuers.
+    use_intermediate_cache:
+        Consult a cache of previously seen intermediates (Firefox).
+    max_path_length:
+        Maximum number of certificates in a constructed path, leaf and
+        root included; None means effectively unbounded (">52").
+    max_input_list:
+        Maximum length of the *presented* list (GnuTLS: 16); None for
+        no limit.
+    allow_self_signed_leaf:
+        Whether a self-signed first certificate may anchor construction
+        (MbedTLS and Safari) instead of aborting immediately.
+    kid_priority / validity_priority:
+        Candidate ordering rules.
+    key_usage_priority:
+        KUP — candidates with correct-or-missing KeyUsage are preferred
+        over ones with a wrong KeyUsage.
+    basic_constraints_priority:
+        BP — candidates whose pathLenConstraint admits the current path
+        are preferred over violating ones.
+    prefer_trusted_anchor:
+        Among equally ranked candidates, prefer a trusted self-signed
+        anchor (Chromium's self-signed check; also the Section 6.2
+        recommendation).
+    partial_validation:
+        MbedTLS-style validate-during-build: candidates outside their
+        validity window are skipped during construction rather than
+        failing later.
+    root_store:
+        Which root program this client consults (``"mozilla"``,
+        ``"chrome"``, ``"microsoft"``, ``"apple"``).
+    """
+
+    name: str
+    display_name: str
+    kind: str
+    search_scope: SearchScope = SearchScope.ALL
+    backtracking: bool = False
+    aia_fetching: bool = False
+    use_intermediate_cache: bool = False
+    max_path_length: int | None = None
+    max_input_list: int | None = None
+    allow_self_signed_leaf: bool = False
+    kid_priority: KIDPriority = KIDPriority.NONE
+    validity_priority: ValidityPriority = ValidityPriority.NONE
+    key_usage_priority: bool = False
+    basic_constraints_priority: bool = False
+    prefer_trusted_anchor: bool = False
+    partial_validation: bool = False
+    root_store: str = "mozilla"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("library", "browser"):
+            raise ValueError(f"kind must be library or browser, got {self.kind!r}")
+        if self.max_path_length is not None and self.max_path_length < 2:
+            raise ValueError("max_path_length below 2 cannot hold leaf plus issuer")
+        if self.max_input_list is not None and self.max_input_list < 1:
+            raise ValueError("max_input_list must be positive")
+
+    @property
+    def can_reorder(self) -> bool:
+        """Order-reorganisation capability (Table 9 row 1)."""
+        return self.search_scope is SearchScope.ALL
+
+    def replace(self, **overrides) -> "ClientPolicy":
+        """A copy with some fields overridden — the ablation hook."""
+        import dataclasses
+
+        return dataclasses.replace(self, **overrides)

@@ -1,0 +1,221 @@
+"""Command-line interface for the reproduction.
+
+Subcommands mirror the library's main workflows::
+
+    repro-chain scan --domains 3000            # generate + scan + tables
+    repro-chain analyze chain.pem --domain x   # lint one deployment
+    repro-chain repair chain.pem --domain x    # fix one deployment
+    repro-chain capabilities                   # Table 9 (live harness)
+    repro-chain differential --domains 2000    # §5.2 summary
+    repro-chain save-corpus corpus.jsonl       # archive observations
+
+Every command is also reachable as ``python -m repro.cli ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.x509 import load_pem_bundle, to_pem_bundle
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from repro.measurement import (
+        Campaign, TableContext, render_table_3, render_table_5,
+        render_table_7,
+    )
+    from repro.webpki import Ecosystem, EcosystemConfig
+
+    ecosystem = Ecosystem.generate(
+        EcosystemConfig(n_domains=args.domains, seed=args.seed)
+    )
+    campaign = Campaign(ecosystem)
+    if args.simulate_network:
+        collection = campaign.collect()
+        observations = collection.observations
+        print(f"scanned: {collection.reachable_counts}")
+    else:
+        observations = ecosystem.observations()
+    report, _ = campaign.analyze(observations)
+    print(f"chains: {report.total:,}  non-compliant: {report.noncompliant:,} "
+          f"({report.noncompliance_rate:.2f}%)")
+    ctx = TableContext.build(ecosystem)
+    for title, renderer in (
+        ("Table 3 (leaf placement)", render_table_3),
+        ("Table 5 (issuance order)", render_table_5),
+        ("Table 7 (completeness)", render_table_7),
+    ):
+        print(f"\n== {title} ==")
+        print(renderer(ctx))
+    if args.output:
+        from repro.measurement.dataset import save_observations
+
+        count = save_observations(args.output, observations)
+        print(f"\nwrote {count:,} observations to {args.output}")
+    return 0
+
+
+def _load_chain_and_store(args: argparse.Namespace):
+    from repro.trust import RootStore, StaticAIARepository
+
+    with open(args.chain, encoding="utf-8") as handle:
+        chain = load_pem_bundle(handle.read())
+    if not chain:
+        raise SystemExit(f"{args.chain}: no certificates found")
+    anchors = []
+    if args.roots:
+        with open(args.roots, encoding="utf-8") as handle:
+            anchors = load_pem_bundle(handle.read())
+    else:
+        anchors = [cert for cert in chain if cert.is_self_signed]
+    return chain, RootStore("cli", anchors), StaticAIARepository()
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core import analyze_chain
+
+    chain, store, fetcher = _load_chain_and_store(args)
+    report = analyze_chain(args.domain, chain, store, fetcher)
+    print(f"domain        : {args.domain}")
+    print(f"certificates  : {len(chain)}")
+    print(f"leaf placement: {report.leaf.placement.value}")
+    print(f"order         : "
+          f"{'compliant' if report.order.compliant else 'NON-COMPLIANT'}")
+    for defect in sorted(d.value for d in report.order.defects):
+        print(f"  - {defect}")
+    print(f"paths         : {', '.join(report.order.path_structures)}")
+    print(f"completeness  : {report.completeness.category.value}")
+    print(f"verdict       : "
+          f"{'COMPLIANT' if report.compliant else 'NON-COMPLIANT'}")
+    return 0 if report.compliant else 1
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from repro.core import repair_chain
+
+    chain, store, fetcher = _load_chain_and_store(args)
+    result = repair_chain(
+        chain, domain=args.domain, store=store, fetcher=fetcher,
+        include_root=args.include_root,
+    )
+    print(f"repair: {result.summary()}")
+    if not result.complete:
+        print("warning: chain is still incomplete "
+              "(no AIA source for the missing intermediates)")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(to_pem_bundle(result.chain))
+        print(f"wrote {len(result.chain)} certificates to {args.output}")
+    else:
+        sys.stdout.write(to_pem_bundle(result.chain))
+    return 0
+
+
+def _cmd_capabilities(args: argparse.Namespace) -> int:
+    from repro.chainbuilder import (
+        ALL_CLIENTS, ExtendedEnvironment, RECOMMENDED, client_by_name,
+        run_capabilities, run_capability_matrix, run_extended_capabilities,
+    )
+    from repro.measurement import render_table_9
+
+    if args.client:
+        policy = client_by_name(args.client)
+        print(f"{policy.display_name}:")
+        for capability, value in run_capabilities(policy).items():
+            print(f"  {capability:28} {value}")
+        if args.extended:
+            env = ExtendedEnvironment.create()
+            for capability, value in run_extended_capabilities(
+                policy, env
+            ).items():
+                print(f"  {capability:28} {value}  (extended)")
+        return 0
+    clients = (*ALL_CLIENTS, RECOMMENDED) if args.recommended else ALL_CLIENTS
+    print(render_table_9(run_capability_matrix(clients)))
+    return 0
+
+
+def _cmd_differential(args: argparse.Namespace) -> int:
+    from repro.chainbuilder import (
+        DIFFERENTIAL_BROWSERS, DifferentialHarness, LIBRARIES,
+    )
+    from repro.webpki import Ecosystem, EcosystemConfig
+
+    ecosystem = Ecosystem.generate(
+        EcosystemConfig(n_domains=args.domains, seed=args.seed)
+    )
+    harness = DifferentialHarness(
+        ecosystem.registry, aia_fetcher=ecosystem.aia_repo
+    )
+    report = harness.run(
+        ecosystem.observations(), at_time=ecosystem.config.now,
+        observe_into_cache=True,
+    )
+    print(f"chains evaluated : {report.total:,} x 8 clients")
+    print(f"library failures : {report.failure_rate(LIBRARIES):.1f}%")
+    print(f"browser failures : "
+          f"{report.failure_rate(DIFFERENTIAL_BROWSERS):.1f}%")
+    print("attribution:")
+    for tag, count in sorted(report.attribution_counts().items()):
+        print(f"  {tag:28} {count:,}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-chain",
+        description="Chaos-in-the-Chain reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="generate, scan and analyse a corpus")
+    scan.add_argument("--domains", type=int, default=2000)
+    scan.add_argument("--seed", type=int, default=833)
+    scan.add_argument("--simulate-network", action="store_true",
+                      help="scan over the simulated network instead of "
+                           "reading deployments directly")
+    scan.add_argument("--output", help="write observations to a JSONL file")
+    scan.set_defaults(func=_cmd_scan)
+
+    analyze = sub.add_parser("analyze", help="lint one PEM chain")
+    analyze.add_argument("chain", help="PEM bundle as served, leaf first")
+    analyze.add_argument("--domain", required=True)
+    analyze.add_argument("--roots", help="PEM bundle of trust anchors")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    repair = sub.add_parser("repair", help="repair one PEM chain")
+    repair.add_argument("chain")
+    repair.add_argument("--domain", required=True)
+    repair.add_argument("--roots")
+    repair.add_argument("--include-root", action="store_true")
+    repair.add_argument("--output", "-o")
+    repair.set_defaults(func=_cmd_repair)
+
+    capabilities = sub.add_parser(
+        "capabilities", help="run the Table 9 capability harness"
+    )
+    capabilities.add_argument("--client", help="one client by name")
+    capabilities.add_argument("--extended", action="store_true",
+                              help="include the BetterTLS-parity probes")
+    capabilities.add_argument("--recommended", action="store_true",
+                              help="include the §6.2 recommended policy")
+    capabilities.set_defaults(func=_cmd_capabilities)
+
+    differential = sub.add_parser(
+        "differential", help="run §5.2 differential testing"
+    )
+    differential.add_argument("--domains", type=int, default=2000)
+    differential.add_argument("--seed", type=int, default=833)
+    differential.set_defaults(func=_cmd_differential)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

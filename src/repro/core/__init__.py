@@ -1,0 +1,66 @@
+"""Core analysis: the paper's structural-compliance rules for chains."""
+
+from repro.core.completeness import (
+    CompletenessAnalysis,
+    CompletenessClass,
+    analyze_completeness,
+)
+from repro.core.compliance import ChainComplianceReport, analyze_chain
+from repro.core.leaf import LeafAnalysis, LeafPlacement, classify_leaf_placement
+from repro.core.order import OrderAnalysis, OrderDefect, analyze_order
+from repro.core.relation import (
+    DEFAULT_POLICY,
+    RelationEvidence,
+    RelationPolicy,
+    STRUCTURAL_POLICY,
+    evaluate,
+    find_issuers,
+    issued,
+)
+from repro.core.crosssign import (
+    CertificatePool,
+    CrossSignGroup,
+    OutageReport,
+)
+from repro.core.repair import (
+    RepairAction,
+    RepairResult,
+    repair_chain,
+    verify_repair,
+)
+from repro.core.report import DatasetReport, aggregate, aggregate_by
+from repro.core.topology import ChainTopology, TopologyNode, certificate_role
+
+__all__ = [
+    "CertificatePool",
+    "ChainComplianceReport",
+    "ChainTopology",
+    "CrossSignGroup",
+    "CompletenessAnalysis",
+    "CompletenessClass",
+    "DatasetReport",
+    "DEFAULT_POLICY",
+    "LeafAnalysis",
+    "LeafPlacement",
+    "OrderAnalysis",
+    "OutageReport",
+    "OrderDefect",
+    "RelationEvidence",
+    "RepairAction",
+    "RepairResult",
+    "repair_chain",
+    "verify_repair",
+    "RelationPolicy",
+    "STRUCTURAL_POLICY",
+    "TopologyNode",
+    "aggregate",
+    "aggregate_by",
+    "analyze_chain",
+    "analyze_completeness",
+    "analyze_order",
+    "certificate_role",
+    "classify_leaf_placement",
+    "evaluate",
+    "find_issuers",
+    "issued",
+]

@@ -1,0 +1,170 @@
+"""Chain completeness analysis (Section 4.3, Tables 7 & 8).
+
+A chain is *complete with root* if some leaf-terminating path ends in a
+self-signed certificate; *complete without root* if the terminal
+certificate's immediate issuer is a root-store anchor (the omission TLS
+permits); otherwise it is *incomplete* — intermediates are missing.
+
+For incomplete chains the analysis additionally determines whether
+recursive AIA fetching could recover the chain, and if not, why —
+the paper's three failure classes (missing AIA field, unreachable URI,
+wrong certificate served).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.relation import DEFAULT_POLICY, RelationPolicy
+from repro.core.topology import ChainTopology
+from repro.trust.aia import AIAFetcher, complete_via_aia
+from repro.trust.rootstore import RootStore
+from repro.x509 import Certificate
+
+
+class CompletenessClass(enum.Enum):
+    """The three Table 7 classes."""
+
+    COMPLETE_WITH_ROOT = "complete_with_root"
+    COMPLETE_WITHOUT_ROOT = "complete_without_root"
+    INCOMPLETE = "incomplete"
+
+    @property
+    def complete(self) -> bool:
+        return self is not CompletenessClass.INCOMPLETE
+
+
+@dataclass(frozen=True, slots=True)
+class CompletenessAnalysis:
+    """Verdict for one chain.
+
+    Attributes
+    ----------
+    category:
+        The Table 7 class.
+    missing_count:
+        For incomplete chains: how many certificates recursive AIA had
+        to fetch before the chain reached a trust anchor (1 for the
+        "fixable by adding the missing cert" 72.2% case).  None when
+        AIA could not recover the chain, or for complete chains.
+    aia_outcome:
+        The :func:`repro.trust.aia.complete_via_aia` outcome for
+        incomplete chains (``"completed"``, ``"missing_aia"``,
+        ``"unreachable"``, ``"wrong_certificate"``, ``"depth_exceeded"``)
+        or ``"unsupported"`` when analysed without an AIA fetcher;
+        None for complete chains.
+    """
+
+    category: CompletenessClass
+    missing_count: int | None = None
+    aia_outcome: str | None = None
+
+    @property
+    def complete(self) -> bool:
+        return self.category.complete
+
+    @property
+    def aia_fixable(self) -> bool:
+        return self.aia_outcome == "completed"
+
+
+def _terminal_reaches_root(terminal: Certificate, store: RootStore) -> bool:
+    """Is ``terminal``'s immediate issuer a root-store anchor?"""
+    if store.find_issuers_of(terminal):
+        return True
+    # A presented non-self-signed terminal whose *key* is anchored counts
+    # too: the anchor itself then terminates the path.
+    return store.contains_key_of(terminal)
+
+
+def _direct_issuer_is_root_via_aia(terminal: Certificate,
+                                   fetcher: AIAFetcher) -> bool:
+    """One AIA hop: does the fetched direct issuer turn out self-signed?"""
+    from repro.core.relation import issued
+    from repro.errors import AIAFetchError
+
+    for uri in terminal.aia_ca_issuer_uris:
+        try:
+            candidate = fetcher.fetch(uri)
+        except AIAFetchError:
+            continue
+        if (
+            candidate.fingerprint != terminal.fingerprint
+            and issued(candidate, terminal)
+            and candidate.is_self_signed
+        ):
+            return True
+    return False
+
+
+def analyze_completeness(
+    chain: list[Certificate],
+    store: RootStore,
+    fetcher: AIAFetcher | None = None,
+    *,
+    policy: RelationPolicy = DEFAULT_POLICY,
+    topology: ChainTopology | None = None,
+) -> CompletenessAnalysis:
+    """Classify one chain's completeness (Section 4.3 procedure).
+
+    Parameters
+    ----------
+    store:
+        The root store consulted for the "immediate issuer is a root"
+        check — the four-program union for Table 7, an individual
+        program for Table 8.
+    fetcher:
+        AIA fetcher, or None to model a client without AIA support
+        (Table 8's "AIA Not Supported" columns).
+    """
+    topo = topology if topology is not None else ChainTopology(chain, policy)
+    terminals = [node.certificate for node in topo.terminal_nodes()]
+
+    if any(t.is_self_signed for t in terminals):
+        return CompletenessAnalysis(CompletenessClass.COMPLETE_WITH_ROOT)
+    if any(_terminal_reaches_root(t, store) for t in terminals):
+        return CompletenessAnalysis(CompletenessClass.COMPLETE_WITHOUT_ROOT)
+    if fetcher is not None and any(
+        _direct_issuer_is_root_via_aia(t, fetcher) for t in terminals
+    ):
+        # The paper's rule is one-hop: download the terminal's direct
+        # issuer via AIA and check it is self-signed — if so, only the
+        # (omittable) root was missing and the chain is complete.
+        return CompletenessAnalysis(CompletenessClass.COMPLETE_WITHOUT_ROOT)
+
+    # Incomplete: intermediates are missing.  Determine AIA recoverability.
+    if fetcher is None:
+        return CompletenessAnalysis(
+            CompletenessClass.INCOMPLETE, missing_count=None,
+            aia_outcome="unsupported",
+        )
+    best_outcome: str | None = None
+    for terminal in terminals:
+        result = complete_via_aia(terminal, fetcher)
+        if result.completed:
+            # Count only the non-root certificates that were missing:
+            # the final self-signed fetch is the (omittable) root.
+            missing = sum(1 for cert in result.fetched if not cert.is_self_signed)
+            return CompletenessAnalysis(
+                CompletenessClass.INCOMPLETE,
+                missing_count=max(missing, 1),
+                aia_outcome="completed",
+            )
+        # Partial progress may still reach a store anchor even if the
+        # recursion never hits a self-signed certificate.
+        trail = [terminal, *result.fetched]
+        if _terminal_reaches_root(trail[-1], store):
+            missing = sum(1 for cert in result.fetched if not cert.is_self_signed)
+            return CompletenessAnalysis(
+                CompletenessClass.INCOMPLETE,
+                missing_count=max(missing, 1),
+                aia_outcome="completed",
+            )
+        if best_outcome is None:
+            best_outcome = result.outcome
+    return CompletenessAnalysis(
+        CompletenessClass.INCOMPLETE,
+        missing_count=None,
+        aia_outcome=best_outcome or "missing_aia",
+    )

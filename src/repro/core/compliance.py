@@ -1,0 +1,84 @@
+"""Whole-chain compliance verdicts (Section 3.1's three rules).
+
+A chain is *compliant* iff (1) the end-entity certificate appears first,
+(2) certificates follow issuance order, and (3) every certificate needed
+for a complete path is present, the root alone being optional.
+:func:`analyze_chain` runs all three analyses over one shared topology
+and rolls them into a :class:`ChainComplianceReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.completeness import (
+    CompletenessAnalysis,
+    CompletenessClass,
+    analyze_completeness,
+)
+from repro.core.leaf import LeafAnalysis, classify_leaf_placement
+from repro.core.order import OrderAnalysis, analyze_order
+from repro.core.relation import DEFAULT_POLICY, RelationPolicy
+from repro.core.topology import ChainTopology
+from repro.trust.aia import AIAFetcher
+from repro.trust.rootstore import RootStore
+from repro.x509 import Certificate
+
+
+@dataclass(frozen=True)
+class ChainComplianceReport:
+    """All three per-chain analyses plus the combined verdict.
+
+    ``compliant`` is the conjunction of the three Section 3.1 rules.
+    The individual analyses stay accessible so dataset aggregation can
+    build the per-defect tables.
+    """
+
+    domain: str
+    chain_length: int
+    leaf: LeafAnalysis
+    order: OrderAnalysis
+    completeness: CompletenessAnalysis
+
+    @property
+    def compliant(self) -> bool:
+        return (
+            self.leaf.compliant
+            and self.order.compliant
+            and self.completeness.complete
+        )
+
+    @property
+    def defect_summary(self) -> tuple[str, ...]:
+        """Short slugs of every rule violated (empty when compliant)."""
+        defects: list[str] = []
+        if not self.leaf.compliant:
+            defects.append(f"leaf:{self.leaf.placement.value}")
+        defects.extend(f"order:{d.value}" for d in sorted(
+            self.order.defects, key=lambda d: d.value))
+        if not self.completeness.complete:
+            defects.append("completeness:incomplete")
+        return tuple(defects)
+
+
+def analyze_chain(
+    domain: str,
+    chain: list[Certificate],
+    store: RootStore,
+    fetcher: AIAFetcher | None = None,
+    *,
+    policy: RelationPolicy = DEFAULT_POLICY,
+) -> ChainComplianceReport:
+    """Run the full Section 3.1 compliance analysis on one observation."""
+    if not chain:
+        raise ValueError(f"{domain}: cannot analyse an empty chain")
+    topology = ChainTopology(chain, policy)
+    return ChainComplianceReport(
+        domain=domain,
+        chain_length=len(chain),
+        leaf=classify_leaf_placement(domain, chain),
+        order=analyze_order(chain, policy, topology=topology),
+        completeness=analyze_completeness(
+            chain, store, fetcher, policy=policy, topology=topology
+        ),
+    )

@@ -1,0 +1,224 @@
+"""Cross-signing analysis over passive certificate collections.
+
+The paper leans on cross-signing repeatedly — it produces the Multiple
+Paths class, the misplaced-insertion reversals, the moex.gov.tw
+backtracking case, and the AddTrust outage cited in the introduction.
+This module provides corpus-level tooling in the spirit of Hiller et
+al.'s cross-sign study: group certificates that certify the same
+(subject, key) under different issuers, enumerate every viable trust
+path for a leaf across a passive collection, and flag the risk
+conditions the paper calls out (expiring cross-signs, cyclic
+cross-signing à la CVE-2024-0567).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from repro.core.relation import DEFAULT_POLICY, RelationPolicy, issued
+from repro.x509 import Certificate
+
+
+@dataclass(frozen=True)
+class CrossSignGroup:
+    """All certificates for one CA identity (same subject and key).
+
+    A group with more than one member is a cross-signed CA: the same
+    key certified under different issuers (or a self-signed variant
+    next to cross-signs).
+    """
+
+    subject_display: str
+    certificates: tuple[Certificate, ...]
+
+    @property
+    def is_cross_signed(self) -> bool:
+        return len(self.certificates) > 1
+
+    @property
+    def self_signed_variants(self) -> tuple[Certificate, ...]:
+        return tuple(c for c in self.certificates if c.is_self_signed)
+
+    @property
+    def cross_signs(self) -> tuple[Certificate, ...]:
+        return tuple(c for c in self.certificates if not c.is_self_signed)
+
+    def issuers(self) -> set[str]:
+        return {c.issuer.rfc4514_string() for c in self.certificates}
+
+    def expiring_before(self, moment: datetime) -> tuple[Certificate, ...]:
+        """Variants whose validity ends before ``moment`` — the AddTrust
+        early-warning check."""
+        return tuple(
+            c for c in self.certificates
+            if c.validity.not_after < moment
+        )
+
+
+class CertificatePool:
+    """A passive collection (CT-log / Censys style) with chain tooling."""
+
+    def __init__(self, certificates: list[Certificate] = (),
+                 policy: RelationPolicy = DEFAULT_POLICY) -> None:
+        self.policy = policy
+        self._by_fingerprint: dict[bytes, Certificate] = {}
+        for cert in certificates:
+            self.add(cert)
+
+    def add(self, cert: Certificate) -> bool:
+        """Insert one certificate; returns False for a duplicate."""
+        if cert.fingerprint in self._by_fingerprint:
+            return False
+        self._by_fingerprint[cert.fingerprint] = cert
+        return True
+
+    def add_chain(self, chain: list[Certificate]) -> int:
+        return sum(1 for cert in chain if self.add(cert))
+
+    def __len__(self) -> int:
+        return len(self._by_fingerprint)
+
+    def __iter__(self):
+        return iter(self._by_fingerprint.values())
+
+    # ------------------------------------------------------------------
+    # Cross-sign grouping
+    # ------------------------------------------------------------------
+
+    def groups(self) -> list[CrossSignGroup]:
+        """Group CA certificates by (subject, public key)."""
+        buckets: dict[tuple, list[Certificate]] = {}
+        for cert in self._by_fingerprint.values():
+            if not cert.is_ca:
+                continue
+            key = (cert.subject, cert.public_key)
+            buckets.setdefault(key, []).append(cert)
+        return [
+            CrossSignGroup(
+                subject_display=members[0].subject.rfc4514_string(),
+                certificates=tuple(
+                    sorted(members, key=lambda c: c.serial_number)
+                ),
+            )
+            for members in buckets.values()
+        ]
+
+    def cross_signed_groups(self) -> list[CrossSignGroup]:
+        return [g for g in self.groups() if g.is_cross_signed]
+
+    # ------------------------------------------------------------------
+    # Viable-path enumeration (Hiller et al.'s traversal)
+    # ------------------------------------------------------------------
+
+    def find_issuers(self, subject: Certificate) -> list[Certificate]:
+        return [
+            candidate
+            for candidate in self._by_fingerprint.values()
+            if candidate.fingerprint != subject.fingerprint
+            and issued(candidate, subject, self.policy)
+        ]
+
+    def all_paths(self, leaf: Certificate, *,
+                  max_depth: int = 12) -> list[tuple[Certificate, ...]]:
+        """Every viable path from ``leaf`` to a self-signed certificate.
+
+        Paths are cycle-free; ``max_depth`` bounds pathological webs.
+        Paths that dead-end (no issuer in the pool) are included too —
+        truncated — so callers can distinguish "unanchored" from
+        "absent".
+        """
+        paths: list[tuple[Certificate, ...]] = []
+
+        def walk(trail: tuple[Certificate, ...]) -> None:
+            current = trail[-1]
+            if current.is_self_signed or len(trail) >= max_depth:
+                paths.append(trail)
+                return
+            parents = [
+                p for p in self.find_issuers(current)
+                if all(p.fingerprint != t.fingerprint for t in trail)
+            ]
+            if not parents:
+                paths.append(trail)
+                return
+            for parent in parents:
+                walk(trail + (parent,))
+
+        walk((leaf,))
+        return paths
+
+    def valid_paths_at(self, leaf: Certificate, moment: datetime,
+                       **kwargs) -> list[tuple[Certificate, ...]]:
+        """Anchored paths whose every certificate is valid at ``moment``."""
+        return [
+            path for path in self.all_paths(leaf, **kwargs)
+            if path[-1].is_self_signed
+            and all(cert.is_valid_at(moment) for cert in path)
+        ]
+
+    # ------------------------------------------------------------------
+    # Risk conditions
+    # ------------------------------------------------------------------
+
+    def cyclic_cross_signs(self) -> list[tuple[Certificate, Certificate]]:
+        """Pairs of CA certs that (transitively one-step) sign each other.
+
+        The CVE-2024-0567 shape: A's key signs a certificate for B's
+        identity while B's key signs one for A's.  Returns one tuple per
+        unordered pair.
+        """
+        ca_certs = [c for c in self._by_fingerprint.values() if c.is_ca]
+        seen: set[frozenset[bytes]] = set()
+        cycles: list[tuple[Certificate, Certificate]] = []
+        for a in ca_certs:
+            for b in ca_certs:
+                if a.fingerprint == b.fingerprint:
+                    continue
+                pair = frozenset((a.fingerprint, b.fingerprint))
+                if pair in seen:
+                    continue
+                if issued(a, b, self.policy) and issued(b, a, self.policy):
+                    seen.add(pair)
+                    cycles.append((a, b))
+        return cycles
+
+    def outage_report(self, leaf: Certificate, moment: datetime
+                      ) -> "OutageReport":
+        """Assess AddTrust-style fragility for ``leaf`` at ``moment``.
+
+        Compares the number of anchored, fully valid paths before and
+        at ``moment``: a leaf whose valid paths drop to values that only
+        backtracking clients can find (or to zero) is outage-exposed.
+        """
+        every = self.all_paths(leaf)
+        anchored = [p for p in every if p[-1].is_self_signed]
+        valid_now = self.valid_paths_at(leaf, moment)
+        expired_paths = [
+            p for p in anchored
+            if any(not c.is_valid_at(moment) for c in p)
+        ]
+        return OutageReport(
+            total_paths=len(anchored),
+            valid_paths=len(valid_now),
+            expired_paths=len(expired_paths),
+            at_risk=bool(expired_paths) and bool(valid_now),
+            broken=not valid_now and bool(anchored),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class OutageReport:
+    """Path-availability summary for one leaf at one instant.
+
+    ``at_risk`` — some anchored paths have expired but a valid one
+    remains: clients that pick the dead path and cannot backtrack fail
+    (the 2020 AddTrust incident).  ``broken`` — no valid path remains at
+    all.
+    """
+
+    total_paths: int
+    valid_paths: int
+    expired_paths: int
+    at_risk: bool
+    broken: bool

@@ -1,0 +1,101 @@
+"""Leaf certificate placement classification (Section 3.1 / Table 3).
+
+Given the scanned domain and the server's certificate list, classify
+where — and whether — a plausible server certificate sits:
+
+* ``CORRECTLY_PLACED_MATCHED`` — first certificate's CN/SAN matches the
+  domain;
+* ``CORRECTLY_PLACED_MISMATCHED`` — first certificate names *some* host
+  (domain/IP-formatted CN or SAN), just not this one;
+* ``INCORRECTLY_PLACED_MATCHED`` — a later certificate matches the
+  domain;
+* ``INCORRECTLY_PLACED_MISMATCHED`` — a later certificate is at least
+  host-formatted;
+* ``OTHER`` — nothing host-like anywhere (empty CNs, ``Plesk``,
+  ``localhost``, appliance certificates...), flagged for manual review.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.x509 import Certificate
+
+
+class LeafPlacement(enum.Enum):
+    """The five Table 3 classes."""
+
+    CORRECTLY_PLACED_MATCHED = "correctly_placed_matched"
+    CORRECTLY_PLACED_MISMATCHED = "correctly_placed_mismatched"
+    INCORRECTLY_PLACED_MATCHED = "incorrectly_placed_matched"
+    INCORRECTLY_PLACED_MISMATCHED = "incorrectly_placed_mismatched"
+    OTHER = "other"
+
+    @property
+    def correctly_placed(self) -> bool:
+        return self in (
+            LeafPlacement.CORRECTLY_PLACED_MATCHED,
+            LeafPlacement.CORRECTLY_PLACED_MISMATCHED,
+        )
+
+    @property
+    def matched(self) -> bool:
+        return self in (
+            LeafPlacement.CORRECTLY_PLACED_MATCHED,
+            LeafPlacement.INCORRECTLY_PLACED_MATCHED,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class LeafAnalysis:
+    """Placement class plus the index of the certificate that decided it."""
+
+    placement: LeafPlacement
+    deciding_index: int | None
+
+    @property
+    def compliant(self) -> bool:
+        """Rule (1) of Section 3: the sender's certificate comes first.
+
+        Both "matched" and "mismatched" first-position classes satisfy
+        the structural rule — a hostname mismatch is a *validation*
+        problem, not a chain-structure one.  ``OTHER`` chains (empty or
+        test-use CNs) are flagged for manual review, not counted as
+        placement violations; only the ``INCORRECTLY_PLACED`` classes
+        violate the rule, matching the paper's single mot.gov.ps case.
+        """
+        return self.placement not in (
+            LeafPlacement.INCORRECTLY_PLACED_MATCHED,
+            LeafPlacement.INCORRECTLY_PLACED_MISMATCHED,
+        )
+
+
+def classify_leaf_placement(domain: str,
+                            chain: list[Certificate]) -> LeafAnalysis:
+    """Classify leaf placement for ``domain`` against ``chain``.
+
+    Follows the paper's decision order exactly: first certificate match,
+    then first certificate host-format, then the remaining certificates
+    (match beats format), else Other.
+    """
+    if not chain:
+        return LeafAnalysis(LeafPlacement.OTHER, None)
+
+    first = chain[0]
+    if first.matches_domain(domain):
+        return LeafAnalysis(LeafPlacement.CORRECTLY_PLACED_MATCHED, 0)
+    if first.has_hostlike_identity():
+        return LeafAnalysis(LeafPlacement.CORRECTLY_PLACED_MISMATCHED, 0)
+
+    hostlike_index: int | None = None
+    for index, cert in enumerate(chain[1:], start=1):
+        if cert.matches_domain(domain):
+            return LeafAnalysis(LeafPlacement.INCORRECTLY_PLACED_MATCHED, index)
+        if hostlike_index is None and cert.has_hostlike_identity():
+            hostlike_index = index
+    if hostlike_index is not None:
+        return LeafAnalysis(
+            LeafPlacement.INCORRECTLY_PLACED_MISMATCHED, hostlike_index
+        )
+    return LeafAnalysis(LeafPlacement.OTHER, None)

@@ -1,0 +1,235 @@
+"""Chain repair: turn a non-compliant certificate list into a compliant one.
+
+Section 6.1 of the paper tells server operators *what* to fix; this
+module fixes it.  Given a possibly messy certificate list,
+:func:`repair_chain` produces a structurally compliant deployment —
+leaf first, issuance order, duplicates removed, irrelevant certificates
+dropped, missing intermediates recovered via AIA when a fetcher is
+available — together with a changelog of every action taken, so the
+repair can double as a linter ("what *would* change?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.relation import DEFAULT_POLICY, RelationPolicy, issued
+from repro.core.topology import ChainTopology
+from repro.errors import ChainError
+from repro.trust.aia import AIAFetcher, complete_via_aia
+from repro.trust.rootstore import RootStore
+from repro.x509 import Certificate
+
+
+@dataclass(frozen=True, slots=True)
+class RepairAction:
+    """One change the repair made.
+
+    ``kind`` is one of ``"moved_leaf"``, ``"removed_duplicate"``,
+    ``"removed_irrelevant"``, ``"reordered"``, ``"fetched_missing"``,
+    ``"dropped_root"``, ``"kept_root"``, ``"chose_path"``.
+    """
+
+    kind: str
+    detail: str
+
+
+@dataclass
+class RepairResult:
+    """The repaired chain plus everything that was done to get it."""
+
+    chain: list[Certificate]
+    actions: list[RepairAction] = field(default_factory=list)
+    complete: bool = True
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.actions)
+
+    def summary(self) -> str:
+        if not self.actions:
+            return "already compliant; no changes"
+        return "; ".join(f"{a.kind}: {a.detail}" for a in self.actions)
+
+
+def _find_leaf(chain: list[Certificate], domain: str | None) -> int:
+    """Index of the best leaf candidate, mirroring Table 3's criteria."""
+    if domain is not None:
+        for index, cert in enumerate(chain):
+            if cert.matches_domain(domain):
+                return index
+    for index, cert in enumerate(chain):
+        if not cert.is_ca and cert.has_hostlike_identity():
+            return index
+    for index, cert in enumerate(chain):
+        if not cert.is_ca:
+            return index
+    raise ChainError("no end-entity certificate found in the list")
+
+
+def repair_chain(
+    chain: list[Certificate],
+    *,
+    domain: str | None = None,
+    store: RootStore | None = None,
+    fetcher: AIAFetcher | None = None,
+    include_root: bool = False,
+    policy: RelationPolicy = DEFAULT_POLICY,
+) -> RepairResult:
+    """Produce a compliant deployment list from ``chain``.
+
+    Parameters
+    ----------
+    domain:
+        The host the deployment serves; used to pick the right leaf
+        among several candidates (stale-renewal chains).
+    store:
+        Trust anchors, used to pick among multiple candidate paths
+        (prefer one that ends at — or directly under — an anchor) and
+        to decide when the chain is complete.
+    fetcher:
+        AIA resolver for recovering missing intermediates.
+    include_root:
+        Keep the self-signed root in the output (TLS permits omitting
+        it; the default follows the common practice of omission).
+
+    Raises :class:`~repro.errors.ChainError` if no end-entity
+    certificate exists in the input.
+    """
+    if not chain:
+        raise ChainError("cannot repair an empty chain")
+    actions: list[RepairAction] = []
+
+    # 1. Identify and front the leaf.
+    leaf_index = _find_leaf(chain, domain)
+    if leaf_index != 0:
+        actions.append(RepairAction(
+            "moved_leaf", f"position {leaf_index} -> 0"
+        ))
+    working = [chain[leaf_index]] + [
+        cert for index, cert in enumerate(chain) if index != leaf_index
+    ]
+
+    # 2. Deduplicate (bit-for-bit), keeping first occurrences.
+    seen: set[bytes] = set()
+    deduped: list[Certificate] = []
+    for cert in working:
+        if cert.fingerprint in seen:
+            actions.append(RepairAction(
+                "removed_duplicate",
+                cert.subject.rfc4514_string() or "<empty subject>",
+            ))
+            continue
+        seen.add(cert.fingerprint)
+        deduped.append(cert)
+
+    # 3. Walk issuance order from the leaf, choosing among candidate
+    #    paths; certificates never reached are irrelevant.
+    topology = ChainTopology(deduped, policy)
+    path = _choose_path(topology, store)
+    if len(topology.leaf_paths) > 1:
+        actions.append(RepairAction(
+            "chose_path",
+            f"{len(topology.leaf_paths)} candidate paths; kept "
+            f"{topology.path_structure(path)}",
+        ))
+    ordered = [topology.nodes[position].certificate for position in path]
+    kept = {cert.fingerprint for cert in ordered}
+    for cert in deduped:
+        if cert.fingerprint not in kept:
+            actions.append(RepairAction(
+                "removed_irrelevant",
+                cert.subject.rfc4514_string() or "<empty subject>",
+            ))
+    relevant_as_presented = [c for c in deduped if c.fingerprint in kept]
+    if ordered != relevant_as_presented:
+        actions.append(RepairAction("reordered", "issuance order restored"))
+
+    # 4. Complete the chain: fetch missing intermediates via AIA until
+    #    the terminal's issuer is a root (or the terminal is one).
+    complete = True
+    terminal = ordered[-1]
+    if not terminal.is_self_signed:
+        anchored = store is not None and (
+            store.find_issuers_of(terminal) or store.contains_key_of(terminal)
+        )
+        if not anchored:
+            if fetcher is not None:
+                result = complete_via_aia(terminal, fetcher)
+                fetched = list(result.fetched)
+                if store is not None:
+                    # Stop at the first certificate the store anchors.
+                    trimmed: list[Certificate] = []
+                    for cert in fetched:
+                        if store.find_issuers_of(cert) or cert.is_self_signed:
+                            trimmed.append(cert)
+                            break
+                        trimmed.append(cert)
+                    fetched = trimmed
+                added = [c for c in fetched if not c.is_self_signed]
+                root_fetched = [c for c in fetched if c.is_self_signed]
+                if added:
+                    ordered.extend(added)
+                    actions.append(RepairAction(
+                        "fetched_missing",
+                        f"{len(added)} intermediate(s) via AIA",
+                    ))
+                if result.completed and root_fetched and include_root:
+                    ordered.extend(root_fetched)
+                complete = result.completed or bool(
+                    store is not None and (
+                        store.find_issuers_of(ordered[-1])
+                        or store.contains_key_of(ordered[-1])
+                    )
+                )
+            else:
+                complete = False
+
+    # 5. Root inclusion policy.
+    if ordered and ordered[-1].is_self_signed and not include_root:
+        ordered.pop()
+        actions.append(RepairAction(
+            "dropped_root", "root omitted (clients supply their anchor)"
+        ))
+
+    return RepairResult(chain=ordered, actions=actions, complete=complete)
+
+
+def _choose_path(topology: ChainTopology,
+                 store: RootStore | None) -> tuple[int, ...]:
+    """Pick the best leaf path: anchored beats long beats first."""
+    paths = topology.leaf_paths
+    if len(paths) == 1:
+        return paths[0]
+
+    def rank(path: tuple[int, ...]) -> tuple[int, int]:
+        terminal = topology.nodes[path[-1]].certificate
+        anchored = 0
+        if store is not None:
+            reaches = (
+                terminal.is_self_signed and store.contains_key_of(terminal)
+            ) or bool(store.find_issuers_of(terminal))
+            anchored = 0 if reaches else 1
+        return (anchored, -len(path))
+
+    return min(paths, key=rank)
+
+
+def verify_repair(original: list[Certificate], repaired: RepairResult,
+                  *, domain: str | None = None,
+                  policy: RelationPolicy = DEFAULT_POLICY) -> bool:
+    """Check the repair's postconditions.
+
+    The repaired chain must (1) be a single in-order path over its own
+    certificates, (2) contain only certificates from the original list
+    or AIA fetches, and (3) start with a leaf matching ``domain`` when
+    one was given.
+    """
+    if not repaired.chain:
+        return False
+    topology = ChainTopology(repaired.chain, policy)
+    if not topology.is_single_compliant_path():
+        return False
+    if domain is not None and not repaired.chain[0].matches_domain(domain):
+        return False
+    return True

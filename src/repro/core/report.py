@@ -1,0 +1,136 @@
+"""Dataset-level aggregation of per-chain compliance reports.
+
+Takes the per-domain :class:`~repro.core.compliance.ChainComplianceReport`
+objects a measurement campaign produced and rolls them into the counts
+the paper's tables print: leaf-placement classes (Table 3), issuance
+order defects (Table 5), completeness classes (Table 7), and the 2.9%
+headline.  Cross-tabulations by arbitrary metadata (HTTP server
+software for Table 10, issuing CA for Table 11) are supported through a
+``group_key`` callback.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.core.compliance import ChainComplianceReport
+from repro.core.completeness import CompletenessClass
+from repro.core.leaf import LeafPlacement
+from repro.core.order import OrderDefect
+
+
+@dataclass
+class DatasetReport:
+    """Aggregated compliance statistics for one corpus.
+
+    Populate with :meth:`add` (or build with :func:`aggregate`), then
+    read the counters.  All percentages are of :attr:`total`.
+    """
+
+    total: int = 0
+    leaf_placements: Counter = field(default_factory=Counter)
+    order_defects: Counter = field(default_factory=Counter)
+    order_noncompliant: int = 0
+    duplicate_roles: Counter = field(default_factory=Counter)
+    completeness: Counter = field(default_factory=Counter)
+    reversed_all_paths: int = 0
+    incomplete_aia_outcomes: Counter = field(default_factory=Counter)
+    missing_one_intermediate: int = 0
+    noncompliant: int = 0
+    noncompliant_domains: list[str] = field(default_factory=list)
+
+    def add(self, report: ChainComplianceReport) -> None:
+        """Fold one per-chain report into the counters."""
+        self.total += 1
+        self.leaf_placements[report.leaf.placement] += 1
+        if not report.order.compliant:
+            self.order_noncompliant += 1
+        for defect in report.order.defects:
+            self.order_defects[defect] += 1
+        for role in report.order.duplicate_roles:
+            self.duplicate_roles[role] += 1
+        if report.order.reversed_any and report.order.reversed_all:
+            self.reversed_all_paths += 1
+        self.completeness[report.completeness.category] += 1
+        if report.completeness.category is CompletenessClass.INCOMPLETE:
+            self.incomplete_aia_outcomes[report.completeness.aia_outcome] += 1
+            if report.completeness.missing_count == 1:
+                self.missing_one_intermediate += 1
+        if not report.compliant:
+            self.noncompliant += 1
+            self.noncompliant_domains.append(report.domain)
+
+    # ------------------------------------------------------------------
+    # Derived figures
+    # ------------------------------------------------------------------
+
+    def pct(self, count: int) -> float:
+        """``count`` as a percentage of the corpus (0.0 for empty)."""
+        return 100.0 * count / self.total if self.total else 0.0
+
+    @property
+    def noncompliance_rate(self) -> float:
+        """The headline rate (paper: 2.9% of Tranco Top 1M)."""
+        return self.pct(self.noncompliant)
+
+    def leaf_table(self) -> dict[LeafPlacement, tuple[int, float]]:
+        """Table 3: count and percentage per placement class."""
+        return {
+            placement: (count, self.pct(count))
+            for placement, count in sorted(
+                self.leaf_placements.items(), key=lambda kv: kv[0].value
+            )
+        }
+
+    def order_table(self) -> dict[OrderDefect, tuple[int, float]]:
+        """Table 5: count per defect and share of order-noncompliant chains."""
+        return {
+            defect: (
+                count,
+                100.0 * count / self.order_noncompliant
+                if self.order_noncompliant
+                else 0.0,
+            )
+            for defect, count in sorted(
+                self.order_defects.items(), key=lambda kv: kv[0].value
+            )
+        }
+
+    def completeness_table(self) -> dict[CompletenessClass, tuple[int, float]]:
+        """Table 7: count and percentage per completeness class."""
+        return {
+            category: (count, self.pct(count))
+            for category, count in sorted(
+                self.completeness.items(), key=lambda kv: kv[0].value
+            )
+        }
+
+    @property
+    def incomplete_total(self) -> int:
+        return self.completeness.get(CompletenessClass.INCOMPLETE, 0)
+
+    @property
+    def aia_fixable_incomplete(self) -> int:
+        """Incomplete chains recoverable by recursive AIA (paper: 94.5%)."""
+        return self.incomplete_aia_outcomes.get("completed", 0)
+
+
+def aggregate(reports: Iterable[ChainComplianceReport]) -> DatasetReport:
+    """Aggregate an iterable of per-chain reports."""
+    dataset = DatasetReport()
+    for report in reports:
+        dataset.add(report)
+    return dataset
+
+
+def aggregate_by(
+    reports: Iterable[ChainComplianceReport],
+    group_key: Callable[[ChainComplianceReport], str],
+) -> dict[str, DatasetReport]:
+    """Aggregate with a grouping callback (Tables 10/11 cross-tabs)."""
+    groups: dict[str, DatasetReport] = {}
+    for report in reports:
+        groups.setdefault(group_key(report), DatasetReport()).add(report)
+    return groups

@@ -1,0 +1,53 @@
+"""Small formatting and statistics helpers for table regeneration.
+
+The benches print tables in the paper's "count (percent%)" cell style;
+these helpers keep that formatting consistent and provide the
+percentage arithmetic in one audited place.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+
+def pct(count: int | float, total: int | float) -> float:
+    """``count`` as a percentage of ``total`` (0.0 when total is 0)."""
+    return 100.0 * count / total if total else 0.0
+
+
+def cell(count: int, total: int, *, digits: int = 1) -> str:
+    """A paper-style table cell: ``"5,974 (35.2%)"``."""
+    return f"{count:,} ({pct(count, total):.{digits}f}%)"
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned plain-text table (monospace output)."""
+    materialised = [[str(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in materialised:
+        lines.append(
+            "  ".join(value.ljust(widths[i]) for i, value in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_mapping_table(title: str, mapping: Mapping[str, object]) -> str:
+    """A two-column key/value rendering with a title line."""
+    body = format_table(
+        ("key", "value"), [(k, v) for k, v in mapping.items()]
+    )
+    return f"{title}\n{body}"
+
+
+def shares(counter: Mapping[str, int]) -> dict[str, float]:
+    """Normalise a counter into percentage shares."""
+    total = sum(counter.values())
+    return {key: pct(value, total) for key, value in counter.items()}

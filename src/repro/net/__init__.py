@@ -1,0 +1,71 @@
+"""Simulated network: hosts, TLS handshakes, HTTP, rate-limited scanning."""
+
+from repro.net.http import (
+    HTTPAIAFetcher,
+    HTTPRequest,
+    HTTPResponse,
+    HTTP_PORT,
+    StaticHTTPServer,
+    http_get,
+    install_http_server,
+    publish_certificate,
+)
+from repro.net.ratelimit import TokenBucket
+from repro.net.scanner import (
+    RATE_LIMIT_BYTES_PER_SECOND,
+    ScanRecord,
+    Scanner,
+)
+from repro.net.simnet import (
+    Connection,
+    Handler,
+    Host,
+    SimClock,
+    SimulatedNetwork,
+)
+from repro.net.tls import (
+    CertificateMessage,
+    ClientHello,
+    DEFAULT_PORT,
+    HandshakeResult,
+    ServerFlight,
+    ServerHello,
+    TLS12,
+    TLS13,
+    TLSServer,
+    TLSServerConfig,
+    install_tls_server,
+    perform_handshake,
+)
+
+__all__ = [
+    "CertificateMessage",
+    "ClientHello",
+    "Connection",
+    "DEFAULT_PORT",
+    "HTTPAIAFetcher",
+    "HTTPRequest",
+    "HTTPResponse",
+    "HTTP_PORT",
+    "Handler",
+    "HandshakeResult",
+    "Host",
+    "RATE_LIMIT_BYTES_PER_SECOND",
+    "ScanRecord",
+    "Scanner",
+    "ServerFlight",
+    "ServerHello",
+    "SimClock",
+    "SimulatedNetwork",
+    "StaticHTTPServer",
+    "TLS12",
+    "TLS13",
+    "TLSServer",
+    "TLSServerConfig",
+    "TokenBucket",
+    "http_get",
+    "install_http_server",
+    "install_tls_server",
+    "perform_handshake",
+    "publish_certificate",
+]

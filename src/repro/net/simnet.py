@@ -1,0 +1,152 @@
+"""A small deterministic network simulator.
+
+The paper's data collection is an Internet-wide scan; offline we model
+just enough of a network for the pipeline to be faithful end to end:
+named hosts exposing port handlers, vantage points with independent
+reachability (the paper's US and Australia VPSs saw different subsets
+of Tranco and occasionally different certificates), a simulated clock,
+and seeded latency.  Everything above this layer — TLS handshakes, HTTP
+fetches, the scanner — goes through :meth:`SimulatedNetwork.connect`.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import HostUnreachableError, NetworkError
+
+#: A port handler: request bytes in, response object out.  The "wire
+#: format" is Python objects; serialisation fidelity is not the point.
+Handler = Callable[[object], object]
+
+
+class SimClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("time cannot go backwards")
+        self._now += seconds
+
+
+@dataclass
+class Host:
+    """A named host with handlers per port."""
+
+    name: str
+    handlers: dict[int, Handler] = field(default_factory=dict)
+
+    def bind(self, port: int, handler: Handler) -> None:
+        if port in self.handlers:
+            raise NetworkError(f"{self.name}: port {port} already bound")
+        self.handlers[port] = handler
+
+
+@dataclass
+class Connection:
+    """A connected 'socket': request/response against one host port."""
+
+    host: Host
+    port: int
+    vantage: str
+    rtt: float
+
+    def request(self, payload: object) -> object:
+        handler = self.host.handlers.get(self.port)
+        if handler is None:
+            raise NetworkError(f"{self.host.name}:{self.port} refused connection")
+        if getattr(handler, "vantage_aware", False):
+            # Handlers that serve different content per client location
+            # (GeoDNS-style front ends) receive the vantage name too.
+            return handler(payload, vantage=self.vantage)
+        return handler(payload)
+
+
+class SimulatedNetwork:
+    """Hosts, vantage points, reachability, and latency.
+
+    Parameters
+    ----------
+    seed:
+        Drives latency sampling and any stochastic reachability, making
+        whole campaigns reproducible.
+    """
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self.clock = SimClock()
+        self.hosts: dict[str, Host] = {}
+        #: per-vantage sets of unreachable host names
+        self._unreachable: dict[str, set[str]] = {}
+        #: per-vantage base RTT in seconds
+        self._vantage_rtt: dict[str, float] = {}
+        #: per-host probability that any single connect attempt fails
+        self._flaky: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+
+    def add_host(self, name: str) -> Host:
+        if name in self.hosts:
+            raise NetworkError(f"host {name!r} already exists")
+        host = Host(name)
+        self.hosts[name] = host
+        return host
+
+    def get_or_add_host(self, name: str) -> Host:
+        return self.hosts.get(name) or self.add_host(name)
+
+    def add_vantage(self, name: str, *, base_rtt: float = 0.05) -> None:
+        self._vantage_rtt[name] = base_rtt
+        self._unreachable.setdefault(name, set())
+
+    def block(self, vantage: str, host_name: str) -> None:
+        """Make ``host_name`` unreachable from ``vantage`` only."""
+        self._unreachable.setdefault(vantage, set()).add(host_name)
+
+    def make_flaky(self, host_name: str, probability: float) -> None:
+        """Make individual connects to ``host_name`` fail with ``probability``.
+
+        Models transient loss/timeouts, distinct from the hard
+        per-vantage blocks: a retry may succeed.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        self._flaky[host_name] = probability
+
+    def is_reachable(self, vantage: str, host_name: str) -> bool:
+        return (
+            host_name in self.hosts
+            and host_name not in self._unreachable.get(vantage, set())
+        )
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+
+    def connect(self, vantage: str, host_name: str, port: int) -> Connection:
+        """Open a connection; advances the clock by one RTT."""
+        if vantage not in self._vantage_rtt:
+            raise NetworkError(f"unknown vantage point {vantage!r}")
+        if not self.is_reachable(vantage, host_name):
+            raise HostUnreachableError(
+                f"{host_name} unreachable from {vantage}"
+            )
+        base = self._vantage_rtt[vantage]
+        rtt = base * self._rng.uniform(0.8, 1.6)
+        self.clock.advance(rtt)
+        flakiness = self._flaky.get(host_name, 0.0)
+        if flakiness and self._rng.random() < flakiness:
+            raise HostUnreachableError(
+                f"{host_name}: transient connection failure from {vantage}"
+            )
+        return Connection(self.hosts[host_name], port, vantage, rtt)

@@ -1,0 +1,37 @@
+"""Trust substrate: root stores, AIA fetching, intermediate caching."""
+
+from repro.trust.aia import (
+    AIACompletionResult,
+    AIAFetcher,
+    FetchStats,
+    MAX_AIA_DEPTH,
+    StaticAIARepository,
+    complete_via_aia,
+)
+from repro.trust.cache import IntermediateCache
+from repro.trust.revocation import (
+    RevocationEntry,
+    RevocationRegistry,
+    RevocationStatus,
+)
+from repro.trust.rootstore import (
+    RootStore,
+    RootStoreRegistry,
+    STORE_NAMES,
+)
+
+__all__ = [
+    "AIACompletionResult",
+    "AIAFetcher",
+    "FetchStats",
+    "IntermediateCache",
+    "MAX_AIA_DEPTH",
+    "RevocationEntry",
+    "RevocationRegistry",
+    "RevocationStatus",
+    "RootStore",
+    "RootStoreRegistry",
+    "STORE_NAMES",
+    "StaticAIARepository",
+    "complete_via_aia",
+]

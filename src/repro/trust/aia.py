@@ -1,0 +1,153 @@
+"""AIA caIssuers fetching.
+
+RFC 5280's Authority Information Access extension lets a client
+download a missing issuer certificate from an HTTP URI.  This module
+defines the fetcher interface the analysis and client models consume,
+an in-memory repository with the paper's three failure classes
+injectable (missing AIA field is the certificate's problem; dead URI
+and wrong-certificate-at-URI are the repository's), and the recursive
+completion routine used by the completeness analysis ("11,419 chains
+can be completed by recursively downloading certificates from AIA").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.errors import AIAFetchError
+from repro.x509 import Certificate
+
+#: Safety bound on recursive AIA chasing; real clients cap similarly.
+MAX_AIA_DEPTH = 16
+
+
+class AIAFetcher(Protocol):
+    """Anything that can resolve a caIssuers URI to a certificate."""
+
+    def fetch(self, uri: str) -> Certificate:
+        """Return the certificate at ``uri`` or raise :class:`AIAFetchError`."""
+        ...
+
+
+@dataclass
+class FetchStats:
+    """Counters a repository keeps so benches can report fetch volume."""
+
+    attempts: int = 0
+    successes: int = 0
+    failures: int = 0
+
+
+class StaticAIARepository:
+    """An in-memory URI→certificate map with failure injection.
+
+    * ``publish(uri, cert)`` — normal entry.
+    * ``publish_wrong(uri, cert)`` — the URI serves a certificate that
+      is *not* the requested issuer (the CAcert class3 case: the file at
+      the URI is the certificate itself).  The repository serves it; the
+      *caller* discovers the mismatch.
+    * ``mark_unreachable(uri)`` — the URI exists on a cert but the
+      server is gone (the paper's 88 URI-access failures).
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, Certificate] = {}
+        self._unreachable: set[str] = set()
+        self.stats = FetchStats()
+
+    def publish(self, uri: str, cert: Certificate) -> None:
+        self._entries[uri] = cert
+        self._unreachable.discard(uri)
+
+    def publish_wrong(self, uri: str, cert: Certificate) -> None:
+        """Alias of :meth:`publish` kept for intent-revealing call sites."""
+        self.publish(uri, cert)
+
+    def mark_unreachable(self, uri: str) -> None:
+        self._unreachable.add(uri)
+
+    def fetch(self, uri: str) -> Certificate:
+        self.stats.attempts += 1
+        if uri in self._unreachable:
+            self.stats.failures += 1
+            raise AIAFetchError(f"URI unreachable: {uri}", uri, "unreachable")
+        try:
+            cert = self._entries[uri]
+        except KeyError:
+            self.stats.failures += 1
+            raise AIAFetchError(f"no certificate at {uri}", uri, "not_found") from None
+        self.stats.successes += 1
+        return cert
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def items(self) -> list[tuple[str, Certificate]]:
+        """All published (uri, certificate) pairs."""
+        return list(self._entries.items())
+
+
+@dataclass(frozen=True, slots=True)
+class AIACompletionResult:
+    """Outcome of recursively chasing AIA from one certificate.
+
+    ``fetched`` holds the certificates obtained, issuer-ward order.
+    ``outcome`` is one of:
+
+    * ``"completed"`` — reached a self-signed certificate;
+    * ``"missing_aia"`` — some certificate on the way lacks the field;
+    * ``"unreachable"`` — a URI could not be fetched;
+    * ``"wrong_certificate"`` — a URI served a non-issuer
+      (detected when the fetched certificate does not certify the one
+      being completed, or is the same certificate);
+    * ``"depth_exceeded"`` — gave up after :data:`MAX_AIA_DEPTH` hops.
+    """
+
+    outcome: str
+    fetched: tuple[Certificate, ...] = ()
+
+    @property
+    def completed(self) -> bool:
+        return self.outcome == "completed"
+
+
+def complete_via_aia(cert: Certificate, fetcher: AIAFetcher,
+                     *, max_depth: int = MAX_AIA_DEPTH) -> AIACompletionResult:
+    """Recursively fetch issuers for ``cert`` until a self-signed cert.
+
+    Mirrors the paper's completeness recovery: download via the
+    caIssuers URI, check the result actually issued the requester, and
+    iterate.  Already self-signed input completes immediately with no
+    fetches.
+    """
+    from repro.core.relation import issued  # local import avoids a cycle
+
+    fetched: list[Certificate] = []
+    current = cert
+    for _ in range(max_depth):
+        if current.is_self_signed:
+            return AIACompletionResult("completed", tuple(fetched))
+        uris = current.aia_ca_issuer_uris
+        if not uris:
+            return AIACompletionResult("missing_aia", tuple(fetched))
+        candidate: Certificate | None = None
+        last_error: str = "unreachable"
+        for uri in uris:
+            try:
+                candidate = fetcher.fetch(uri)
+                break
+            except AIAFetchError as exc:
+                last_error = exc.reason
+        if candidate is None:
+            return AIACompletionResult(
+                "unreachable" if last_error != "not_found" else "unreachable",
+                tuple(fetched),
+            )
+        if candidate.fingerprint == current.fingerprint or not issued(
+            candidate, current
+        ):
+            return AIACompletionResult("wrong_certificate", tuple(fetched))
+        fetched.append(candidate)
+        current = candidate
+    return AIACompletionResult("depth_exceeded", tuple(fetched))

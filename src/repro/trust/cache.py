@@ -1,0 +1,84 @@
+"""Intermediate-certificate caching (the Firefox mechanism).
+
+Firefox does not fetch AIA; instead it remembers every intermediate it
+has ever seen on any connection and consults that cache when a chain
+arrives incomplete.  The paper attributes Firefox's partial resilience
+(and its ``SEC_ERROR_UNKNOWN_ISSUER`` discrepancies against
+Chrome/Edge) to exactly this design, so the client model needs a real
+cache with observable hit/miss behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.core.relation import DEFAULT_POLICY, RelationPolicy, issued
+from repro.x509 import Certificate
+
+
+class IntermediateCache:
+    """A bounded LRU cache of CA certificates keyed by fingerprint.
+
+    ``capacity`` bounds memory; Firefox's real cache is effectively
+    unbounded within a profile, so the default is large.  Only CA
+    certificates are retained — leaves are never useful for completing
+    someone else's chain.
+    """
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[bytes, Certificate] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, cert: Certificate) -> bool:
+        return cert.fingerprint in self._entries
+
+    def observe(self, cert: Certificate) -> bool:
+        """Record a certificate seen on some connection.
+
+        Returns True if it was cached (i.e. it is a CA certificate).
+        """
+        if not cert.is_ca:
+            return False
+        key = cert.fingerprint
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True
+        self._entries[key] = cert
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return True
+
+    def observe_chain(self, chain: list[Certificate]) -> int:
+        """Cache every CA certificate in ``chain``; returns how many."""
+        return sum(1 for cert in chain if self.observe(cert))
+
+    def find_issuers(self, subject: Certificate,
+                     policy: RelationPolicy = DEFAULT_POLICY
+                     ) -> list[Certificate]:
+        """Cached certificates that issued ``subject`` (LRU order).
+
+        Updates hit/miss counters so tests can assert cache behaviour.
+        """
+        matches = [
+            cert
+            for cert in self._entries.values()
+            if cert.fingerprint != subject.fingerprint
+            and issued(cert, subject, policy)
+        ]
+        if matches:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return matches
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0

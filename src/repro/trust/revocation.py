@@ -1,0 +1,79 @@
+"""Revocation status: a CRL/OCSP-shaped substrate.
+
+The paper's limitations note that revocation influences chain
+construction but is hard to measure; this module supplies the substrate
+so the interplay *can* be studied: a registry of per-certificate
+statuses with injectable responder outages, consumed by path validation
+and — for MbedTLS-style clients that validate while building — by the
+construction engine itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.x509 import Certificate, Name
+
+
+class RevocationStatus(enum.Enum):
+    """The three states a status check can return."""
+
+    GOOD = "good"
+    REVOKED = "revoked"
+    #: The responder was unreachable or knows nothing about the serial.
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True, slots=True)
+class RevocationEntry:
+    """One revoked certificate with its reason code."""
+
+    fingerprint: bytes
+    reason: str
+
+
+class RevocationRegistry:
+    """Authoritative revocation state for a simulated PKI.
+
+    ``revoke(cert)`` marks a certificate revoked; ``take_down(issuer)``
+    models a responder outage for everything that issuer signed —
+    checks then return :attr:`RevocationStatus.UNKNOWN`, letting
+    soft-fail vs hard-fail client behaviour be compared.
+    """
+
+    def __init__(self) -> None:
+        self._revoked: dict[bytes, RevocationEntry] = {}
+        self._down_issuers: set[Name] = set()
+        self.checks = 0
+
+    def revoke(self, cert: Certificate, *, reason: str = "unspecified") -> None:
+        self._revoked[cert.fingerprint] = RevocationEntry(
+            cert.fingerprint, reason
+        )
+
+    def unrevoke(self, cert: Certificate) -> None:
+        self._revoked.pop(cert.fingerprint, None)
+
+    def take_down(self, issuer: Name) -> None:
+        """Make the responder for ``issuer``'s certificates unreachable."""
+        self._down_issuers.add(issuer)
+
+    def restore(self, issuer: Name) -> None:
+        self._down_issuers.discard(issuer)
+
+    def status(self, cert: Certificate) -> RevocationStatus:
+        """Check one certificate; counts toward :attr:`checks`."""
+        self.checks += 1
+        if cert.issuer in self._down_issuers:
+            return RevocationStatus.UNKNOWN
+        if cert.fingerprint in self._revoked:
+            return RevocationStatus.REVOKED
+        return RevocationStatus.GOOD
+
+    def entry(self, cert: Certificate) -> RevocationEntry | None:
+        return self._revoked.get(cert.fingerprint)
+
+    @property
+    def revoked_count(self) -> int:
+        return len(self._revoked)

@@ -1,0 +1,142 @@
+"""Root stores: trust anchors keyed the way completeness analysis needs.
+
+The paper checks a terminal certificate's AKID against the SKIDs of the
+Mozilla, Microsoft, Chrome and Apple root programs, and uses their
+*union* for the lower-bound completeness numbers (Table 7) while Table 8
+re-runs the analysis per individual store.  :class:`RootStore` supports
+both lookups (by SKID and by subject DN) plus set algebra for building
+unions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import RootStoreError
+from repro.x509 import Certificate, Name
+
+#: The four root programs the paper consults.
+STORE_NAMES = ("mozilla", "chrome", "microsoft", "apple")
+
+
+class RootStore:
+    """A named collection of trust anchors with chain-building indexes."""
+
+    def __init__(self, name: str, anchors: Iterable[Certificate] = ()) -> None:
+        self.name = name
+        self._by_fingerprint: dict[bytes, Certificate] = {}
+        self._by_skid: dict[bytes, list[Certificate]] = {}
+        self._by_subject: dict[Name, list[Certificate]] = {}
+        for anchor in anchors:
+            self.add(anchor)
+
+    def add(self, anchor: Certificate) -> None:
+        """Add a trust anchor; duplicates are rejected.
+
+        Anchors are conventionally self-signed, but stores do ship the
+        occasional non-self-signed anchor, so that is not enforced.
+        """
+        if anchor.fingerprint in self._by_fingerprint:
+            raise RootStoreError(
+                f"{self.name}: duplicate anchor {anchor.subject.rfc4514_string()}"
+            )
+        self._by_fingerprint[anchor.fingerprint] = anchor
+        skid = anchor.subject_key_id
+        if skid is not None:
+            self._by_skid.setdefault(skid, []).append(anchor)
+        self._by_subject.setdefault(anchor.subject, []).append(anchor)
+
+    def __len__(self) -> int:
+        return len(self._by_fingerprint)
+
+    def __iter__(self) -> Iterator[Certificate]:
+        return iter(self._by_fingerprint.values())
+
+    def __contains__(self, cert: Certificate) -> bool:
+        return cert.fingerprint in self._by_fingerprint
+
+    def contains_key_of(self, cert: Certificate) -> bool:
+        """True if some anchor carries the same public key as ``cert``.
+
+        Chrome and Firefox treat a presented root as trusted when the
+        *key* matches a store anchor even if the certificate bytes
+        differ; completeness analysis uses the same relaxation.
+        """
+        return any(
+            anchor.public_key == cert.public_key
+            for anchor in self._by_fingerprint.values()
+        )
+
+    def find_by_skid(self, key_id: bytes) -> list[Certificate]:
+        """Anchors whose SKID equals ``key_id`` (the AKID probe)."""
+        return list(self._by_skid.get(key_id, ()))
+
+    def find_by_subject(self, subject: Name) -> list[Certificate]:
+        return list(self._by_subject.get(subject, ()))
+
+    def find_issuers_of(self, cert: Certificate) -> list[Certificate]:
+        """Anchors that plausibly issued ``cert``: AKID match first, then DN.
+
+        This is the store-side half of the paper's completeness check —
+        "check if the certificate's AKID matches the SKID of any
+        certificates in the root store".
+        """
+        akid = cert.authority_key_id
+        if akid is not None:
+            matches = self.find_by_skid(akid)
+            if matches:
+                return matches
+        return [
+            anchor
+            for anchor in self.find_by_subject(cert.issuer)
+            if cert.verify_signature(anchor.public_key)
+        ]
+
+    def union(self, *others: "RootStore", name: str = "union") -> "RootStore":
+        """The union store used for the paper's lower-bound analysis."""
+        merged = RootStore(name)
+        for store in (self, *others):
+            for anchor in store:
+                if anchor not in merged:
+                    merged.add(anchor)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RootStore({self.name!r}, anchors={len(self)})"
+
+
+class RootStoreRegistry:
+    """The four-program registry plus their union.
+
+    The synthetic ecosystem populates one registry and hands it to both
+    the completeness analysis and the client models, which each consult
+    the store their real counterpart uses.
+    """
+
+    def __init__(self) -> None:
+        self.stores: dict[str, RootStore] = {
+            name: RootStore(name) for name in STORE_NAMES
+        }
+
+    def store(self, name: str) -> RootStore:
+        try:
+            return self.stores[name]
+        except KeyError:
+            raise RootStoreError(f"unknown root store {name!r}") from None
+
+    def add_to(self, anchor: Certificate, store_names: Iterable[str]) -> None:
+        """Register ``anchor`` with the named programs."""
+        for name in store_names:
+            self.store(name).add(anchor)
+
+    def add_everywhere(self, anchor: Certificate) -> None:
+        self.add_to(anchor, STORE_NAMES)
+
+    def union(self) -> RootStore:
+        """The concatenation of all four programs (footnote 2's store)."""
+        stores = [self.stores[name] for name in STORE_NAMES]
+        return stores[0].union(*stores[1:], name="union")
+
+    def membership(self, anchor: Certificate) -> set[str]:
+        """Which programs include ``anchor``."""
+        return {name for name, store in self.stores.items() if anchor in store}

@@ -1,0 +1,70 @@
+"""Synthetic Web PKI ecosystem: domains, servers, CAs, deployments."""
+
+from repro.webpki.deployment import (
+    CAInstance,
+    ChainMaterializer,
+    DomainDeployment,
+    leaf_domain,
+)
+from repro.webpki.ecosystem import (
+    Ecosystem,
+    EcosystemConfig,
+    VANTAGE_AU,
+    VANTAGE_US,
+)
+from repro.webpki.httpservers import (
+    ALL_SERVERS,
+    APACHE,
+    AWS_ELB,
+    AZURE,
+    CLOUDFLARE,
+    DEFECT_SERVER_WEIGHTS,
+    HTTPServerProfile,
+    IIS,
+    NGINX,
+    OTHER_SERVER,
+    TABLE4_SERVERS,
+    assign_server,
+    server_by_name,
+    table4_rows,
+)
+from repro.webpki.misconfig import (
+    CA_DEFECT_RATES,
+    DefectPlan,
+    DefectRates,
+    LEGACY_ROOT_RATE,
+    sample_defect_plan,
+)
+from repro.webpki.tranco import DomainEntry, TrancoList
+
+__all__ = [
+    "ALL_SERVERS",
+    "APACHE",
+    "AWS_ELB",
+    "AZURE",
+    "CAInstance",
+    "CA_DEFECT_RATES",
+    "CLOUDFLARE",
+    "ChainMaterializer",
+    "DEFECT_SERVER_WEIGHTS",
+    "DefectPlan",
+    "DefectRates",
+    "DomainDeployment",
+    "DomainEntry",
+    "Ecosystem",
+    "EcosystemConfig",
+    "HTTPServerProfile",
+    "IIS",
+    "LEGACY_ROOT_RATE",
+    "NGINX",
+    "OTHER_SERVER",
+    "TABLE4_SERVERS",
+    "TrancoList",
+    "VANTAGE_AU",
+    "VANTAGE_US",
+    "assign_server",
+    "leaf_domain",
+    "sample_defect_plan",
+    "server_by_name",
+    "table4_rows",
+]

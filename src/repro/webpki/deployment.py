@@ -1,0 +1,388 @@
+"""Materialising defect plans into deployed certificate chains.
+
+Given a domain, its CA instance, and the sampled
+:class:`~repro.webpki.misconfig.DefectPlan`, this module produces the
+exact certificate list the simulated server will send — applying the
+cause that produces each defect class (reversed bundle merges, SF1
+double-leaf pastes, omitted intermediates, stale leftovers, misplaced
+cross-signs) via the :mod:`repro.ca.malform` operators.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from datetime import timedelta
+
+from repro.ca import CertificateAuthority, Hierarchy, malform, next_serial
+from repro.ca.profiles import CAProfile
+from repro.webpki.misconfig import DefectPlan
+from repro.x509 import (
+    Certificate,
+    CertificateBuilder,
+    Name,
+    SubjectKeyIdentifier,
+    Validity,
+    generate_keypair,
+    utc,
+)
+
+
+@dataclass
+class CAInstance:
+    """One issuing organisation in the synthetic ecosystem.
+
+    ``name`` identifies the instance; ``profile`` carries the delivery
+    behaviour (several instances may share the ``other`` profile).
+    ``legacy`` marks the Table 8 cohort whose root is only identifiable
+    via AIA; ``store_membership`` lists the root programs carrying this
+    instance's trust anchor; ``dead_aia`` / ``wrong_aia`` hosts exist
+    for failure injection paths under this instance's AIA base.
+    """
+
+    name: str
+    profile: CAProfile
+    hierarchy: Hierarchy
+    weight: float
+    legacy: bool = False
+    store_membership: tuple[str, ...] = ("mozilla", "chrome", "microsoft", "apple")
+    aia_base: str | None = None
+    trust_anchor: Certificate | None = None  # defaults to the hierarchy root
+    intermediates_have_aia: bool = True
+
+    @property
+    def anchor(self) -> Certificate:
+        return self.trust_anchor or self.hierarchy.root.certificate
+
+    @property
+    def supports_cross_sign(self) -> bool:
+        return bool(self.hierarchy.cross_signed)
+
+
+@dataclass
+class DomainDeployment:
+    """Everything the ecosystem knows about one deployed domain."""
+
+    domain: str
+    rank: int
+    ca_instance: str
+    ca_profile: str
+    server: str
+    chain: list[Certificate]
+    plan: DefectPlan
+    automated: bool
+    includes_root: bool
+    legacy: bool
+    case_study: str | None = None
+    alt_version_chain: list[Certificate] | None = None
+    alt_vantage_chain: list[Certificate] | None = None
+    unreachable_from: frozenset[str] = frozenset()
+
+    @property
+    def chain_length(self) -> int:
+        return len(self.chain)
+
+
+class ChainMaterializer:
+    """Turns (domain, CA instance, plan) into the deployed list.
+
+    A single materialiser is shared across the whole generation run so
+    cross-CA artefacts (foreign chains, junk roots) reuse each other's
+    certificates, the way real misconfigurations splice in whatever
+    happens to lie around on the same server.
+    """
+
+    def __init__(self, rng: random.Random,
+                 instances: list[CAInstance],
+                 *,
+                 now=None,
+                 wrong_aia_paths: dict[str, Certificate] | None = None,
+                 include_root_rate: float = 0.08) -> None:
+        self.rng = rng
+        self.instances = instances
+        self.now = now or utc(2024, 3, 15)
+        self.include_root_rate = include_root_rate
+        #: URIs that must serve the mapped certificate (the "wrong AIA"
+        #: injection — CAcert style, the URI returns the cert itself).
+        self.wrong_aia_paths: dict[str, Certificate] = (
+            wrong_aia_paths if wrong_aia_paths is not None else {}
+        )
+        self._junk_root = self._mint_junk_root()
+
+    def _key_seed(self) -> bytes:
+        """A fresh deterministic key seed drawn from the generation RNG."""
+        return self.rng.getrandbits(128).to_bytes(16, "big")
+
+    # ------------------------------------------------------------------
+    # Leaf minting per placement class
+    # ------------------------------------------------------------------
+
+    def _issue_leaf(self, instance: CAInstance, domain: str,
+                    plan: DefectPlan) -> Certificate:
+        issuing = instance.hierarchy.issuing_ca
+        if plan.leaf_expired:
+            # Neglected deployment: the leaf ran out months ago.
+            not_before = self.now - timedelta(days=self.rng.randint(200, 400))
+        else:
+            not_before = self.now - timedelta(days=self.rng.randint(5, 80))
+        if plan.leaf_placement == "matched":
+            return issuing.issue_leaf(domain, not_before=not_before, days=120,
+                                      key_seed=self._key_seed())
+        if plan.leaf_placement == "mismatched":
+            # A shared-hosting default certificate: host-formatted name,
+            # wrong host.
+            other = f"default-{self.rng.randrange(10_000)}.hosting.example"
+            return issuing.issue_leaf(other, not_before=not_before, days=180,
+                                      key_seed=self._key_seed())
+        # "other": a self-signed appliance/test certificate.
+        cn = self.rng.choice(("Plesk", "localhost", "testexp", "router"))
+        key = generate_keypair("simulated", seed=self._key_seed())
+        return (
+            CertificateBuilder()
+            .subject_name(Name.build(common_name=cn))
+            .issuer_name(Name.build(common_name=cn))
+            .serial_number(next_serial())
+            .validity(Validity.from_duration(not_before, days=3650))
+            .public_key(key.public_key)
+            .end_entity()
+            .add_extension(SubjectKeyIdentifier(key.public_key.key_id))
+            .sign(key)
+        )
+
+    def _mint_junk_root(self) -> Certificate:
+        """A public-looking root with no relation to anything deployed."""
+        authority = CertificateAuthority(
+            Name.build(organization="Orphan Trust", common_name="Orphan Root CA"),
+            validity=Validity(utc(2015, 1, 1), utc(2035, 1, 1)),
+            key_seed=b"ecosystem/junk-root",
+        )
+        return authority.certificate
+
+    # ------------------------------------------------------------------
+    # Plan materialisation
+    # ------------------------------------------------------------------
+
+    def materialize(self, instance: CAInstance, domain: str,
+                    plan: DefectPlan) -> tuple[list[Certificate], bool]:
+        """The deployed list for ``domain`` plus whether the root is in it."""
+        leaf = self._issue_leaf(instance, domain, plan)
+        if plan.leaf_placement == "other":
+            # Appliance certificates ship alone (sometimes with stray
+            # roots, covered by the irrelevant branch below).
+            chain: list[Certificate] = [leaf]
+            if plan.irrelevant_kind is not None:
+                chain = malform.insert_irrelevant(chain, [self._junk_root])
+            return chain, leaf.is_self_signed
+
+        hierarchy = instance.hierarchy
+        intermediates = [ca.certificate for ca in reversed(hierarchy.intermediates)]
+        includes_root = self.rng.random() < self.include_root_rate
+        profile = instance.profile
+
+        chain = [leaf, *intermediates]
+
+        # --- completeness defects -------------------------------------
+        if plan.incomplete:
+            chain, includes_root = self._apply_incomplete(
+                instance, leaf, intermediates, plan
+            )
+        elif includes_root:
+            chain = [*chain, hierarchy.root.certificate]
+
+        # --- reversed sequences ---------------------------------------
+        if plan.reversed_seq and not plan.incomplete:
+            want_root = includes_root or (
+                profile.includes_root and profile.bundle_order == "reversed"
+            )
+            chain, includes_root = self._apply_reversed(
+                instance, leaf, intermediates, want_root, plan
+            )
+
+        # --- multiple paths (cross-signs) ------------------------------
+        if plan.multiple_paths and instance.supports_cross_sign:
+            chain = self._apply_cross_sign(instance, chain, plan)
+
+        # --- irrelevant certificates -----------------------------------
+        if plan.irrelevant_kind is not None:
+            chain = self._apply_irrelevant(instance, chain, plan)
+
+        # --- duplicates -------------------------------------------------
+        if plan.duplicate_kind is not None:
+            chain, includes_root = self._apply_duplicates(
+                instance, chain, includes_root, plan
+            )
+
+        return chain, includes_root
+
+    # ------------------------------------------------------------------
+    # Individual defect mechanics
+    # ------------------------------------------------------------------
+
+    def _apply_incomplete(
+        self,
+        instance: CAInstance,
+        leaf: Certificate,
+        intermediates: list[Certificate],
+        plan: DefectPlan,
+    ) -> tuple[list[Certificate], bool]:
+        if plan.incomplete_aia_failure is not None:
+            # AIA-failure cases are modelled on a bare leaf so the
+            # injectable AIA sits on a per-domain certificate.
+            issuing = instance.hierarchy.issuing_ca
+            not_before = self.now - timedelta(days=self.rng.randint(5, 80))
+            if plan.incomplete_aia_failure == "missing":
+                bad_leaf = issuing.issue_leaf(
+                    leaf_domain(leaf), not_before=not_before, days=180,
+                    include_aia=False, key_seed=self._key_seed(),
+                )
+            elif plan.incomplete_aia_failure == "dead":
+                base = instance.aia_base or "http://aia.dead.example"
+                bad_leaf = issuing.issue_leaf(
+                    leaf_domain(leaf), not_before=not_before, days=180,
+                    aia_uri=f"{base}/missing/{leaf_domain(leaf)}.crt",
+                    key_seed=self._key_seed(),
+                )
+            else:  # "wrong": the URI serves the certificate itself
+                base = instance.aia_base or "http://aia.dead.example"
+                uri = f"{base}/wrong/{leaf_domain(leaf)}.crt"
+                bad_leaf = issuing.issue_leaf(
+                    leaf_domain(leaf), not_before=not_before, days=180,
+                    aia_uri=uri, key_seed=self._key_seed(),
+                )
+                self.wrong_aia_paths[uri] = bad_leaf
+            return [bad_leaf], False
+        if plan.incomplete_missing_one and len(intermediates) >= 2:
+            # Drop the root-adjacent intermediate (the TAIWAN-CA shape).
+            kept = intermediates[:-1]
+            return [leaf, *kept], False
+        if plan.incomplete_missing_one:
+            return [leaf], False
+        # Missing more than one: serve the bare leaf.
+        return [leaf], False
+
+    def _apply_reversed(
+        self,
+        instance: CAInstance,
+        leaf: Certificate,
+        intermediates: list[Certificate],
+        includes_root: bool,
+        plan: DefectPlan,
+    ) -> tuple[list[Certificate], bool]:
+        bundle = list(intermediates)
+        if includes_root or len(bundle) < 2:
+            # A one-certificate bundle cannot be mis-ordered; real
+            # reversed deployments come from bundles that carry the root
+            # (GoGetSSL-style ca-bundle files), yielding the paper's
+            # dominant 1->2->0 structure.
+            bundle.append(instance.hierarchy.root.certificate)
+            includes_root = True
+        if plan.reversed_full:
+            # The ca-bundle merge: leaf file + reversed bundle verbatim.
+            return [leaf, *reversed(bundle)], includes_root
+        # Partial reversal: swap two adjacent bundle members.
+        if len(bundle) >= 2:
+            i = self.rng.randrange(len(bundle) - 1)
+            bundle[i], bundle[i + 1] = bundle[i + 1], bundle[i]
+        return [leaf, *bundle], includes_root
+
+    def _apply_cross_sign(self, instance: CAInstance,
+                          chain: list[Certificate],
+                          plan: DefectPlan) -> list[Certificate]:
+        cross = instance.hierarchy.cross_signed[0]
+        # Insert the cross-sign right after the certificate it duplicates
+        # (compliant-ish) or before it (the misplaced-insertion reversal).
+        target = next(
+            (i for i, cert in enumerate(chain) if cert.subject == cross.subject),
+            None,
+        )
+        result = list(chain)
+        if target is None:
+            result.append(cross)
+        elif plan.reversed_seq and not plan.reversed_full:
+            result.insert(target, cross)
+        else:
+            result.insert(target + 1, cross)
+        return result
+
+    def _apply_irrelevant(self, instance: CAInstance,
+                          chain: list[Certificate],
+                          plan: DefectPlan) -> list[Certificate]:
+        kind = plan.irrelevant_kind
+        if kind == "stale_leaves":
+            issuing = instance.hierarchy.issuing_ca
+            stale: list[Certificate] = []
+            count = self.rng.randint(1, 4)
+            for generation in range(1, count + 1):
+                age = timedelta(days=200 * generation)
+                stale.append(
+                    issuing.issue_leaf(
+                        leaf_domain(chain[0]) or "stale.example",
+                        not_before=self.now - age,
+                        days=180,
+                        key_seed=self._key_seed(),
+                    )
+                )
+            return malform.append_stale_leaves(chain, stale)
+        if kind == "unrelated_root":
+            return malform.insert_irrelevant(chain, [self._junk_root])
+        if kind == "foreign_chain":
+            other = self._other_instance(instance)
+            block = [ca.certificate for ca in reversed(other.hierarchy.intermediates)]
+            block.append(other.hierarchy.root.certificate)
+            return malform.insert_irrelevant(chain, block)
+        # "mixed_extras": one or two stray intermediates from elsewhere.
+        other = self._other_instance(instance)
+        extras = [ca.certificate for ca in other.hierarchy.intermediates[:1]]
+        extras = extras or [other.hierarchy.root.certificate]
+        return malform.insert_irrelevant(chain, extras)
+
+    def _apply_duplicates(self, instance: CAInstance,
+                          chain: list[Certificate],
+                          includes_root: bool,
+                          plan: DefectPlan) -> tuple[list[Certificate], bool]:
+        kind = plan.duplicate_kind
+        if kind == "leaf":
+            copies = 1 if self.rng.random() < 0.9 else self.rng.randint(2, 3)
+            return (
+                malform.duplicate_leaf(
+                    chain, copies=copies, adjacent=plan.duplicate_adjacent
+                ),
+                includes_root,
+            )
+        if kind == "root":
+            root = instance.hierarchy.root.certificate
+            if not includes_root:
+                chain = [*chain, root]
+            index = chain.index(root)
+            copies = 1 if self.rng.random() < 0.8 else self.rng.randint(2, 4)
+            return malform.duplicate_certificate(chain, index, copies=copies), True
+        if kind == "block" and len(chain) >= 3:
+            # ns3.link-style: the intermediate block repeated many times.
+            indices = [i for i in range(1, len(chain))]
+            reps = self.rng.randint(8, 13)
+            return malform.duplicate_block(chain, indices, repetitions=reps), includes_root
+        # intermediate duplicates
+        candidates = [
+            i for i, cert in enumerate(chain[1:], start=1)
+            if cert.is_ca and not cert.is_self_signed
+        ]
+        if not candidates:
+            return malform.duplicate_leaf(chain), includes_root
+        index = self.rng.choice(candidates)
+        heavy = self.rng.random() < 0.02
+        copies = self.rng.randint(10, 25) if heavy else self.rng.randint(1, 3)
+        return malform.duplicate_certificate(chain, index, copies=copies), includes_root
+
+    def _other_instance(self, instance: CAInstance) -> CAInstance:
+        others = [i for i in self.instances if i.name != instance.name]
+        return self.rng.choice(others) if others else instance
+
+
+def leaf_domain(leaf: Certificate) -> str:
+    """Best-effort host name a leaf was issued for (SAN first, then CN)."""
+    san = leaf.extensions.subject_alternative_name
+    if san is not None:
+        for name in san.names:
+            if name.kind == "dns":
+                return name.value
+    return leaf.subject.common_name or "unknown.example"

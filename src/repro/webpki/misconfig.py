@@ -1,0 +1,249 @@
+"""Misconfiguration model: who breaks their chain, how, and how often.
+
+The *mechanisms* of every defect are cause-driven (reversed ca-bundle
+merges, SF1 double-leaf pastes, omitted intermediates, stale leftovers,
+misplaced cross-signs); the *rates* are calibrated per issuing CA from
+Table 11 so the generated corpus reproduces the paper's per-CA and
+aggregate shapes at any scale.  All sampling flows from one seeded
+``random.Random``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class DefectRates:
+    """Per-domain probabilities of each defect class for one CA.
+
+    Values are fractions of that CA's deployments (Table 11 row divided
+    by the CA's total).  Defects sample independently, so co-occurrence
+    happens at realistic (small) rates, as in the paper where the class
+    counts in Table 5 sum past the non-compliant total.
+    """
+
+    duplicate: float = 0.0
+    irrelevant: float = 0.0
+    multiple_paths: float = 0.0
+    reversed_seq: float = 0.0
+    incomplete: float = 0.0
+
+    def any_rate(self) -> float:
+        """Upper bound on the CA's non-compliance rate."""
+        return min(
+            1.0,
+            self.duplicate + self.irrelevant + self.multiple_paths
+            + self.reversed_seq + self.incomplete,
+        )
+
+
+#: Calibrated from Table 11 (count / CA total).
+CA_DEFECT_RATES: dict[str, DefectRates] = {
+    "lets-encrypt": DefectRates(
+        duplicate=0.00813, irrelevant=0.00100, multiple_paths=0.00013,
+        reversed_seq=0.00020, incomplete=0.00288,
+    ),
+    "digicert": DefectRates(
+        duplicate=0.01266, irrelevant=0.01192, multiple_paths=0.00010,
+        reversed_seq=0.02851, incomplete=0.03687,
+    ),
+    "sectigo": DefectRates(
+        duplicate=0.01330, irrelevant=0.01032, multiple_paths=0.00279,
+        reversed_seq=0.05281, incomplete=0.04159,
+    ),
+    "zerossl": DefectRates(
+        duplicate=0.01046, irrelevant=0.00426, multiple_paths=0.0,
+        reversed_seq=0.00024, incomplete=0.01460,
+    ),
+    "gogetssl": DefectRates(
+        duplicate=0.02536, irrelevant=0.02103, multiple_paths=0.00433,
+        reversed_seq=0.07730, incomplete=0.06927,
+    ),
+    "taiwan-ca": DefectRates(
+        duplicate=0.01423, irrelevant=0.01626, multiple_paths=0.0,
+        reversed_seq=0.09553, incomplete=0.41870,
+    ),
+    "cyber-folks": DefectRates(
+        duplicate=0.02113, irrelevant=0.05634, multiple_paths=0.0,
+        reversed_seq=0.60563, incomplete=0.05634,
+    ),
+    "trustico": DefectRates(
+        duplicate=0.00926, irrelevant=0.00926, multiple_paths=0.0,
+        reversed_seq=0.62037, incomplete=0.03704,
+    ),
+    # Long tail, back-solved so the Table 5 aggregates land at the
+    # paper's magnitudes once every profiled CA contributes its share.
+    "other": DefectRates(
+        duplicate=0.00302, irrelevant=0.00300, multiple_paths=0.00012,
+        reversed_seq=0.01006, incomplete=0.01150,
+    ),
+}
+
+
+#: Leaf-placement population rates (Table 3).
+LEAF_MATCHED_RATE = 0.925
+LEAF_MISMATCHED_RATE = 0.069
+LEAF_OTHER_RATE = 0.006
+
+#: Sub-mechanism splits within defect classes (Section 4.2 narratives).
+DUPLICATE_KIND_WEIGHTS = {
+    "leaf": 0.73,          # 4,730 of ~6.5k duplicated-cert instances
+    "intermediate": 0.21,  # 1,354
+    "root": 0.06,          # 401
+}
+DUPLICATE_LEAF_ADJACENT_RATE = 0.89  # 4,231 of 4,730 right behind the leaf
+
+IRRELEVANT_KIND_WEIGHTS = {
+    "stale_leaves": 0.30,        # outdated leaves left behind on renewal
+    "unrelated_root": 0.15,      # extra self-signed roots
+    "foreign_chain": 0.28,       # (part of) someone else's chain
+    "mixed_extras": 0.27,        # miscellaneous unrelated certificates
+}
+
+#: Among reversed chains, how often the whole tail is reversed (8,370 of
+#: 8,566) versus only a misplaced cross-sign segment.
+REVERSED_FULL_RATE = 0.977
+
+#: Incomplete-chain internals (Section 4.3).  The missing-one rate is a
+#: *conditional* sampling rate: depth-1 hierarchies can only ever miss
+#: one intermediate, so 0.60 across the depth mix lands the corpus-level
+#: share at the paper's 72.2%.
+INCOMPLETE_MISSING_ONE_RATE = 0.60
+INCOMPLETE_AIA_MISSING_RATE = 0.048   # 579 / 12,087 lack the AIA field
+INCOMPLETE_AIA_DEAD_RATE = 0.0073     # 88 / 12,087 dead URI
+INCOMPLETE_AIA_WRONG_RATE = 0.0001    # the 1 CAcert-style case
+
+#: The Table 8 cohort: chains whose root can only be identified via an
+#: AIA download (legacy re-issued roots) — ~24.9% of all domains.
+LEGACY_ROOT_RATE = 0.249
+
+#: Misconfiguration correlates with neglect: deployments that exhibit a
+#: structural defect also run expired leaf certificates far more often.
+#: Calibrated so the §5.2 pass-all rates land near the paper's 61.1%
+#: (browsers) and 47.4% (libraries) over the non-compliant subset.
+DEFECT_EXPIRED_LEAF_RATE = 0.22
+
+#: Multi-vantage / multi-version serving quirks (Section 3.1).
+VANTAGE_DIFFERENT_CHAIN_RATE = 0.010
+VERSION_DIFFERENT_CHAIN_RATE = 0.012
+VANTAGE_UNREACHABLE_RATE = 0.040
+
+
+@dataclass(frozen=True, slots=True)
+class DefectPlan:
+    """The sampled misconfiguration plan for one domain.
+
+    Field semantics mirror the class names; ``None``/empty means "not
+    this defect".  The deployment builder materialises the plan into an
+    actual certificate list.
+    """
+
+    leaf_placement: str            # "matched" | "mismatched" | "other"
+    duplicate_kind: str | None     # "leaf" | "intermediate" | "root" | "block"
+    duplicate_adjacent: bool
+    irrelevant_kind: str | None
+    multiple_paths: bool
+    reversed_seq: bool
+    reversed_full: bool
+    incomplete: bool
+    incomplete_missing_one: bool
+    incomplete_aia_failure: str | None  # None | "missing" | "dead" | "wrong"
+    leaf_expired: bool = False
+
+    @property
+    def primary_defect(self) -> str | None:
+        """The defect used to condition HTTP-server assignment.
+
+        Priority follows the paper's attribution order: duplicates are
+        the most interface-specific, then reversals, then the rest.
+        """
+        if self.duplicate_kind is not None:
+            return f"duplicate_{'leaf' if self.duplicate_kind == 'block' else self.duplicate_kind}"
+        if self.reversed_seq:
+            return "reversed"
+        if self.irrelevant_kind is not None:
+            return "irrelevant"
+        if self.multiple_paths:
+            return "multiple_paths"
+        if self.incomplete:
+            return "incomplete"
+        return None
+
+    @property
+    def any_defect(self) -> bool:
+        return self.primary_defect is not None
+
+
+def sample_defect_plan(rng: random.Random, ca_name: str,
+                       *, supports_cross_sign: bool) -> DefectPlan:
+    """Sample one domain's misconfiguration plan for ``ca_name``."""
+    rates = CA_DEFECT_RATES.get(ca_name, CA_DEFECT_RATES["other"])
+
+    roll = rng.random()
+    if roll < LEAF_MATCHED_RATE:
+        leaf_placement = "matched"
+    elif roll < LEAF_MATCHED_RATE + LEAF_MISMATCHED_RATE:
+        leaf_placement = "mismatched"
+    else:
+        leaf_placement = "other"
+
+    duplicate_kind: str | None = None
+    duplicate_adjacent = False
+    if rng.random() < rates.duplicate:
+        kinds = list(DUPLICATE_KIND_WEIGHTS)
+        duplicate_kind = rng.choices(
+            kinds, weights=[DUPLICATE_KIND_WEIGHTS[k] for k in kinds], k=1
+        )[0]
+        if duplicate_kind == "leaf":
+            duplicate_adjacent = rng.random() < DUPLICATE_LEAF_ADJACENT_RATE
+        # The ns3.link-style repeated-block pathology is vanishingly
+        # rare (4 of 906k); sample it off the intermediate branch.
+        if duplicate_kind == "intermediate" and rng.random() < 0.004:
+            duplicate_kind = "block"
+
+    irrelevant_kind: str | None = None
+    if rng.random() < rates.irrelevant:
+        kinds = list(IRRELEVANT_KIND_WEIGHTS)
+        irrelevant_kind = rng.choices(
+            kinds, weights=[IRRELEVANT_KIND_WEIGHTS[k] for k in kinds], k=1
+        )[0]
+
+    multiple_paths = supports_cross_sign and rng.random() < rates.multiple_paths
+
+    reversed_seq = rng.random() < rates.reversed_seq
+    reversed_full = rng.random() < REVERSED_FULL_RATE
+
+    incomplete = rng.random() < rates.incomplete
+    incomplete_missing_one = rng.random() < INCOMPLETE_MISSING_ONE_RATE
+    aia_failure: str | None = None
+    if incomplete:
+        roll = rng.random()
+        if roll < INCOMPLETE_AIA_WRONG_RATE:
+            aia_failure = "wrong"
+        elif roll < INCOMPLETE_AIA_WRONG_RATE + INCOMPLETE_AIA_DEAD_RATE:
+            aia_failure = "dead"
+        elif roll < (INCOMPLETE_AIA_WRONG_RATE + INCOMPLETE_AIA_DEAD_RATE
+                     + INCOMPLETE_AIA_MISSING_RATE):
+            aia_failure = "missing"
+
+    any_defect = (
+        duplicate_kind is not None or irrelevant_kind is not None
+        or multiple_paths or reversed_seq or incomplete
+    )
+    leaf_expired = any_defect and rng.random() < DEFECT_EXPIRED_LEAF_RATE
+
+    return DefectPlan(
+        leaf_placement=leaf_placement,
+        duplicate_kind=duplicate_kind,
+        duplicate_adjacent=duplicate_adjacent,
+        irrelevant_kind=irrelevant_kind,
+        multiple_paths=multiple_paths,
+        reversed_seq=reversed_seq,
+        reversed_full=reversed_full,
+        incomplete=incomplete,
+        incomplete_missing_one=incomplete_missing_one,
+        incomplete_aia_failure=aia_failure,
+        leaf_expired=leaf_expired,
+    )

@@ -1,0 +1,230 @@
+"""Serialisation of certificates to and from a PEM-like container.
+
+Real DER is not reproduced — the simulated certificates are not ASN.1
+objects — but the container format keeps the familiar Web PKI workflow:
+``-----BEGIN CERTIFICATE-----`` blocks wrapping base64 of a canonical
+JSON payload, multiple blocks concatenated into bundle files exactly as
+CAs ship ``fullchain.pem`` / ``ca-bundle.pem``.  Round-tripping is
+loss-less, including signatures, so fingerprints survive encoding.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import textwrap
+from datetime import datetime
+
+from repro.errors import EncodingError
+from repro.x509.certificate import Certificate
+from repro.x509.extensions import (
+    AccessDescription,
+    AuthorityInformationAccess,
+    AuthorityKeyIdentifier,
+    BasicConstraints,
+    Extension,
+    ExtensionSet,
+    ExtendedKeyUsage,
+    GeneralName,
+    KeyUsage,
+    NameConstraints,
+    OpaqueExtension,
+    SubjectAlternativeName,
+    SubjectKeyIdentifier,
+)
+from repro.x509.keys import PublicKey
+from repro.x509.name import Name, NameAttribute, RelativeDistinguishedName
+from repro.x509.oid import ExtensionOID, lookup
+from repro.x509.validity import Validity, ensure_utc
+
+_PEM_HEADER = "-----BEGIN CERTIFICATE-----"
+_PEM_FOOTER = "-----END CERTIFICATE-----"
+
+
+# ---------------------------------------------------------------------------
+# Name serialisation
+# ---------------------------------------------------------------------------
+
+def _name_to_obj(name: Name) -> list[list[list[str]]]:
+    return [
+        [[attr.oid.dotted, attr.value] for attr in rdn.attributes]
+        for rdn in name.rdns
+    ]
+
+
+def _name_from_obj(obj: list[list[list[str]]]) -> Name:
+    return Name(
+        RelativeDistinguishedName(
+            tuple(NameAttribute(lookup(dotted), value) for dotted, value in rdn)
+        )
+        for rdn in obj
+    )
+
+
+# ---------------------------------------------------------------------------
+# Extension serialisation
+# ---------------------------------------------------------------------------
+
+def _ext_to_obj(ext: Extension) -> dict:
+    base = {"oid": ext.oid.dotted, "critical": ext.critical}
+    if isinstance(ext, SubjectAlternativeName):
+        base["kind"] = "san"
+        base["names"] = [[n.kind, n.value] for n in ext.names]
+    elif isinstance(ext, SubjectKeyIdentifier):
+        base["kind"] = "skid"
+        base["key_id"] = ext.key_id.hex()
+    elif isinstance(ext, AuthorityKeyIdentifier):
+        base["kind"] = "akid"
+        base["key_id"] = ext.key_id.hex() if ext.key_id is not None else None
+        base["issuer"] = ext.authority_cert_issuer
+        base["serial"] = ext.authority_cert_serial
+    elif isinstance(ext, AuthorityInformationAccess):
+        base["kind"] = "aia"
+        base["descriptions"] = [[d.method.dotted, d.uri] for d in ext.descriptions]
+    elif isinstance(ext, BasicConstraints):
+        base["kind"] = "bc"
+        base["ca"] = ext.ca
+        base["path_length"] = ext.path_length
+    elif isinstance(ext, KeyUsage):
+        base["kind"] = "ku"
+        base["bits"] = sorted(ext.bits)
+    elif isinstance(ext, ExtendedKeyUsage):
+        base["kind"] = "eku"
+        base["purposes"] = [p.dotted for p in ext.purposes]
+    elif isinstance(ext, NameConstraints):
+        base["kind"] = "nc"
+        base["permitted"] = list(ext.permitted)
+        base["excluded"] = list(ext.excluded)
+    else:
+        base["kind"] = "opaque"
+        base["value"] = ext.encode_value().hex()
+    return base
+
+
+def _ext_from_obj(obj: dict) -> Extension:
+    kind = obj.get("kind")
+    critical = bool(obj.get("critical", False))
+    if kind == "san":
+        return SubjectAlternativeName(
+            tuple(GeneralName(k, v) for k, v in obj["names"]), critical
+        )
+    if kind == "skid":
+        return SubjectKeyIdentifier(bytes.fromhex(obj["key_id"]), critical)
+    if kind == "akid":
+        key_id = obj.get("key_id")
+        return AuthorityKeyIdentifier(
+            bytes.fromhex(key_id) if key_id is not None else None,
+            obj.get("issuer"),
+            obj.get("serial"),
+            critical,
+        )
+    if kind == "aia":
+        return AuthorityInformationAccess(
+            tuple(AccessDescription(lookup(m), u) for m, u in obj["descriptions"]),
+            critical,
+        )
+    if kind == "bc":
+        return BasicConstraints(obj["ca"], obj.get("path_length"), critical)
+    if kind == "ku":
+        return KeyUsage(frozenset(obj["bits"]), critical)
+    if kind == "eku":
+        return ExtendedKeyUsage(tuple(lookup(p) for p in obj["purposes"]), critical)
+    if kind == "nc":
+        return NameConstraints(
+            tuple(obj["permitted"]), tuple(obj["excluded"]), critical
+        )
+    if kind == "opaque":
+        return OpaqueExtension(lookup(obj["oid"]), bytes.fromhex(obj["value"]), critical)
+    raise EncodingError(f"unknown extension kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Certificate serialisation
+# ---------------------------------------------------------------------------
+
+def certificate_to_dict(cert: Certificate) -> dict:
+    """A JSON-serialisable representation of the certificate."""
+    return {
+        "version": cert.version,
+        "serial": cert.serial_number,
+        "subject": _name_to_obj(cert.subject),
+        "issuer": _name_to_obj(cert.issuer),
+        "not_before": cert.validity.not_before.isoformat(),
+        "not_after": cert.validity.not_after.isoformat(),
+        "key_scheme": cert.public_key.scheme,
+        "key_bytes": cert.public_key.key_bytes.hex(),
+        "sig_alg": (
+            cert.signature_algorithm.dotted
+            if cert.signature_algorithm is not None
+            else None
+        ),
+        "signature": cert.signature.hex(),
+        "extensions": [_ext_to_obj(ext) for ext in cert.extensions],
+    }
+
+
+def certificate_from_dict(obj: dict) -> Certificate:
+    """Inverse of :func:`certificate_to_dict`."""
+    try:
+        return Certificate(
+            version=obj["version"],
+            serial_number=obj["serial"],
+            subject=_name_from_obj(obj["subject"]),
+            issuer=_name_from_obj(obj["issuer"]),
+            validity=Validity(
+                ensure_utc(datetime.fromisoformat(obj["not_before"])),
+                ensure_utc(datetime.fromisoformat(obj["not_after"])),
+            ),
+            public_key=PublicKey(obj["key_scheme"], bytes.fromhex(obj["key_bytes"])),
+            extensions=ExtensionSet(
+                tuple(_ext_from_obj(e) for e in obj["extensions"])
+            ),
+            signature_algorithm=(
+                lookup(obj["sig_alg"]) if obj.get("sig_alg") else None
+            ),
+            signature=bytes.fromhex(obj["signature"]),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise EncodingError(f"malformed certificate payload: {exc}") from exc
+
+
+def to_pem(cert: Certificate) -> str:
+    """Encode one certificate as a PEM block."""
+    payload = json.dumps(certificate_to_dict(cert), separators=(",", ":"))
+    body = base64.b64encode(payload.encode()).decode()
+    wrapped = "\n".join(textwrap.wrap(body, 64))
+    return f"{_PEM_HEADER}\n{wrapped}\n{_PEM_FOOTER}\n"
+
+
+def from_pem(text: str) -> Certificate:
+    """Decode exactly one PEM block; raises if zero or several are present."""
+    certs = load_pem_bundle(text)
+    if len(certs) != 1:
+        raise EncodingError(f"expected exactly one PEM block, found {len(certs)}")
+    return certs[0]
+
+
+def to_pem_bundle(certs: list[Certificate]) -> str:
+    """Concatenate PEM blocks the way ``fullchain.pem`` files do."""
+    return "".join(to_pem(cert) for cert in certs)
+
+
+def load_pem_bundle(text: str) -> list[Certificate]:
+    """Parse every PEM certificate block in ``text``, in file order."""
+    certs: list[Certificate] = []
+    remainder = text
+    while True:
+        start = remainder.find(_PEM_HEADER)
+        if start < 0:
+            break
+        end = remainder.find(_PEM_FOOTER, start)
+        if end < 0:
+            raise EncodingError("unterminated PEM block")
+        body = remainder[start + len(_PEM_HEADER):end]
+        remainder = remainder[end + len(_PEM_FOOTER):]
+        try:
+            payload = base64.b64decode("".join(body.split()), validate=True)
+            certs.append(certificate_from_dict(json.loads(payload)))
+        except (ValueError, json.JSONDecodeError) as exc:
+            raise EncodingError(f"corrupt PEM body: {exc}") from exc
+    return certs

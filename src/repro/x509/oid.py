@@ -1,0 +1,114 @@
+"""Object identifier (OID) registry for the X.509 substrate.
+
+Only the OIDs that matter for chain construction and the paper's
+compliance rules are modelled.  Each OID is represented by an
+:class:`ObjectIdentifier` carrying the dotted-decimal string and a short
+human-readable name, mirroring how RFC 5280 names them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectIdentifier:
+    """A dotted-decimal object identifier with a display name.
+
+    Instances are immutable and hashable so they can key dictionaries of
+    extensions or RDN attributes.
+    """
+
+    dotted: str
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name} ({self.dotted})"
+
+    @property
+    def arcs(self) -> tuple[int, ...]:
+        """The OID as a tuple of integer arcs."""
+        return tuple(int(part) for part in self.dotted.split("."))
+
+
+class NameOID:
+    """Attribute-type OIDs used inside distinguished names."""
+
+    COMMON_NAME = ObjectIdentifier("2.5.4.3", "commonName")
+    COUNTRY_NAME = ObjectIdentifier("2.5.4.6", "countryName")
+    LOCALITY_NAME = ObjectIdentifier("2.5.4.7", "localityName")
+    STATE_OR_PROVINCE = ObjectIdentifier("2.5.4.8", "stateOrProvinceName")
+    ORGANIZATION_NAME = ObjectIdentifier("2.5.4.10", "organizationName")
+    ORGANIZATIONAL_UNIT = ObjectIdentifier("2.5.4.11", "organizationalUnitName")
+    SERIAL_NUMBER = ObjectIdentifier("2.5.4.5", "serialNumber")
+    EMAIL_ADDRESS = ObjectIdentifier("1.2.840.113549.1.9.1", "emailAddress")
+
+
+class ExtensionOID:
+    """Extension OIDs relevant to chain construction (RFC 5280 §4.2)."""
+
+    SUBJECT_ALTERNATIVE_NAME = ObjectIdentifier("2.5.29.17", "subjectAltName")
+    SUBJECT_KEY_IDENTIFIER = ObjectIdentifier("2.5.29.14", "subjectKeyIdentifier")
+    AUTHORITY_KEY_IDENTIFIER = ObjectIdentifier("2.5.29.35", "authorityKeyIdentifier")
+    BASIC_CONSTRAINTS = ObjectIdentifier("2.5.29.19", "basicConstraints")
+    KEY_USAGE = ObjectIdentifier("2.5.29.15", "keyUsage")
+    EXTENDED_KEY_USAGE = ObjectIdentifier("2.5.29.37", "extKeyUsage")
+    AUTHORITY_INFORMATION_ACCESS = ObjectIdentifier(
+        "1.3.6.1.5.5.7.1.1", "authorityInfoAccess"
+    )
+    CRL_DISTRIBUTION_POINTS = ObjectIdentifier("2.5.29.31", "cRLDistributionPoints")
+    CERTIFICATE_POLICIES = ObjectIdentifier("2.5.29.32", "certificatePolicies")
+    NAME_CONSTRAINTS = ObjectIdentifier("2.5.29.30", "nameConstraints")
+
+
+class AccessMethodOID:
+    """Access-method OIDs inside the AIA extension (RFC 5280 §4.2.2.1)."""
+
+    CA_ISSUERS = ObjectIdentifier("1.3.6.1.5.5.7.48.2", "caIssuers")
+    OCSP = ObjectIdentifier("1.3.6.1.5.5.7.48.1", "ocsp")
+
+
+class EKUOID:
+    """Extended key usage purpose OIDs (RFC 5280 §4.2.1.12)."""
+
+    SERVER_AUTH = ObjectIdentifier("1.3.6.1.5.5.7.3.1", "serverAuth")
+    CLIENT_AUTH = ObjectIdentifier("1.3.6.1.5.5.7.3.2", "clientAuth")
+    CODE_SIGNING = ObjectIdentifier("1.3.6.1.5.5.7.3.3", "codeSigning")
+    EMAIL_PROTECTION = ObjectIdentifier("1.3.6.1.5.5.7.3.4", "emailProtection")
+    OCSP_SIGNING = ObjectIdentifier("1.3.6.1.5.5.7.3.9", "OCSPSigning")
+    ANY = ObjectIdentifier("2.5.29.37.0", "anyExtendedKeyUsage")
+
+
+class SignatureAlgorithmOID:
+    """Signature algorithm OIDs carried in the certificate body."""
+
+    SIMULATED_BLAKE2 = ObjectIdentifier("1.3.6.1.4.1.99999.1", "simulated-blake2")
+    ECDSA_WITH_SHA256 = ObjectIdentifier("1.2.840.10045.4.3.2", "ecdsa-with-SHA256")
+    RSA_WITH_SHA256 = ObjectIdentifier(
+        "1.2.840.113549.1.1.11", "sha256WithRSAEncryption"
+    )
+    RSA_WITH_SHA1 = ObjectIdentifier("1.2.840.113549.1.1.5", "sha1WithRSAEncryption")
+
+
+_REGISTRY: dict[str, ObjectIdentifier] = {}
+for _cls in (NameOID, ExtensionOID, AccessMethodOID, EKUOID, SignatureAlgorithmOID):
+    for _attr in vars(_cls).values():
+        if isinstance(_attr, ObjectIdentifier):
+            _REGISTRY[_attr.dotted] = _attr
+
+
+def lookup(dotted: str) -> ObjectIdentifier:
+    """Return the registered OID for ``dotted``, or a fresh unnamed one.
+
+    Unknown OIDs are not an error: real certificates carry extensions we do
+    not model, and the compliance analysis must tolerate them.
+    """
+    try:
+        return _REGISTRY[dotted]
+    except KeyError:
+        return ObjectIdentifier(dotted, "unknown")
+
+
+def registered_oids() -> dict[str, ObjectIdentifier]:
+    """A copy of the full OID registry keyed by dotted string."""
+    return dict(_REGISTRY)

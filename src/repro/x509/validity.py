@@ -1,0 +1,85 @@
+"""Certificate validity periods.
+
+The paper's chain-construction priorities (Table 2 test 4, Figure 5)
+depend on fine distinctions between validity periods: which candidate is
+currently valid, which was issued most recently, which lasts longest.
+:class:`Validity` provides those comparisons in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta, timezone
+
+
+def utc(year: int, month: int = 1, day: int = 1,
+        hour: int = 0, minute: int = 0, second: int = 0) -> datetime:
+    """A timezone-aware UTC datetime, the only kind this library uses."""
+    return datetime(year, month, day, hour, minute, second, tzinfo=timezone.utc)
+
+
+def ensure_utc(value: datetime) -> datetime:
+    """Coerce a datetime to timezone-aware UTC; naive values are rejected.
+
+    Mixing naive and aware datetimes is the classic source of subtle
+    expiry bugs, so we refuse naive input outright.
+    """
+    if value.tzinfo is None:
+        raise ValueError("naive datetime; use repro.x509.validity.utc(...)")
+    return value.astimezone(timezone.utc)
+
+
+@dataclass(frozen=True, slots=True)
+class Validity:
+    """A [not_before, not_after] validity window (inclusive, RFC 5280 §4.1.2.5)."""
+
+    not_before: datetime
+    not_after: datetime
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "not_before", ensure_utc(self.not_before))
+        object.__setattr__(self, "not_after", ensure_utc(self.not_after))
+        if self.not_after < self.not_before:
+            raise ValueError(
+                f"not_after {self.not_after} precedes not_before {self.not_before}"
+            )
+
+    @classmethod
+    def from_duration(cls, not_before: datetime, *, days: int) -> "Validity":
+        """A window starting at ``not_before`` and lasting ``days`` days."""
+        start = ensure_utc(not_before)
+        return cls(start, start + timedelta(days=days))
+
+    @property
+    def duration(self) -> timedelta:
+        return self.not_after - self.not_before
+
+    def contains(self, moment: datetime) -> bool:
+        """True if ``moment`` is inside the window (boundaries included)."""
+        moment = ensure_utc(moment)
+        return self.not_before <= moment <= self.not_after
+
+    def is_expired(self, moment: datetime) -> bool:
+        return ensure_utc(moment) > self.not_after
+
+    def is_not_yet_valid(self, moment: datetime) -> bool:
+        return ensure_utc(moment) < self.not_before
+
+    def overlaps(self, other: "Validity") -> bool:
+        """True if the two windows share at least one instant."""
+        return self.not_before <= other.not_after and other.not_before <= self.not_after
+
+    def more_recent_than(self, other: "Validity") -> bool:
+        """Issued later (strictly greater not_before) — the Figure 5 rule."""
+        return self.not_before > other.not_before
+
+    def longer_than(self, other: "Validity") -> bool:
+        """Strictly longer total duration."""
+        return self.duration > other.duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fmt = "%Y-%m-%dT%H:%M:%SZ"
+        return (
+            f"Validity({self.not_before.strftime(fmt)} .. "
+            f"{self.not_after.strftime(fmt)})"
+        )

@@ -1,0 +1,99 @@
+"""CA delivery: bundle files per profile and the naive-merge defect."""
+
+import pytest
+
+from repro.ca import (
+    BUNDLE_FILE,
+    FULLCHAIN_FILE,
+    GOGETSSL,
+    LEAF_FILE,
+    LETS_ENCRYPT,
+    TRUSTICO,
+    build_cross_signed_pair,
+    build_hierarchy,
+    deliver,
+)
+from repro.core import OrderDefect, analyze_order
+from repro.errors import IssuanceError
+from repro.x509 import load_pem_bundle
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = build_hierarchy("Deliver", depth=2, key_seed_prefix="deliver")
+    return h, h.issue_leaf("deliver.example")
+
+
+class TestFileLayouts:
+    def test_lets_encrypt_ships_fullchain(self, world):
+        h, leaf = world
+        bundle = deliver(h, leaf, LETS_ENCRYPT)
+        assert bundle.has_fullchain
+        fullchain = bundle.files[FULLCHAIN_FILE]
+        assert fullchain[0] is leaf
+        assert analyze_order(fullchain).compliant
+
+    def test_gogetssl_ships_reversed_bundle_with_root(self, world):
+        h, leaf = world
+        bundle = deliver(h, leaf, GOGETSSL)
+        assert not bundle.has_fullchain
+        ca_bundle = bundle.files[BUNDLE_FILE]
+        assert ca_bundle[0].is_self_signed  # root first — reversed
+        assert ca_bundle[-1] == h.intermediates[-1].certificate
+
+    def test_leaf_file_contains_only_leaf(self, world):
+        h, leaf = world
+        bundle = deliver(h, leaf, GOGETSSL)
+        assert bundle.files[LEAF_FILE] == [leaf]
+
+    def test_missing_file_raises(self, world):
+        h, leaf = world
+        bundle = deliver(h, leaf, GOGETSSL)
+        with pytest.raises(IssuanceError):
+            bundle.pem(FULLCHAIN_FILE)
+
+    def test_pem_rendering_parses_back(self, world):
+        h, leaf = world
+        bundle = deliver(h, leaf, LETS_ENCRYPT)
+        assert load_pem_bundle(bundle.pem(FULLCHAIN_FILE)) == (
+            bundle.files[FULLCHAIN_FILE]
+        )
+
+
+class TestNaiveConcatenation:
+    def test_reversed_bundle_merge_produces_reversed_chain(self, world):
+        h, leaf = world
+        merged = deliver(h, leaf, TRUSTICO).naive_concatenation()
+        analysis = analyze_order(merged)
+        assert analysis.has(OrderDefect.REVERSED_SEQUENCES)
+
+    def test_compliant_bundle_merge_stays_compliant(self, world):
+        h, leaf = world
+        merged = deliver(h, leaf, LETS_ENCRYPT).naive_concatenation()
+        assert analyze_order(merged).compliant
+
+
+class TestOmissionsAndCrossSigns:
+    def test_omitted_intermediate(self, world):
+        h, leaf = world
+        bundle = deliver(h, leaf, LETS_ENCRYPT, omit_intermediate_index=1)
+        merged = bundle.naive_concatenation()
+        assert h.intermediates[0].certificate not in merged
+
+    def test_omit_index_clamped(self, world):
+        h, leaf = world
+        bundle = deliver(h, leaf, LETS_ENCRYPT, omit_intermediate_index=99)
+        assert len(bundle.files[BUNDLE_FILE]) == 1
+
+    def test_cross_signed_bundle_includes_variant(self):
+        primary, _legacy, cross = build_cross_signed_pair(
+            "DeliverXS", key_seed_prefix="deliver-xs"
+        )
+        from repro.ca import SECTIGO
+
+        leaf = primary.issue_leaf("xs-deliver.example")
+        bundle = deliver(primary, leaf, SECTIGO)
+        ca_bundle = bundle.files[BUNDLE_FILE]
+        assert cross in ca_bundle
+        original = primary.intermediates[0].certificate
+        assert ca_bundle.index(cross) == ca_bundle.index(original) + 1

@@ -1,0 +1,99 @@
+"""Hierarchy construction helpers."""
+
+import pytest
+
+from repro.ca import (
+    Hierarchy,
+    build_cross_signed_pair,
+    build_hierarchy,
+    build_long_chain,
+)
+from repro.core import ChainTopology, issued
+from repro.errors import HierarchyError
+
+
+class TestBuildHierarchy:
+    def test_depth_zero_root_signs_leaves(self):
+        h = build_hierarchy("Zero", depth=0, key_seed_prefix="h0")
+        leaf = h.issue_leaf("z.example")
+        assert issued(h.root.certificate, leaf)
+        assert h.chain_for(leaf) == [leaf]
+
+    def test_depth_two_ladder_links(self):
+        h = build_hierarchy("Two", depth=2, key_seed_prefix="h2")
+        root, i1, i2 = h.authorities
+        assert issued(root.certificate, i1.certificate)
+        assert issued(i1.certificate, i2.certificate)
+        assert not issued(root.certificate, i2.certificate)
+
+    def test_chain_for_orders_leaf_first(self):
+        h = build_hierarchy("Order", depth=2, key_seed_prefix="ho")
+        leaf = h.issue_leaf("o.example")
+        chain = h.chain_for(leaf)
+        assert chain[0] is leaf
+        assert ChainTopology(chain).is_single_compliant_path()
+
+    def test_chain_for_include_root(self):
+        h = build_hierarchy("Root", depth=1, key_seed_prefix="hr")
+        leaf = h.issue_leaf("r.example")
+        chain = h.chain_for(leaf, include_root=True)
+        assert chain[-1].is_self_signed
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(HierarchyError):
+            build_hierarchy("Neg", depth=-1)
+
+    def test_path_lengths_applied_per_intermediate(self):
+        h = build_hierarchy("PL", depth=2, key_seed_prefix="hpl",
+                            path_lengths=(1, 0))
+        assert h.intermediates[0].certificate.path_length_constraint == 1
+        assert h.intermediates[1].certificate.path_length_constraint == 0
+
+    def test_path_lengths_arity_checked(self):
+        with pytest.raises(HierarchyError):
+            build_hierarchy("Bad", depth=2, path_lengths=(1,))
+
+    def test_seeded_hierarchies_are_reproducible(self):
+        a = build_hierarchy("Seeded", depth=1, key_seed_prefix="same")
+        b = build_hierarchy("Seeded", depth=1, key_seed_prefix="same")
+        assert a.root.certificate.public_key == b.root.certificate.public_key
+
+    def test_hierarchy_requires_self_signed_head(self):
+        h = build_hierarchy("Head", depth=1, key_seed_prefix="hh")
+        with pytest.raises(HierarchyError):
+            Hierarchy([h.intermediates[0]])
+
+    def test_all_certificates_lists_everything(self):
+        h = build_hierarchy("All", depth=2, key_seed_prefix="ha")
+        assert len(h.all_certificates()) == 3
+
+
+class TestCrossSignedPair:
+    def test_cross_sign_creates_second_parent(self):
+        primary, legacy, cross = build_cross_signed_pair(
+            "XS", key_seed_prefix="xs"
+        )
+        intermediate = primary.intermediates[0].certificate
+        assert issued(primary.root.certificate, intermediate)
+        leaf = primary.issue_leaf("xs.example")
+        chain = [leaf, intermediate, cross,
+                 primary.root.certificate, legacy.root.certificate]
+        topology = ChainTopology(chain)
+        assert topology.has_multiple_paths
+
+    def test_cross_recorded_on_primary(self):
+        primary, _legacy, cross = build_cross_signed_pair(
+            "XSR", key_seed_prefix="xsr"
+        )
+        assert cross in primary.cross_signed
+        assert cross in primary.all_certificates()
+
+
+class TestLongChain:
+    def test_long_chain_depth(self):
+        h = build_long_chain("Long", 10, key_seed_prefix="hl")
+        assert len(h.intermediates) == 10
+        leaf = h.issue_leaf("long.example")
+        chain = h.chain_for(leaf, include_root=True)
+        assert len(chain) == 12
+        assert ChainTopology(chain).is_single_compliant_path()

@@ -1,0 +1,147 @@
+"""Chain mutation operators: purity and semantics of each."""
+
+import random
+
+import pytest
+
+from repro.ca import build_hierarchy, malform
+from repro.core import ChainTopology, OrderDefect, analyze_order
+
+
+@pytest.fixture(scope="module")
+def setup():
+    h = build_hierarchy("Malform", depth=2, key_seed_prefix="malform")
+    leaf = h.issue_leaf("malform.example")
+    other = build_hierarchy("MalformOther", depth=1,
+                            key_seed_prefix="malform-other")
+    return h, leaf, h.chain_for(leaf, include_root=True), other
+
+
+class TestPurity:
+    def test_operators_do_not_mutate_input(self, setup):
+        _h, _leaf, chain, other = setup
+        snapshot = list(chain)
+        malform.reverse_chain(chain)
+        malform.reverse_intermediates(chain)
+        malform.duplicate_leaf(chain)
+        malform.insert_irrelevant(chain, [other.root.certificate])
+        malform.drop_intermediates(chain, [1])
+        malform.shuffle_chain(chain, random.Random(0))
+        malform.swap(chain, 0, 1)
+        malform.move_leaf(chain, 2)
+        assert chain == snapshot
+
+
+class TestReversals:
+    def test_reverse_chain(self, setup):
+        _h, leaf, chain, _ = setup
+        reversed_ = malform.reverse_chain(chain)
+        assert reversed_[-1] is leaf
+        assert reversed_[0].is_self_signed
+
+    def test_reverse_intermediates_keeps_leaf_first(self, setup):
+        _h, leaf, chain, _ = setup
+        result = malform.reverse_intermediates(chain)
+        assert result[0] is leaf
+        assert result[1:] == list(reversed(chain[1:]))
+        analysis = analyze_order(result)
+        assert analysis.has(OrderDefect.REVERSED_SEQUENCES)
+
+    def test_reverse_intermediates_short_chain_unchanged(self, setup):
+        _h, leaf, chain, _ = setup
+        assert malform.reverse_intermediates([leaf, chain[1]]) == [leaf, chain[1]]
+
+
+class TestDuplicates:
+    def test_duplicate_leaf_adjacent(self, setup):
+        _h, leaf, chain, _ = setup
+        result = malform.duplicate_leaf(chain)
+        assert result[0] == result[1] == leaf
+        assert len(result) == len(chain) + 1
+
+    def test_duplicate_leaf_at_end(self, setup):
+        _h, leaf, chain, _ = setup
+        result = malform.duplicate_leaf(chain, adjacent=False)
+        assert result[-1] == leaf
+
+    def test_duplicate_leaf_multiple_copies(self, setup):
+        _h, _leaf, chain, _ = setup
+        result = malform.duplicate_leaf(chain, copies=3)
+        assert len(result) == len(chain) + 3
+
+    def test_duplicate_leaf_empty_chain(self):
+        assert malform.duplicate_leaf([]) == []
+
+    def test_duplicate_certificate_by_index(self, setup):
+        _h, _leaf, chain, _ = setup
+        result = malform.duplicate_certificate(chain, 1, copies=2)
+        assert result.count(chain[1]) == 3
+
+    def test_duplicate_block(self, setup):
+        _h, _leaf, chain, _ = setup
+        result = malform.duplicate_block(chain, [1, 2], repetitions=3)
+        assert len(result) == len(chain) + 6
+        assert ChainTopology(result).max_duplicate_count == 4
+
+
+class TestIrrelevantAndDrops:
+    def test_insert_irrelevant_appends(self, setup):
+        _h, _leaf, chain, other = setup
+        result = malform.insert_irrelevant(chain, [other.root.certificate])
+        assert result[-1] == other.root.certificate
+        assert analyze_order(result).has(OrderDefect.IRRELEVANT_CERTIFICATES)
+
+    def test_insert_irrelevant_at_position(self, setup):
+        _h, _leaf, chain, other = setup
+        result = malform.insert_irrelevant(
+            chain, [other.root.certificate], position=1
+        )
+        assert result[1] == other.root.certificate
+
+    def test_drop_intermediates(self, setup):
+        _h, leaf, chain, _ = setup
+        result = malform.drop_intermediates(chain, [1])
+        assert chain[1] not in result
+        assert result[0] is leaf
+
+    def test_drop_all_but_leaf(self, setup):
+        _h, leaf, chain, _ = setup
+        assert malform.drop_all_but_leaf(chain) == [leaf]
+
+    def test_append_stale_leaves_inserts_behind_leaf(self, setup):
+        h, leaf, chain, _ = setup
+        stale = [h.issue_leaf("malform.example") for _ in range(2)]
+        result = malform.append_stale_leaves(chain, stale)
+        assert result[0] is leaf
+        assert result[1:3] == stale
+
+
+class TestRearrangements:
+    def test_shuffle_with_pinned_leaf(self, setup):
+        _h, leaf, chain, _ = setup
+        result = malform.shuffle_chain(chain, random.Random(7),
+                                       keep_leaf_first=True)
+        assert result[0] is leaf
+        assert sorted(c.fingerprint for c in result) == sorted(
+            c.fingerprint for c in chain
+        )
+
+    def test_shuffle_is_seed_deterministic(self, setup):
+        _h, _leaf, chain, _ = setup
+        a = malform.shuffle_chain(chain, random.Random(3))
+        b = malform.shuffle_chain(chain, random.Random(3))
+        assert a == b
+
+    def test_swap(self, setup):
+        _h, _leaf, chain, _ = setup
+        result = malform.swap(chain, 0, 2)
+        assert result[0] == chain[2] and result[2] == chain[0]
+
+    def test_move_leaf(self, setup):
+        _h, leaf, chain, _ = setup
+        result = malform.move_leaf(chain, 2)
+        assert result[2] is leaf
+        assert len(result) == len(chain)
+
+    def test_move_leaf_empty(self):
+        assert malform.move_leaf([], 1) == []

@@ -1,0 +1,89 @@
+"""CA profiles: Table 6 regeneration and validation."""
+
+import pytest
+
+from repro.ca import (
+    ALL_CAS,
+    CAProfile,
+    GOGETSSL,
+    LETS_ENCRYPT,
+    PROFILED_CAS,
+    TABLE6_CAS,
+    TRUSTICO,
+    profile_by_name,
+    table6_rows,
+)
+
+
+class TestProfiles:
+    def test_eight_profiled_cas(self):
+        assert len(PROFILED_CAS) == 8
+
+    def test_lookup_by_name(self):
+        assert profile_by_name("gogetssl") is GOGETSSL
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            profile_by_name("honest-achmed")
+
+    def test_reversed_resellers(self):
+        reversed_cas = [p.name for p in ALL_CAS if p.bundle_order == "reversed"]
+        assert sorted(reversed_cas) == ["cyber-folks", "gogetssl", "trustico"]
+
+    def test_lets_encrypt_automated_and_compliant(self):
+        assert LETS_ENCRYPT.automatic_management
+        assert LETS_ENCRYPT.provides_fullchain
+        assert LETS_ENCRYPT.bundle_order == "issuance"
+
+    def test_market_weights_positive(self):
+        assert all(p.market_weight > 0 for p in ALL_CAS)
+
+    def test_lets_encrypt_dominates_market(self):
+        assert LETS_ENCRYPT.market_weight == max(
+            p.market_weight for p in ALL_CAS
+        )
+
+
+class TestValidation:
+    def test_bad_bundle_order_rejected(self):
+        with pytest.raises(ValueError):
+            CAProfile(
+                name="x", display_name="X", automatic_management=False,
+                provides_fullchain=False, provides_ca_bundle=True,
+                includes_root=False, bundle_order="sideways",
+                install_guide="none", market_weight=1,
+            )
+
+    def test_bad_guide_rejected(self):
+        with pytest.raises(ValueError):
+            CAProfile(
+                name="x", display_name="X", automatic_management=False,
+                provides_fullchain=False, provides_ca_bundle=True,
+                includes_root=False, bundle_order="issuance",
+                install_guide="sometimes", market_weight=1,
+            )
+
+    def test_adoption_bounds_checked(self):
+        with pytest.raises(ValueError):
+            CAProfile(
+                name="x", display_name="X", automatic_management=True,
+                provides_fullchain=True, provides_ca_bundle=False,
+                includes_root=False, bundle_order="issuance",
+                install_guide="full", market_weight=1,
+                automation_adoption=1.5,
+            )
+
+
+class TestTable6:
+    def test_row_per_table6_ca(self):
+        rows = table6_rows()
+        assert len(rows) == len(TABLE6_CAS) == 5
+
+    def test_trustico_row_shows_reversed_order(self):
+        row = next(r for r in table6_rows() if r["ca"] == "Trustico")
+        assert row["compliant_issuance_order_in_ca_bundle"] == "no"
+        assert row["provides_root_certificate"] == "yes"
+
+    def test_gogetssl_guide_is_partial(self):
+        row = next(r for r in table6_rows() if r["ca"] == "GoGetSSL")
+        assert row["provides_certificate_installation_guide"] == "only Apache/IIS"

@@ -1,0 +1,166 @@
+"""The Table 2 capability harness and the golden Table 9 matrix."""
+
+import pytest
+
+from repro.chainbuilder import (
+    ALL_CLIENTS,
+    CHROME,
+    CRYPTOAPI,
+    FIREFOX,
+    GNUTLS,
+    MBEDTLS,
+    OPENSSL,
+    SAFARI,
+    classify_basic_constraints_priority,
+    classify_key_usage_priority,
+    classify_kid_priority,
+    classify_validity_priority,
+    probe_path_length_limit,
+    run_capabilities,
+    run_capability_matrix,
+    test_aia_completion as cap_aia,
+    test_order_reorganization as cap_order,
+    test_redundancy_elimination as cap_redundancy,
+    test_self_signed_leaf as cap_self_signed,
+)
+from repro.trust import IntermediateCache
+
+#: The paper's Table 9, cell for cell.
+EXPECTED_TABLE9 = {
+    "openssl": {
+        "order_reorganization": "yes", "redundancy_elimination": "yes",
+        "aia_completion": "no", "validity_priority": "VP1",
+        "kid_matching_priority": "KP1", "key_usage_priority": "-",
+        "basic_constraints_priority": "-", "path_length_constraint": ">52",
+        "self_signed_leaf": "no",
+    },
+    "gnutls": {
+        "order_reorganization": "yes", "redundancy_elimination": "yes",
+        "aia_completion": "no", "validity_priority": "-",
+        "kid_matching_priority": "KP1", "key_usage_priority": "-",
+        "basic_constraints_priority": "-", "path_length_constraint": "16",
+        "self_signed_leaf": "no",
+    },
+    "mbedtls": {
+        "order_reorganization": "no", "redundancy_elimination": "yes",
+        "aia_completion": "no", "validity_priority": "VP1",
+        "kid_matching_priority": "-", "key_usage_priority": "KUP",
+        "basic_constraints_priority": "BP", "path_length_constraint": "10",
+        "self_signed_leaf": "yes",
+    },
+    "cryptoapi": {
+        "order_reorganization": "yes", "redundancy_elimination": "yes",
+        "aia_completion": "yes", "validity_priority": "VP2",
+        "kid_matching_priority": "KP2", "key_usage_priority": "KUP",
+        "basic_constraints_priority": "BP", "path_length_constraint": "13",
+        "self_signed_leaf": "no",
+    },
+    "chrome": {
+        "order_reorganization": "yes", "redundancy_elimination": "yes",
+        "aia_completion": "yes", "validity_priority": "VP2",
+        "kid_matching_priority": "KP2", "key_usage_priority": "KUP",
+        "basic_constraints_priority": "BP", "path_length_constraint": ">52",
+        "self_signed_leaf": "no",
+    },
+    "edge": {
+        "order_reorganization": "yes", "redundancy_elimination": "yes",
+        "aia_completion": "yes", "validity_priority": "VP2",
+        "kid_matching_priority": "KP2", "key_usage_priority": "KUP",
+        "basic_constraints_priority": "BP", "path_length_constraint": "21",
+        "self_signed_leaf": "no",
+    },
+    "safari": {
+        "order_reorganization": "yes", "redundancy_elimination": "yes",
+        "aia_completion": "yes", "validity_priority": "VP2",
+        "kid_matching_priority": "KP1", "key_usage_priority": "KUP",
+        "basic_constraints_priority": "BP", "path_length_constraint": ">52",
+        "self_signed_leaf": "yes",
+    },
+    "firefox": {
+        "order_reorganization": "yes", "redundancy_elimination": "yes",
+        "aia_completion": "no", "validity_priority": "VP1",
+        "kid_matching_priority": "-", "key_usage_priority": "KUP",
+        "basic_constraints_priority": "BP", "path_length_constraint": "8",
+        "self_signed_leaf": "no",
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_capability_matrix(ALL_CLIENTS)
+
+
+class TestTable9Golden:
+    @pytest.mark.parametrize("client", [c.name for c in ALL_CLIENTS])
+    def test_full_row_matches_paper(self, matrix, client):
+        assert matrix[client] == EXPECTED_TABLE9[client]
+
+    def test_matrix_covers_all_clients(self, matrix):
+        assert set(matrix) == set(EXPECTED_TABLE9)
+
+
+class TestIndividualCapabilities:
+    def test_mbedtls_alone_fails_reordering(self, cap_env):
+        failures = [
+            c.name for c in ALL_CLIENTS if not cap_order(c, cap_env)
+        ]
+        assert failures == ["mbedtls"]
+
+    def test_everyone_eliminates_redundancy(self, cap_env):
+        assert all(cap_redundancy(c, cap_env) for c in ALL_CLIENTS)
+
+    def test_aia_support_split(self, cap_env):
+        supported = {c.name for c in ALL_CLIENTS if cap_aia(c, cap_env)}
+        assert supported == {"cryptoapi", "chrome", "edge", "safari"}
+
+    def test_firefox_aia_compensated_by_cache(self, cap_env):
+        """Table 9 shows Firefox AIA as unsupported, but the paper notes
+        it compensates with the intermediate cache — a warmed cache
+        makes the same test pass."""
+        assert not cap_aia(FIREFOX, cap_env)
+        cache = IntermediateCache()
+        cache.observe(cap_env.i2.certificate)
+        assert cap_aia(FIREFOX, cap_env, cache=cache)
+
+    def test_self_signed_leaf_only_mbedtls_and_safari(self, cap_env):
+        accepting = {
+            c.name for c in ALL_CLIENTS if cap_self_signed(c, cap_env)
+        }
+        assert accepting == {"mbedtls", "safari"}
+
+
+class TestPriorityClassifiers:
+    def test_validity_classes(self, cap_env):
+        assert classify_validity_priority(OPENSSL, cap_env) == "VP1"
+        assert classify_validity_priority(CHROME, cap_env) == "VP2"
+        assert classify_validity_priority(GNUTLS, cap_env) == "none"
+        assert classify_validity_priority(MBEDTLS, cap_env) == "VP1"
+
+    def test_kid_classes(self, cap_env):
+        assert classify_kid_priority(OPENSSL, cap_env) == "KP1"
+        assert classify_kid_priority(CRYPTOAPI, cap_env) == "KP2"
+        assert classify_kid_priority(SAFARI, cap_env) == "KP1"
+        assert classify_kid_priority(FIREFOX, cap_env) == "none"
+
+    def test_key_usage_classes(self, cap_env):
+        assert classify_key_usage_priority(OPENSSL, cap_env) == "none"
+        assert classify_key_usage_priority(MBEDTLS, cap_env) == "KUP"
+
+    def test_basic_constraints_classes(self, cap_env):
+        assert classify_basic_constraints_priority(GNUTLS, cap_env) == "none"
+        assert classify_basic_constraints_priority(CHROME, cap_env) == "BP"
+
+
+class TestPathLengthProbe:
+    def test_bounded_clients_report_exact_limit(self):
+        assert probe_path_length_limit(MBEDTLS, probe_limit=14) == "10"
+
+    def test_gnutls_limit_is_input_list(self):
+        assert probe_path_length_limit(GNUTLS, probe_limit=20) == "16"
+
+    def test_unbounded_clients_exceed_probe(self):
+        assert probe_path_length_limit(OPENSSL, probe_limit=12) == ">12"
+
+    def test_firefox_short_limit(self):
+        assert probe_path_length_limit(FIREFOX, probe_limit=12) == "8"

@@ -1,0 +1,92 @@
+"""Client profiles: registry integrity and encoded behaviours."""
+
+import pytest
+
+from repro.chainbuilder import (
+    ALL_CLIENTS,
+    BROWSERS,
+    CHROME,
+    CRYPTOAPI,
+    DIFFERENTIAL_BROWSERS,
+    EDGE,
+    FIREFOX,
+    GNUTLS,
+    KIDPriority,
+    LIBRARIES,
+    MBEDTLS,
+    OPENSSL,
+    SAFARI,
+    SearchScope,
+    ValidityPriority,
+    client_by_name,
+)
+
+
+def test_eight_clients_four_each():
+    assert len(ALL_CLIENTS) == 8
+    assert len(LIBRARIES) == 4
+    assert len(BROWSERS) == 4
+
+
+def test_safari_excluded_from_browser_differential():
+    assert SAFARI not in DIFFERENTIAL_BROWSERS
+    assert len(DIFFERENTIAL_BROWSERS) == 3
+
+
+def test_lookup_by_slug_and_display_name():
+    assert client_by_name("mbedtls") is MBEDTLS
+    assert client_by_name("Microsoft Edge") is EDGE
+    with pytest.raises(KeyError):
+        client_by_name("netscape")
+
+
+def test_mbedtls_forward_scope_and_partial_validation():
+    assert MBEDTLS.search_scope is SearchScope.FORWARD
+    assert not MBEDTLS.can_reorder
+    assert MBEDTLS.partial_validation
+    assert MBEDTLS.allow_self_signed_leaf
+    assert MBEDTLS.max_path_length == 10
+
+
+def test_gnutls_bounds_the_input_list():
+    assert GNUTLS.max_input_list == 16
+    assert GNUTLS.max_path_length is None
+    assert GNUTLS.validity_priority is ValidityPriority.NONE
+
+
+def test_only_cryptoapi_and_browsers_backtrack():
+    backtrackers = {c.name for c in ALL_CLIENTS if c.backtracking}
+    assert backtrackers == {"cryptoapi", "chrome", "edge", "safari", "firefox"}
+
+
+def test_aia_fetchers():
+    fetchers = {c.name for c in ALL_CLIENTS if c.aia_fetching}
+    assert fetchers == {"cryptoapi", "chrome", "edge", "safari"}
+
+
+def test_firefox_uses_cache_not_aia():
+    assert FIREFOX.use_intermediate_cache
+    assert not FIREFOX.aia_fetching
+    assert FIREFOX.max_path_length == 8
+
+
+def test_root_store_assignment():
+    assert OPENSSL.root_store == "mozilla"
+    assert FIREFOX.root_store == "mozilla"
+    assert CHROME.root_store == "chrome"
+    assert CRYPTOAPI.root_store == "microsoft"
+    assert EDGE.root_store == "microsoft"
+    assert SAFARI.root_store == "apple"
+
+
+def test_kid_priorities_match_paper():
+    assert OPENSSL.kid_priority is KIDPriority.MATCH_OR_ABSENT_OVER_MISMATCH
+    assert CHROME.kid_priority is KIDPriority.MATCH_OVER_ABSENT_OVER_MISMATCH
+    assert MBEDTLS.kid_priority is KIDPriority.NONE
+
+
+def test_replace_produces_independent_copy():
+    variant = MBEDTLS.replace(search_scope=SearchScope.ALL)
+    assert variant.can_reorder
+    assert not MBEDTLS.can_reorder
+    assert variant.name == MBEDTLS.name

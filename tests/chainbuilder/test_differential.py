@@ -1,0 +1,156 @@
+"""Differential harness: outcomes, attribution rules, cache modes."""
+
+import pytest
+
+from repro.ca import build_hierarchy, malform
+from repro.chainbuilder import (
+    ALL_CLIENTS,
+    DIFFERENTIAL_BROWSERS,
+    DifferentialHarness,
+    LIBRARIES,
+    attribute_library_discrepancy,
+)
+from repro.chainbuilder.differential import (
+    ISSUE_AIA,
+    ISSUE_BACKTRACKING,
+    ISSUE_LONG_CHAIN,
+    ISSUE_ORDER,
+    ISSUE_OTHER,
+    ChainOutcome,
+)
+from repro.trust import RootStoreRegistry, StaticAIARepository
+from repro.x509 import utc
+
+NOW = utc(2024, 6, 15)
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = build_hierarchy(
+        "Diff", depth=2, key_seed_prefix="diff",
+        aia_base="http://aia.diff.example",
+    )
+    registry = RootStoreRegistry()
+    registry.add_everywhere(h.root.certificate)
+    repo = StaticAIARepository()
+    for authority in h.authorities:
+        repo.publish(authority.aia_uri, authority.certificate)
+    leaf = h.issue_leaf("diff.example", not_before=utc(2024, 1, 1), days=365)
+    return h, leaf, registry, repo
+
+
+class TestHarness:
+    def test_compliant_chain_unanimous(self, world):
+        h, leaf, registry, repo = world
+        harness = DifferentialHarness(registry, aia_fetcher=repo)
+        outcome = harness.evaluate("diff.example", h.chain_for(leaf), at_time=NOW)
+        assert outcome.all_pass(ALL_CLIENTS)
+        assert not outcome.discrepant(ALL_CLIENTS)
+
+    def test_reversed_chain_fails_only_mbedtls(self, world):
+        h, leaf, registry, repo = world
+        harness = DifferentialHarness(registry, aia_fetcher=repo)
+        chain = malform.reverse_intermediates(h.chain_for(leaf))
+        outcome = harness.evaluate("diff.example", chain, at_time=NOW)
+        results = outcome.subset_results(LIBRARIES)
+        assert results["openssl"] == "ok"
+        assert results["mbedtls"] != "ok"
+        assert outcome.discrepant(LIBRARIES)
+        assert attribute_library_discrepancy(outcome) == {ISSUE_ORDER}
+
+    def test_incomplete_chain_attributed_to_aia(self, world):
+        h, leaf, registry, repo = world
+        harness = DifferentialHarness(registry, aia_fetcher=repo)
+        outcome = harness.evaluate("diff.example", [leaf], at_time=NOW)
+        results = outcome.subset_results(LIBRARIES)
+        assert results["cryptoapi"] == "ok"
+        assert results["openssl"] == "no_issuer_found"
+        assert ISSUE_AIA in attribute_library_discrepancy(outcome)
+
+    def test_long_list_attributed_to_gnutls_limit(self, world):
+        h, leaf, registry, repo = world
+        harness = DifferentialHarness(registry, aia_fetcher=repo)
+        chain = malform.duplicate_certificate(
+            h.chain_for(leaf, include_root=True), 1, copies=14
+        )
+        outcome = harness.evaluate("diff.example", chain, at_time=NOW)
+        assert outcome.subset_results(LIBRARIES)["gnutls"] == "input_list_too_long"
+        assert ISSUE_LONG_CHAIN in attribute_library_discrepancy(outcome)
+
+    def test_report_aggregates(self, world):
+        h, leaf, registry, repo = world
+        harness = DifferentialHarness(registry, aia_fetcher=repo)
+        observations = [
+            ("diff.example", h.chain_for(leaf)),
+            ("diff.example", malform.reverse_intermediates(h.chain_for(leaf))),
+            ("diff.example", [leaf]),
+        ]
+        report = harness.run(observations, at_time=NOW)
+        assert report.total == 3
+        # Firefox's cold cache cannot complete the bare-leaf chain, so
+        # only the first two pass every differential browser.
+        assert report.pass_all(DIFFERENTIAL_BROWSERS) == 2
+        assert report.pass_all(LIBRARIES) == 1
+        assert len(report.discrepancies(LIBRARIES)) == 2
+        assert 0 < report.failure_rate(LIBRARIES) <= 100
+
+    def test_firefox_cache_learning(self, world):
+        h, leaf, registry, repo = world
+        harness = DifferentialHarness(registry, aia_fetcher=repo)
+        observations = [
+            ("diff.example", h.chain_for(leaf, include_root=True)),
+            ("diff.example", [leaf]),
+        ]
+        report = harness.run(observations, at_time=NOW,
+                             observe_into_cache=True)
+        # Firefox learned the intermediates from the first chain, so it
+        # completes the bare-leaf chain from cache.
+        assert report.outcomes[1].result_of("firefox") == "ok"
+
+    def test_firefox_cold_cache_fails(self, world):
+        h, leaf, registry, repo = world
+        harness = DifferentialHarness(registry, aia_fetcher=repo)
+        outcome = harness.evaluate("cold.example", [leaf], at_time=NOW)
+        assert outcome.result_of("firefox") != "ok"
+
+
+class TestAttributionRules:
+    def _outcome(self, results):
+        from repro.chainbuilder import BuildResult, ClientVerdict
+        from repro.chainbuilder.verify import ValidationResult
+
+        verdicts = {}
+        for name, label in results.items():
+            if label == "ok":
+                verdicts[name] = ClientVerdict(
+                    BuildResult(True), ValidationResult(True)
+                )
+            else:
+                verdicts[name] = ClientVerdict(
+                    BuildResult(False, error=label),
+                    ValidationResult(False, label),
+                )
+        return ChainOutcome("x.example", 3, verdicts)
+
+    def test_backtracking_rule(self):
+        outcome = self._outcome({
+            "openssl": "untrusted_root", "gnutls": "untrusted_root",
+            "mbedtls": "ok", "cryptoapi": "ok",
+        })
+        assert ISSUE_BACKTRACKING in attribute_library_discrepancy(outcome)
+
+    def test_order_rule_requires_other_library_passing(self):
+        outcome = self._outcome({
+            "openssl": "no_issuer_found", "gnutls": "no_issuer_found",
+            "mbedtls": "no_issuer_found", "cryptoapi": "ok",
+        })
+        tags = attribute_library_discrepancy(outcome)
+        assert ISSUE_ORDER not in tags
+        assert ISSUE_AIA in tags
+
+    def test_unclassified_falls_back_to_other(self):
+        outcome = self._outcome({
+            "openssl": "date_invalid", "gnutls": "ok",
+            "mbedtls": "ok", "cryptoapi": "ok",
+        })
+        assert attribute_library_discrepancy(outcome) == {ISSUE_OTHER}

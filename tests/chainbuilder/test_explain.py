@@ -1,0 +1,109 @@
+"""Construction explanations."""
+
+import pytest
+
+from repro.ca import malform
+from repro.chainbuilder import (
+    ChainBuilder,
+    CHROME,
+    MBEDTLS,
+    OPENSSL,
+    explain_build,
+)
+from repro.x509 import utc
+
+NOW = utc(2024, 6, 15)
+
+
+@pytest.fixture(scope="module")
+def builder(store, aia_repo):
+    return ChainBuilder(CHROME, store, aia_fetcher=aia_repo)
+
+
+class TestHappyPath:
+    def test_every_extension_hop_explained(self, builder, hierarchy, leaf):
+        chain = hierarchy.chain_for(leaf, include_root=True)
+        explanation = explain_build(builder, chain, at_time=NOW)
+        assert explanation.result.anchored
+        # Extensions happen for leaf and the two intermediates; the
+        # root is a terminal with no slate.
+        assert len(explanation.hops) == 3
+        for hop in explanation.hops:
+            assert hop.chosen is not None
+            assert hop.chosen.chosen
+
+    def test_render_mentions_path_and_client(self, builder, hierarchy, leaf):
+        explanation = explain_build(
+            builder, hierarchy.chain_for(leaf), at_time=NOW
+        )
+        text = explanation.render()
+        assert "Chrome" in text
+        assert "extending" in text
+        assert "->" in text
+
+    def test_chosen_candidates_match_result_path(self, builder, hierarchy,
+                                                 leaf):
+        chain = hierarchy.chain_for(leaf, include_root=True)
+        explanation = explain_build(builder, chain, at_time=NOW)
+        for index, hop in enumerate(explanation.hops):
+            chosen = hop.chosen
+            next_cert = explanation.result.steps[index + 1].certificate
+            assert chosen.subject == (
+                next_cert.subject.rfc4514_string() or "<empty>"
+            )
+
+
+class TestFailures:
+    def test_dead_end_hop_has_empty_slate(self, store, leaf):
+        bare_builder = ChainBuilder(OPENSSL, store)  # no AIA fetcher
+        explanation = explain_build(bare_builder, [leaf], at_time=NOW)
+        assert not explanation.result.anchored
+        assert explanation.hops[-1].candidates == ()
+        assert "dead-ends" in explanation.hops[-1].render()
+
+    def test_forward_scope_shows_missing_candidates(self, store, hierarchy,
+                                                    leaf):
+        mbed = ChainBuilder(MBEDTLS, store)
+        disordered = [hierarchy.chain_for(leaf)[0],
+                      hierarchy.chain_for(leaf)[2],
+                      hierarchy.chain_for(leaf)[1]]
+        explanation = explain_build(mbed, disordered, at_time=NOW)
+        assert not explanation.result.anchored
+        # The second hop's slate is empty: the needed issuer sits
+        # *before* the current position.
+        assert explanation.hops[-1].candidates == ()
+
+    def test_expired_candidates_flagged(self, store, hierarchy, leaf,
+                                        aia_repo):
+        # An expired variant of the upper intermediate, same key and
+        # subject, so it really is a candidate issuer.
+        from repro.ca import next_serial
+        from repro.x509 import CertificateBuilder, Validity
+
+        upper = hierarchy.intermediates[0]
+        expired = (
+            CertificateBuilder()
+            .subject_name(upper.name)
+            .issuer_name(hierarchy.root.name)
+            .serial_number(next_serial())
+            .validity(Validity(utc(2020, 1, 1), utc(2021, 1, 1)))
+            .public_key(upper.keypair.public_key)
+            .ca()
+            .akid(hierarchy.root.keypair.public_key.key_id)
+            .sign(hierarchy.root.keypair)
+        )
+        chain = [leaf, expired, *hierarchy.chain_for(leaf)[1:]]
+        explanation = explain_build(
+            ChainBuilder(CHROME, store, aia_fetcher=aia_repo),
+            chain, at_time=NOW,
+        )
+        rendered = explanation.render()
+        assert "expired" in rendered
+
+    def test_sources_reported(self, store, hierarchy, leaf, aia_repo):
+        builder = ChainBuilder(CHROME, store, aia_fetcher=aia_repo)
+        explanation = explain_build(builder, [leaf], at_time=NOW)
+        sources = {
+            c.source for hop in explanation.hops for c in hop.candidates
+        }
+        assert "aia" in sources

@@ -1,0 +1,188 @@
+"""Extended validation: the BetterTLS-parity checks (Table 1 union)."""
+
+import pytest
+
+from repro.chainbuilder import (
+    ALL_CLIENTS,
+    EXTENDED_CAPABILITIES,
+    ExtendedEnvironment,
+    run_extended_capabilities,
+    validate_path_extended,
+)
+from repro.ca import build_hierarchy, next_serial
+from repro.trust import RootStore
+from repro.x509 import (
+    CertificateBuilder,
+    EKUOID,
+    ExtendedKeyUsage,
+    KeyUsage,
+    Name,
+    NameConstraints,
+    SubjectKeyIdentifier,
+    Validity,
+    WeakSimulatedKeyPair,
+    generate_keypair,
+    utc,
+)
+
+NOW = utc(2024, 6, 15)
+
+
+@pytest.fixture(scope="module")
+def env():
+    return ExtendedEnvironment.create(seed="ext-tests")
+
+
+@pytest.fixture(scope="module")
+def clean_path(env):
+    leaf = env.leaf()
+    return [leaf, env.issuing.certificate, env.root.certificate]
+
+
+class TestNameConstraintsExtension:
+    def test_permitted_subtree(self):
+        constraints = NameConstraints(permitted=("example.com",))
+        assert constraints.allows("example.com")
+        assert constraints.allows("deep.sub.example.com")
+        assert not constraints.allows("example.org")
+        assert not constraints.allows("notexample.com")
+
+    def test_excluded_overrides_permitted(self):
+        constraints = NameConstraints(
+            permitted=("example.com",), excluded=("internal.example.com",)
+        )
+        assert constraints.allows("www.example.com")
+        assert not constraints.allows("www.internal.example.com")
+
+    def test_no_constraints_allows_everything(self):
+        assert NameConstraints().allows("anything.example")
+
+    def test_roundtrips_through_pem(self, env):
+        from repro.x509 import from_pem, to_pem
+
+        key = generate_keypair("simulated", seed=b"nc-rt")
+        cert = (
+            CertificateBuilder()
+            .subject_name(Name.build(common_name="NC RT"))
+            .issuer_name(Name.build(common_name="NC RT"))
+            .serial_number(next_serial())
+            .validity(Validity(utc(2024, 1, 1), utc(2025, 1, 1)))
+            .public_key(key.public_key)
+            .ca()
+            .add_extension(NameConstraints(
+                permitted=("a.example",), excluded=("b.example",)
+            ))
+            .sign(key)
+        )
+        restored = from_pem(to_pem(cert))
+        assert restored == cert
+        assert restored.extensions.name_constraints.permitted == ("a.example",)
+
+
+class TestValidatePathExtended:
+    def test_clean_path_passes(self, env, clean_path):
+        result = validate_path_extended(
+            clean_path, env.store, at_time=NOW, domain=env.domain
+        )
+        assert result.ok
+
+    def test_base_failures_surface_first(self, env, clean_path):
+        result = validate_path_extended(
+            clean_path, env.store, at_time=utc(2030, 1, 1),
+            domain=env.domain,
+        )
+        assert result.error == "date_invalid"
+
+    def test_good_eku_passes(self, env, clean_path):
+        # The fixture leaf carries serverAuth EKU already.
+        assert clean_path[0].extensions.extended_key_usage is not None
+        assert validate_path_extended(
+            clean_path, env.store, at_time=NOW, domain=env.domain
+        ).ok
+
+    def test_checks_toggleable(self, env):
+        weak_key = WeakSimulatedKeyPair(seed=b"ext-tests/toggle")
+        leaf_key = generate_keypair("simulated", seed=b"ext-tests/toggle-leaf")
+        weak_ca = (
+            CertificateBuilder()
+            .subject_name(Name.build(common_name="Toggle Weak CA"))
+            .issuer_name(env.root.name)
+            .serial_number(next_serial())
+            .validity(Validity(utc(2024, 1, 1), utc(2026, 1, 1)))
+            .public_key(weak_key.public_key)
+            .ca()
+            .key_usage(KeyUsage.for_ca())
+            .akid(env.root.keypair.public_key.key_id)
+            .sign(env.root.keypair)
+        )
+        leaf = (
+            CertificateBuilder()
+            .subject_name(Name.build(common_name=env.domain))
+            .issuer_name(weak_ca.subject)
+            .serial_number(next_serial())
+            .validity(Validity(utc(2024, 1, 1), utc(2025, 1, 1)))
+            .public_key(leaf_key.public_key)
+            .end_entity()
+            .san_domains(env.domain)
+            .sign(weak_key)
+        )
+        path = [leaf, weak_ca, env.root.certificate]
+        strict = validate_path_extended(
+            path, env.store, at_time=NOW, domain=env.domain
+        )
+        assert strict.error == "deprecated_crypto"
+        lenient = validate_path_extended(
+            path, env.store, at_time=NOW, domain=env.domain,
+            reject_deprecated=False,
+        )
+        assert lenient.ok
+
+    def test_anchor_exempt_from_deprecated_check(self, env):
+        # A weak-signed ROOT in the store is fine: anchors are trusted
+        # by membership, not signature.
+        weak_root_key = WeakSimulatedKeyPair(seed=b"ext-tests/weak-root")
+        weak_root = (
+            CertificateBuilder()
+            .subject_name(Name.build(common_name="Weak Root"))
+            .issuer_name(Name.build(common_name="Weak Root"))
+            .serial_number(next_serial())
+            .validity(Validity(utc(2020, 1, 1), utc(2035, 1, 1)))
+            .public_key(weak_root_key.public_key)
+            .ca()
+            .add_extension(
+                SubjectKeyIdentifier(weak_root_key.public_key.key_id)
+            )
+            .sign(weak_root_key)
+        )
+        leaf_key = generate_keypair("simulated", seed=b"ext-tests/wr-leaf")
+        leaf = (
+            CertificateBuilder()
+            .subject_name(Name.build(common_name="wr.example"))
+            .issuer_name(weak_root.subject)
+            .serial_number(next_serial())
+            .validity(Validity(utc(2024, 1, 1), utc(2025, 1, 1)))
+            .public_key(leaf_key.public_key)
+            .end_entity()
+            .san_domains("wr.example")
+            .sign(weak_root_key)
+        )
+        store = RootStore("weak", [weak_root])
+        result = validate_path_extended(
+            [leaf, weak_root], store, at_time=NOW, domain="wr.example"
+        )
+        # The leaf's own signature is weak-tagged, so it still fails —
+        # but at index 0, not at the anchor.
+        assert result.error == "deprecated_crypto"
+        assert result.failing_index == 0
+
+
+class TestExtendedProbes:
+    def test_all_probes_pass_for_all_clients(self, env):
+        """With extended validation layered on, every client model
+        rejects every BetterTLS-style invalid chain."""
+        for client in ALL_CLIENTS:
+            results = run_extended_capabilities(client, env)
+            assert set(results) == set(EXTENDED_CAPABILITIES)
+            assert all(v == "yes" for v in results.values()), (
+                client.name, results,
+            )

@@ -1,0 +1,123 @@
+"""The frankencert-style chain fuzzer."""
+
+import random
+
+import pytest
+
+from repro.chainbuilder import (
+    ChainFuzzer,
+    DifferentialHarness,
+    LIBRARIES,
+    MUTATORS,
+)
+from repro.ca import build_hierarchy
+from repro.trust import RootStoreRegistry, StaticAIARepository
+from repro.x509 import utc
+
+NOW = utc(2024, 6, 15)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    h = build_hierarchy(
+        "FuzzT", depth=2, key_seed_prefix="fuzzt",
+        aia_base="http://aia.fuzzt.example",
+    )
+    registry = RootStoreRegistry()
+    registry.add_everywhere(h.root.certificate)
+    repo = StaticAIARepository()
+    for authority in h.authorities:
+        repo.publish(authority.aia_uri, authority.certificate)
+    seeds = []
+    for index in range(5):
+        leaf = h.issue_leaf(f"fuzz{index}.example",
+                            not_before=utc(2024, 1, 1), days=365,
+                            key_seed=f"fuzzt/{index}".encode())
+        seeds.append((f"fuzz{index}.example", h.chain_for(leaf)))
+    harness = DifferentialHarness(registry, aia_fetcher=repo)
+    return harness, seeds
+
+
+class TestMutation:
+    def test_mutators_never_raise_on_seed_chains(self, setup):
+        _harness, seeds = setup
+        rng = random.Random(5)
+        extras = [seeds[1][1][1]]
+        for _, chain in seeds:
+            for _name, mutator in MUTATORS:
+                result = mutator(list(chain), rng, extras)
+                assert isinstance(result, list)
+
+    def test_mutation_depth_respected(self, setup):
+        harness, seeds = setup
+        fuzzer = ChainFuzzer(harness, seeds, rng=random.Random(1))
+        _mutant, applied = fuzzer.mutate(seeds[0][1], depth=3)
+        assert len(applied) == 3
+
+    def test_empty_corpus_rejected(self, setup):
+        harness, _seeds = setup
+        with pytest.raises(ValueError):
+            ChainFuzzer(harness, [])
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def report(self, setup):
+        harness, seeds = setup
+        fuzzer = ChainFuzzer(harness, seeds, rng=random.Random(7))
+        return fuzzer.run(iterations=250, at_time=NOW)
+
+    def test_accounting_consistent(self, report):
+        assert report.iterations == 250
+        assert report.mutants_evaluated <= report.iterations
+        assert (
+            report.unanimous_ok + report.unanimous_fail
+            + len(report.disagreements)
+        ) == report.mutants_evaluated
+
+    def test_finds_known_behavioural_splits(self, report):
+        """The fuzzer must rediscover at least the AIA split (three
+        libraries fail where CryptoAPI succeeds) and the MbedTLS
+        ordering split — the paper's I-1 and I-4 in fuzz form."""
+        signatures = {d.signature for d in report.disagreements}
+        found_aia_split = any(
+            dict(sig).get("cryptoapi") == "ok"
+            and dict(sig).get("openssl") == "no_issuer_found"
+            for sig in signatures
+        )
+        found_mbedtls_split = any(
+            dict(sig).get("mbedtls") != "ok"
+            and dict(sig).get("openssl") == "ok"
+            for sig in signatures
+        )
+        assert found_aia_split
+        assert found_mbedtls_split
+
+    def test_signatures_deduplicate(self, report):
+        assert report.unique_signatures <= len(report.disagreements)
+        assert report.unique_signatures >= 2
+
+    def test_mutation_counts_recorded(self, report):
+        assert sum(report.mutation_counts.values()) > 0
+        assert set(report.mutation_counts) <= {name for name, _ in MUTATORS}
+
+    def test_deterministic_given_rng(self, setup):
+        harness, seeds = setup
+        a = ChainFuzzer(harness, seeds, rng=random.Random(42)).run(
+            iterations=60, at_time=NOW
+        )
+        b = ChainFuzzer(harness, seeds, rng=random.Random(42)).run(
+            iterations=60, at_time=NOW
+        )
+        assert [d.signature for d in a.disagreements] == [
+            d.signature for d in b.disagreements
+        ]
+
+    def test_subset_of_clients_supported(self, setup):
+        harness, seeds = setup
+        fuzzer = ChainFuzzer(harness, seeds, rng=random.Random(3),
+                             clients=LIBRARIES)
+        report = fuzzer.run(iterations=80, at_time=NOW)
+        for disagreement in report.disagreements:
+            names = {name for name, _ in disagreement.signature}
+            assert names == {c.name for c in LIBRARIES}

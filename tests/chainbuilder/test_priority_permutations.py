@@ -1,0 +1,125 @@
+"""Permutation robustness of the priority classifiers.
+
+The paper infers each client's priority rule "by altering their
+arrangement and observing the certificate chain constructed".  For the
+inference to be sound, the classification must not depend on the one
+arrangement our harness happens to use — these tests check invariance
+across every permutation of the candidate block.
+"""
+
+from itertools import permutations
+
+import pytest
+
+from repro.chainbuilder import (
+    CHROME,
+    CapabilityEnvironment,
+    GNUTLS,
+    MBEDTLS,
+    OPENSSL,
+)
+from repro.chainbuilder.capabilities import NOW
+from repro.x509 import Validity, utc
+
+
+@pytest.fixture(scope="module")
+def env():
+    return CapabilityEnvironment.create(seed="perm")
+
+
+def _selected(policy, env, candidates, tail):
+    builder = env.builder(policy)
+    result = builder.build([env.leaf, *candidates, *tail], at_time=NOW)
+    assert len(result.steps) >= 2
+    return result.steps[1].certificate.fingerprint
+
+
+class TestValidityPermutations:
+    @pytest.fixture(scope="class")
+    def candidates(self, env):
+        return {
+            "expired": env.variant_issuer(
+                validity=Validity(utc(2022, 1, 1), utc(2023, 1, 1))),
+            "plain": env.variant_issuer(
+                validity=Validity(utc(2024, 1, 1), utc(2025, 1, 1))),
+            "recent": env.variant_issuer(
+                validity=Validity(utc(2024, 4, 1), utc(2025, 4, 1))),
+        }
+
+    def test_vp2_always_picks_most_recent(self, env, candidates):
+        tail = [env.i2.certificate, env.root.certificate]
+        for arrangement in permutations(candidates.values()):
+            chosen = _selected(CHROME, env, list(arrangement), tail)
+            assert chosen == candidates["recent"].fingerprint
+
+    def test_vp1_always_picks_first_valid(self, env, candidates):
+        tail = [env.i2.certificate, env.root.certificate]
+        for arrangement in permutations(candidates.values()):
+            chosen = _selected(OPENSSL, env, list(arrangement), tail)
+            first_valid = next(
+                c for c in arrangement
+                if c.fingerprint != candidates["expired"].fingerprint
+            )
+            assert chosen == first_valid.fingerprint
+
+    def test_no_priority_always_picks_first(self, env, candidates):
+        tail = [env.i2.certificate, env.root.certificate]
+        for arrangement in permutations(candidates.values()):
+            chosen = _selected(GNUTLS, env, list(arrangement), tail)
+            assert chosen == arrangement[0].fingerprint
+
+
+class TestKIDPermutations:
+    @pytest.fixture(scope="class")
+    def candidates(self, env):
+        return {
+            "match": env.variant_issuer(skid="match"),
+            "mismatch": env.variant_issuer(skid=b"\x01" * 20),
+            "absent": env.variant_issuer(skid=None),
+        }
+
+    def test_kp2_always_picks_match(self, env, candidates):
+        tail = [env.i2.certificate, env.root.certificate]
+        for arrangement in permutations(candidates.values()):
+            chosen = _selected(CHROME, env, list(arrangement), tail)
+            assert chosen == candidates["match"].fingerprint
+
+    def test_kp1_never_picks_mismatch(self, env, candidates):
+        tail = [env.i2.certificate, env.root.certificate]
+        for arrangement in permutations(candidates.values()):
+            chosen = _selected(OPENSSL, env, list(arrangement), tail)
+            assert chosen != candidates["mismatch"].fingerprint
+            # ...and among the equally ranked pair, list order decides.
+            first_ok = next(
+                c for c in arrangement
+                if c.fingerprint != candidates["mismatch"].fingerprint
+            )
+            assert chosen == first_ok.fingerprint
+
+
+class TestForwardScopePermutations:
+    def test_mbedtls_takes_first_candidate_after_leaf(self, env):
+        candidates = [
+            env.variant_issuer(skid="match"),
+            env.variant_issuer(skid=b"\x02" * 20),
+        ]
+        tail = [env.i2.certificate, env.root.certificate]
+        for arrangement in permutations(candidates):
+            chosen = _selected(MBEDTLS, env, list(arrangement), tail)
+            assert chosen == arrangement[0].fingerprint
+
+
+class TestClassifierStability:
+    def test_matrix_stable_across_environment_seeds(self):
+        from repro.chainbuilder import ALL_CLIENTS, run_capabilities
+
+        env_a = CapabilityEnvironment.create(seed="perm-a")
+        env_b = CapabilityEnvironment.create(seed="perm-b")
+        for client in ALL_CLIENTS:
+            a = run_capabilities(client, env_a)
+            b = run_capabilities(client, env_b)
+            # The path-length probe builds its own ladder; everything
+            # else must be environment-independent.
+            a.pop("path_length_constraint")
+            b.pop("path_length_constraint")
+            assert a == b, client.name

@@ -1,0 +1,174 @@
+"""Path validation: every error code, in precedence order."""
+
+import pytest
+
+from repro.ca import build_hierarchy, next_serial
+from repro.chainbuilder import validate_path
+from repro.trust import RootStore
+from repro.x509 import (
+    CertificateBuilder,
+    KeyUsage,
+    Name,
+    SimulatedKeyPair,
+    SubjectKeyIdentifier,
+    Validity,
+    utc,
+)
+
+NOW = utc(2024, 6, 15)
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = build_hierarchy("Verify", depth=1, key_seed_prefix="verify")
+    leaf = h.issue_leaf("verify.example", not_before=utc(2024, 1, 1), days=365)
+    store = RootStore("verify", [h.root.certificate])
+    path = [leaf, h.intermediates[0].certificate, h.root.certificate]
+    return h, leaf, store, path
+
+
+class TestSuccess:
+    def test_full_path_validates(self, world):
+        _h, _leaf, store, path = world
+        result = validate_path(path, store, at_time=NOW, domain="verify.example")
+        assert result.ok and result.error is None
+        assert bool(result)
+
+    def test_domain_check_optional(self, world):
+        _h, _leaf, store, path = world
+        assert validate_path(path, store, at_time=NOW).ok
+
+
+class TestErrors:
+    def test_empty_path(self, world):
+        _h, _leaf, store, _ = world
+        result = validate_path([], store, at_time=NOW)
+        assert result.error == "empty_path"
+
+    def test_unknown_issuer_for_truncated_path(self, world):
+        _h, _leaf, store, path = world
+        result = validate_path(path[:1], store, at_time=NOW)
+        assert result.error == "unknown_issuer"
+
+    def test_untrusted_terminal(self, world):
+        h, leaf, _store, path = world
+        empty = RootStore("empty")
+        result = validate_path(path, empty, at_time=NOW)
+        assert result.error == "unknown_issuer"
+        assert result.failing_index == 2
+
+    def test_trust_check_skippable(self, world):
+        _h, _leaf, _store, path = world
+        empty = RootStore("empty")
+        assert validate_path(path, empty, at_time=NOW, check_trust=False).ok
+
+    def test_bad_signature_linkage(self, world):
+        h, leaf, store, path = world
+        other = build_hierarchy("VerifyO", depth=1, key_seed_prefix="verifyo")
+        broken = [leaf, other.intermediates[0].certificate,
+                  other.root.certificate]
+        result = validate_path(broken, store, at_time=NOW)
+        assert result.error == "bad_signature"
+        assert result.failing_index == 0
+
+    def test_date_invalid(self, world):
+        _h, _leaf, store, path = world
+        result = validate_path(path, store, at_time=utc(2030, 1, 1))
+        assert result.error == "date_invalid"
+        assert result.failing_index == 0
+
+    def test_domain_mismatch(self, world):
+        _h, _leaf, store, path = world
+        result = validate_path(path, store, at_time=NOW, domain="other.example")
+        assert result.error == "domain_mismatch"
+
+    def test_not_a_ca_intermediate(self, world):
+        h, _leaf, store, _ = world
+        # A leaf certificate signing another leaf: the signer is not a CA.
+        middle_key = SimulatedKeyPair(seed=b"verify/notca")
+        middle = (
+            CertificateBuilder()
+            .subject_name(Name.build(common_name="Not A CA"))
+            .issuer_name(h.root.name)
+            .serial_number(next_serial())
+            .validity(Validity(utc(2024, 1, 1), utc(2026, 1, 1)))
+            .public_key(middle_key.public_key)
+            .end_entity()
+            .akid(h.root.keypair.public_key.key_id)
+            .sign(h.root.keypair)
+        )
+        bottom_key = SimulatedKeyPair(seed=b"verify/bottom")
+        bottom = (
+            CertificateBuilder()
+            .subject_name(Name.build(common_name="victim.example"))
+            .issuer_name(middle.subject)
+            .serial_number(next_serial())
+            .validity(Validity(utc(2024, 1, 1), utc(2026, 1, 1)))
+            .public_key(bottom_key.public_key)
+            .end_entity()
+            .san_domains("victim.example")
+            .sign(middle_key)
+        )
+        result = validate_path(
+            [bottom, middle, h.root.certificate], store, at_time=NOW
+        )
+        assert result.error == "not_a_ca"
+        assert result.failing_index == 1
+
+    def test_bad_key_usage(self, world):
+        h, _leaf, store, _ = world
+        bad_key = SimulatedKeyPair(seed=b"verify/badku")
+        bad_ca = (
+            CertificateBuilder()
+            .subject_name(Name.build(common_name="Bad KU CA"))
+            .issuer_name(h.root.name)
+            .serial_number(next_serial())
+            .validity(Validity(utc(2024, 1, 1), utc(2026, 1, 1)))
+            .public_key(bad_key.public_key)
+            .ca()
+            .key_usage(KeyUsage(frozenset({"digital_signature"})))
+            .sign(h.root.keypair)
+        )
+        leaf_key = SimulatedKeyPair(seed=b"verify/badku-leaf")
+        victim = (
+            CertificateBuilder()
+            .subject_name(Name.build(common_name="ku.example"))
+            .issuer_name(bad_ca.subject)
+            .serial_number(next_serial())
+            .validity(Validity(utc(2024, 1, 1), utc(2026, 1, 1)))
+            .public_key(leaf_key.public_key)
+            .end_entity()
+            .san_domains("ku.example")
+            .sign(bad_key)
+        )
+        result = validate_path(
+            [victim, bad_ca, h.root.certificate], store, at_time=NOW
+        )
+        assert result.error == "bad_key_usage"
+
+    def test_path_length_exceeded(self):
+        h = build_hierarchy(
+            "VerifyPL", depth=2, key_seed_prefix="verifypl",
+            path_lengths=(0, None),
+        )
+        leaf = h.issue_leaf("pl.example", not_before=utc(2024, 1, 1), days=365)
+        store = RootStore("pl", [h.root.certificate])
+        path = [leaf, *[ca.certificate for ca in reversed(h.intermediates)],
+                h.root.certificate]
+        result = validate_path(path, store, at_time=NOW)
+        assert result.error == "path_length_exceeded"
+
+    def test_self_issued_intermediates_not_counted(self):
+        # pathLen counts non-self-issued intermediates only; a hierarchy
+        # whose constraint exactly fits must pass.
+        h = build_hierarchy(
+            "VerifyPL2", depth=2, key_seed_prefix="verifypl2",
+            path_lengths=(None, 0),
+        )
+        leaf = h.issue_leaf("pl2.example", not_before=utc(2024, 1, 1), days=365)
+        store = RootStore("pl2", [h.root.certificate])
+        path = [leaf, *[ca.certificate for ca in reversed(h.intermediates)],
+                h.root.certificate]
+        # Constraint pathLen=0 sits on the leaf-adjacent intermediate:
+        # no intermediates below it, so the path is valid.
+        assert validate_path(path, store, at_time=NOW).ok

@@ -1,0 +1,72 @@
+"""Shared fixtures for the test suite.
+
+Expensive fixtures (the capability environment, the small ecosystem)
+are session-scoped; anything a test mutates gets function scope.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ca import build_hierarchy
+from repro.chainbuilder.capabilities import CapabilityEnvironment
+from repro.trust import RootStore, StaticAIARepository
+from repro.webpki import Ecosystem, EcosystemConfig
+from repro.x509 import utc
+
+#: One instant used across the suite for validity checks.
+NOW = utc(2024, 6, 15)
+
+
+@pytest.fixture(scope="session")
+def hierarchy():
+    """Root -> I1 -> I2 ladder with AIA, deterministic keys."""
+    return build_hierarchy(
+        "Fixture", depth=2, key_seed_prefix="fixture",
+        aia_base="http://aia.fixture.example",
+    )
+
+
+@pytest.fixture(scope="session")
+def leaf(hierarchy):
+    return hierarchy.issue_leaf(
+        "fixture.example", not_before=utc(2024, 1, 1), days=365,
+        key_seed=b"fixture/leaf",
+    )
+
+
+@pytest.fixture(scope="session")
+def chain(hierarchy, leaf):
+    """The compliant list: leaf, issuing intermediate, upper intermediate."""
+    return hierarchy.chain_for(leaf)
+
+
+@pytest.fixture(scope="session")
+def store(hierarchy):
+    return RootStore("fixture-store", [hierarchy.root.certificate])
+
+
+@pytest.fixture(scope="session")
+def aia_repo(hierarchy):
+    repo = StaticAIARepository()
+    for authority in hierarchy.authorities:
+        if authority.aia_uri is not None:
+            repo.publish(authority.aia_uri, authority.certificate)
+    return repo
+
+
+@pytest.fixture(scope="session")
+def cap_env():
+    """The Table 2 capability-test environment."""
+    return CapabilityEnvironment.create(seed="tests")
+
+
+@pytest.fixture(scope="session")
+def small_ecosystem():
+    """A 1,200-domain generated world shared by read-only tests."""
+    return Ecosystem.generate(EcosystemConfig(n_domains=1_200, seed=99))
+
+
+@pytest.fixture
+def now():
+    return NOW

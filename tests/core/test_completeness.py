@@ -1,0 +1,131 @@
+"""Completeness classes, the one-hop AIA rule, and failure taxonomies."""
+
+import pytest
+
+from repro.ca import build_hierarchy
+from repro.core import (
+    CompletenessClass,
+    analyze_completeness,
+)
+from repro.trust import RootStore, StaticAIARepository
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = build_hierarchy(
+        "CompT", depth=2, key_seed_prefix="compt",
+        aia_base="http://aia.compt.example",
+    )
+    leaf = h.issue_leaf("compt.example")
+    store = RootStore("compt", [h.root.certificate])
+    repo = StaticAIARepository()
+    for authority in h.authorities:
+        repo.publish(authority.aia_uri, authority.certificate)
+    return h, leaf, store, repo
+
+
+class TestClasses:
+    def test_with_root(self, world):
+        h, leaf, store, repo = world
+        analysis = analyze_completeness(
+            h.chain_for(leaf, include_root=True), store, repo
+        )
+        assert analysis.category is CompletenessClass.COMPLETE_WITH_ROOT
+        assert analysis.complete
+        assert analysis.aia_outcome is None
+
+    def test_without_root_via_store_akid(self, world):
+        h, leaf, store, repo = world
+        analysis = analyze_completeness(h.chain_for(leaf), store, repo)
+        assert analysis.category is CompletenessClass.COMPLETE_WITHOUT_ROOT
+
+    def test_incomplete_missing_intermediate(self, world):
+        h, leaf, store, repo = world
+        analysis = analyze_completeness([leaf, h.chain_for(leaf)[1]], store, repo)
+        # terminal is the leaf-adjacent intermediate... its issuer is the
+        # upper intermediate — not a root — so the chain is incomplete.
+        assert analysis.category is CompletenessClass.INCOMPLETE
+        assert analysis.aia_fixable
+        assert analysis.missing_count == 1
+
+    def test_bare_leaf_missing_two(self, world):
+        h, leaf, store, repo = world
+        analysis = analyze_completeness([leaf], store, repo)
+        assert analysis.category is CompletenessClass.INCOMPLETE
+        assert analysis.missing_count == 2
+
+    def test_one_hop_aia_to_self_signed_counts_complete(self, world):
+        """A terminal whose AIA-fetched direct issuer is self-signed is
+        complete-without-root even when the store cannot identify it."""
+        h, leaf, _store, repo = world
+        empty_store = RootStore("empty")
+        chain = h.chain_for(leaf)
+        # Terminal = upper intermediate; its direct issuer (the root) is
+        # self-signed and fetchable -> complete without root.
+        analysis = analyze_completeness(chain, empty_store, repo)
+        assert analysis.category is CompletenessClass.COMPLETE_WITHOUT_ROOT
+
+
+class TestAIAFailures:
+    def test_unsupported_when_no_fetcher(self, world):
+        h, leaf, store, _repo = world
+        analysis = analyze_completeness([leaf], store, None)
+        assert analysis.category is CompletenessClass.INCOMPLETE
+        assert analysis.aia_outcome == "unsupported"
+        assert not analysis.aia_fixable
+
+    def test_missing_aia_field(self, world):
+        h, _leaf, store, repo = world
+        bare = h.issuing_ca.issue_leaf("noaia.example", include_aia=False)
+        analysis = analyze_completeness([bare], store, repo)
+        assert analysis.aia_outcome == "missing_aia"
+
+    def test_unreachable_uri(self, world):
+        h, _leaf, store, repo = world
+        dead = h.issuing_ca.issue_leaf(
+            "dead.example", aia_uri="http://aia.compt.example/dead.crt"
+        )
+        repo.mark_unreachable("http://aia.compt.example/dead.crt")
+        analysis = analyze_completeness([dead], store, repo)
+        assert analysis.aia_outcome == "unreachable"
+
+    def test_wrong_certificate_at_uri(self, world):
+        h, _leaf, store, repo = world
+        uri = "http://aia.compt.example/wrong.crt"
+        wrong = h.issuing_ca.issue_leaf("wrong.example", aia_uri=uri)
+        repo.publish_wrong(uri, wrong)  # the CAcert case: serves itself
+        analysis = analyze_completeness([wrong], store, repo)
+        assert analysis.aia_outcome == "wrong_certificate"
+
+
+class TestSelfSignedChains:
+    def test_self_signed_leaf_complete_with_root(self, world):
+        _h, _leaf, store, repo = world
+        from repro.ca import next_serial
+        from repro.x509 import (
+            CertificateBuilder, Name, SimulatedKeyPair, Validity, utc,
+        )
+
+        key = SimulatedKeyPair()
+        selfsigned = (
+            CertificateBuilder()
+            .subject_name(Name.build(common_name="self.example"))
+            .issuer_name(Name.build(common_name="self.example"))
+            .serial_number(next_serial())
+            .validity(Validity(utc(2024, 1, 1), utc(2025, 1, 1)))
+            .public_key(key.public_key)
+            .end_entity()
+            .sign(key)
+        )
+        analysis = analyze_completeness([selfsigned], store, repo)
+        assert analysis.category is CompletenessClass.COMPLETE_WITH_ROOT
+
+    def test_multiple_terminals_best_class_wins(self, world):
+        h, leaf, store, repo = world
+        # Chain with the root present: even alongside noise the
+        # self-signed terminal classifies the chain complete-with-root.
+        chain = h.chain_for(leaf, include_root=True)
+        other = build_hierarchy("CompO", depth=0, key_seed_prefix="compo")
+        noisy = [*chain, other.root.certificate]
+        analysis = analyze_completeness(noisy, store, repo)
+        assert analysis.category is CompletenessClass.COMPLETE_WITH_ROOT

@@ -1,0 +1,132 @@
+"""Whole-chain verdicts and dataset aggregation."""
+
+import pytest
+
+from repro.ca import build_hierarchy, malform
+from repro.core import (
+    CompletenessClass,
+    LeafPlacement,
+    OrderDefect,
+    aggregate,
+    aggregate_by,
+    analyze_chain,
+)
+from repro.trust import RootStore, StaticAIARepository
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = build_hierarchy(
+        "CompR", depth=2, key_seed_prefix="compr",
+        aia_base="http://aia.compr.example",
+    )
+    leaf = h.issue_leaf("compr.example")
+    store = RootStore("compr", [h.root.certificate])
+    repo = StaticAIARepository()
+    for authority in h.authorities:
+        repo.publish(authority.aia_uri, authority.certificate)
+    return h, leaf, store, repo
+
+
+class TestChainReport:
+    def test_compliant_chain(self, world):
+        h, leaf, store, repo = world
+        report = analyze_chain("compr.example", h.chain_for(leaf), store, repo)
+        assert report.compliant
+        assert report.defect_summary == ()
+        assert report.chain_length == 3
+
+    def test_reversed_chain_summary(self, world):
+        h, leaf, store, repo = world
+        chain = malform.reverse_intermediates(h.chain_for(leaf, include_root=True))
+        report = analyze_chain("compr.example", chain, store, repo)
+        assert not report.compliant
+        assert "order:reversed_sequences" in report.defect_summary
+
+    def test_incomplete_chain_summary(self, world):
+        h, leaf, store, repo = world
+        report = analyze_chain("compr.example", [leaf], store, repo)
+        assert "completeness:incomplete" in report.defect_summary
+
+    def test_misplaced_leaf_summary(self, world):
+        h, leaf, store, repo = world
+        chain = malform.move_leaf(h.chain_for(leaf, include_root=True), 2)
+        report = analyze_chain("compr.example", chain, store, repo)
+        assert any(d.startswith("leaf:") for d in report.defect_summary)
+
+    def test_empty_chain_rejected(self, world):
+        _h, _leaf, store, repo = world
+        with pytest.raises(ValueError):
+            analyze_chain("x.example", [], store, repo)
+
+
+class TestAggregation:
+    @pytest.fixture(scope="class")
+    def dataset(self, world):
+        h, leaf, store, repo = world
+        chains = {
+            "good-1.example": h.chain_for(leaf),
+            "good-2.example": h.chain_for(leaf, include_root=True),
+            "reversed.example": malform.reverse_intermediates(
+                h.chain_for(leaf, include_root=True)
+            ),
+            "duplicated.example": malform.duplicate_leaf(h.chain_for(leaf)),
+            "incomplete.example": [leaf],
+        }
+        reports = [
+            analyze_chain(domain, chain, store, repo)
+            for domain, chain in chains.items()
+        ]
+        return aggregate(reports), reports
+
+    def test_totals(self, dataset):
+        ds, _ = dataset
+        assert ds.total == 5
+        assert ds.noncompliant == 3
+        assert ds.noncompliance_rate == pytest.approx(60.0)
+
+    def test_order_table(self, dataset):
+        ds, _ = dataset
+        table = ds.order_table()
+        assert table[OrderDefect.REVERSED_SEQUENCES][0] == 1
+        assert table[OrderDefect.DUPLICATE_CERTIFICATES][0] == 1
+
+    def test_completeness_table(self, dataset):
+        ds, _ = dataset
+        table = ds.completeness_table()
+        assert table[CompletenessClass.INCOMPLETE][0] == 1
+        assert table[CompletenessClass.COMPLETE_WITH_ROOT][0] == 2
+
+    def test_leaf_table(self, dataset):
+        ds, _ = dataset
+        table = ds.leaf_table()
+        # The fixture leaf names compr.example, so every scanned domain
+        # sees a hostlike-but-mismatched first certificate.
+        mismatched = table[LeafPlacement.CORRECTLY_PLACED_MISMATCHED]
+        assert mismatched[0] == 5
+        assert sum(count for count, _ in table.values()) == 5
+
+    def test_noncompliant_domains_recorded(self, dataset):
+        ds, _ = dataset
+        assert "reversed.example" in ds.noncompliant_domains
+        assert "good-1.example" not in ds.noncompliant_domains
+
+    def test_missing_one_counter(self, dataset):
+        ds, _ = dataset
+        assert ds.incomplete_total == 1
+        assert ds.aia_fixable_incomplete == 1
+
+    def test_aggregate_by_groups(self, dataset):
+        _, reports = dataset
+        groups = aggregate_by(
+            reports, lambda r: "bad" if not r.compliant else "good"
+        )
+        assert groups["bad"].total == 3
+        assert groups["good"].total == 2
+
+    def test_empty_dataset_rates_are_zero(self):
+        from repro.core import DatasetReport
+
+        ds = DatasetReport()
+        assert ds.noncompliance_rate == 0.0
+        assert ds.pct(0) == 0.0

@@ -1,0 +1,122 @@
+"""Cross-sign analysis over a passive certificate pool."""
+
+import pytest
+
+from repro.ca import build_cross_signed_pair, build_hierarchy
+from repro.core import CertificatePool
+from repro.x509 import Validity, utc
+
+
+@pytest.fixture(scope="module")
+def world():
+    primary, legacy, cross = build_cross_signed_pair(
+        "PoolXS", key_seed_prefix="pool-xs",
+        cross_sign_validity=Validity(utc(2020, 1, 1), utc(2024, 6, 1)),
+    )
+    leaf = primary.issue_leaf("pool.example", not_before=utc(2024, 1, 1),
+                              days=365)
+    pool = CertificatePool()
+    pool.add_chain([leaf, primary.intermediates[0].certificate, cross,
+                    primary.root.certificate, legacy.root.certificate])
+    return primary, legacy, cross, leaf, pool
+
+
+class TestPoolBasics:
+    def test_dedup_on_add(self, world):
+        _p, _l, cross, _leaf, pool = world
+        before = len(pool)
+        assert not pool.add(cross)
+        assert len(pool) == before
+
+    def test_add_chain_counts_new(self, world, hierarchy, leaf):
+        _p, _l, _c, _pl, _pool = world
+        pool = CertificatePool()
+        chain = hierarchy.chain_for(leaf, include_root=True)
+        assert pool.add_chain(chain) == len(chain)
+        assert pool.add_chain(chain) == 0
+
+
+class TestGrouping:
+    def test_cross_signed_group_found(self, world):
+        primary, _legacy, cross, _leaf, pool = world
+        groups = pool.cross_signed_groups()
+        assert len(groups) == 1
+        group = groups[0]
+        assert group.is_cross_signed
+        assert len(group.certificates) == 2
+        # Both variants are issued by (different) parents; no variant of
+        # this intermediate is self-signed.
+        assert len(group.cross_signs) == 2
+        assert len(group.self_signed_variants) == 0
+        assert len(group.issuers()) == 2
+
+    def test_single_variant_cas_not_cross_signed(self, world):
+        _p, _l, _c, _leaf, pool = world
+        singles = [g for g in pool.groups() if not g.is_cross_signed]
+        assert len(singles) == 2  # the two roots
+
+    def test_expiring_before(self, world):
+        _p, _l, cross, _leaf, pool = world
+        group = pool.cross_signed_groups()[0]
+        expiring = group.expiring_before(utc(2025, 1, 1))
+        assert cross in expiring
+
+
+class TestPathEnumeration:
+    def test_two_anchored_paths(self, world):
+        _p, _l, _c, leaf, pool = world
+        paths = pool.all_paths(leaf)
+        anchored = [p for p in paths if p[-1].is_self_signed]
+        assert len(anchored) == 2
+
+    def test_valid_paths_shrink_after_cross_expiry(self, world):
+        _p, _l, _c, leaf, pool = world
+        before = pool.valid_paths_at(leaf, utc(2024, 5, 1))
+        after = pool.valid_paths_at(leaf, utc(2024, 8, 1))
+        assert len(before) == 2
+        assert len(after) == 1
+
+    def test_dead_end_paths_included_truncated(self, hierarchy, leaf):
+        pool = CertificatePool([leaf, hierarchy.intermediates[1].certificate])
+        paths = pool.all_paths(leaf)
+        assert len(paths) == 1
+        assert not paths[0][-1].is_self_signed
+
+    def test_max_depth_bounds_traversal(self, world):
+        _p, _l, _c, leaf, pool = world
+        paths = pool.all_paths(leaf, max_depth=2)
+        assert all(len(p) <= 2 for p in paths)
+
+
+class TestRiskConditions:
+    def test_cyclic_cross_signs_detected(self):
+        a = build_hierarchy("CycA", depth=0, key_seed_prefix="pool-cyc-a")
+        b = build_hierarchy("CycB", depth=0, key_seed_prefix="pool-cyc-b")
+        pool = CertificatePool([
+            b.root.cross_sign(a.root),
+            a.root.cross_sign(b.root),
+        ])
+        cycles = pool.cyclic_cross_signs()
+        assert len(cycles) == 1
+
+    def test_no_cycles_in_clean_hierarchy(self, hierarchy, leaf):
+        pool = CertificatePool(hierarchy.chain_for(leaf, include_root=True))
+        assert pool.cyclic_cross_signs() == []
+
+    def test_outage_report_at_risk_then_not(self, world):
+        _p, _l, _c, leaf, pool = world
+        report = pool.outage_report(leaf, utc(2024, 8, 1))
+        assert report.total_paths == 2
+        assert report.valid_paths == 1
+        assert report.expired_paths == 1
+        assert report.at_risk
+        assert not report.broken
+
+        healthy = pool.outage_report(leaf, utc(2024, 5, 1))
+        assert not healthy.at_risk and not healthy.broken
+
+    def test_outage_report_broken_when_all_paths_dead(self, world):
+        _p, _l, _c, leaf, pool = world
+        report = pool.outage_report(leaf, utc(2045, 1, 1))
+        assert report.valid_paths == 0
+        assert report.broken

@@ -1,0 +1,107 @@
+"""Leaf placement classification: the five Table 3 classes."""
+
+import pytest
+
+from repro.ca import build_hierarchy, malform, next_serial
+from repro.core import LeafPlacement, classify_leaf_placement
+from repro.x509 import (
+    CertificateBuilder,
+    Name,
+    SimulatedKeyPair,
+    Validity,
+    utc,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = build_hierarchy("LeafT", depth=1, key_seed_prefix="leaft")
+    leaf = h.issue_leaf("leaft.example")
+    return h, leaf, h.chain_for(leaf)
+
+
+def _appliance_cert(cn="Plesk"):
+    key = SimulatedKeyPair()
+    return (
+        CertificateBuilder()
+        .subject_name(Name.build(common_name=cn))
+        .issuer_name(Name.build(common_name=cn))
+        .serial_number(next_serial())
+        .validity(Validity(utc(2024, 1, 1), utc(2030, 1, 1)))
+        .public_key(key.public_key)
+        .end_entity()
+        .sign(key)
+    )
+
+
+class TestClasses:
+    def test_correctly_placed_matched(self, world):
+        _h, _leaf, chain = world
+        analysis = classify_leaf_placement("leaft.example", chain)
+        assert analysis.placement is LeafPlacement.CORRECTLY_PLACED_MATCHED
+        assert analysis.deciding_index == 0
+        assert analysis.compliant
+
+    def test_correctly_placed_mismatched(self, world):
+        _h, _leaf, chain = world
+        analysis = classify_leaf_placement("other.example", chain)
+        assert analysis.placement is LeafPlacement.CORRECTLY_PLACED_MISMATCHED
+        assert analysis.compliant
+
+    def test_incorrectly_placed_matched(self, world):
+        _h, _leaf, chain = world
+        moved = malform.move_leaf(chain, 1)
+        analysis = classify_leaf_placement("leaft.example", moved)
+        assert analysis.placement is LeafPlacement.INCORRECTLY_PLACED_MATCHED
+        assert analysis.deciding_index == 1
+        assert not analysis.compliant
+
+    def test_incorrectly_placed_mismatched(self, world):
+        h, _leaf, _chain = world
+        # Appliance cert first, host-formatted cert later, neither
+        # matching the scanned domain — the mot.gov.ps single case.
+        host_cert = h.issue_leaf("www.elsewhere.example")
+        chain = [_appliance_cert("SophosApplianceCertificate_1"), host_cert]
+        analysis = classify_leaf_placement("scanned.example", chain)
+        assert analysis.placement is LeafPlacement.INCORRECTLY_PLACED_MISMATCHED
+        assert not analysis.compliant
+
+    def test_other_when_nothing_hostlike(self):
+        chain = [_appliance_cert("Plesk"), _appliance_cert("localhost")]
+        analysis = classify_leaf_placement("scanned.example", chain)
+        assert analysis.placement is LeafPlacement.OTHER
+        assert analysis.deciding_index is None
+        assert analysis.compliant  # flagged for review, not a violation
+
+    def test_empty_chain_is_other(self):
+        assert (
+            classify_leaf_placement("x.example", []).placement
+            is LeafPlacement.OTHER
+        )
+
+
+class TestDecisionOrder:
+    def test_match_beats_hostlike_in_tail(self, world):
+        h, leaf, _ = world
+        # Tail holds a host-formatted cert before the matching one; the
+        # match must still win (paper checks match first).
+        chain = [
+            _appliance_cert("Plesk"),
+            h.issue_leaf("wrong-host.example"),
+            leaf,
+        ]
+        analysis = classify_leaf_placement("leaft.example", chain)
+        assert analysis.placement is LeafPlacement.INCORRECTLY_PLACED_MATCHED
+        assert analysis.deciding_index == 2
+
+    def test_first_position_checked_before_tail(self, world):
+        _h, leaf, chain = world
+        # Even with a matching cert later, a matching first cert decides.
+        analysis = classify_leaf_placement("leaft.example", [*chain, leaf])
+        assert analysis.placement is LeafPlacement.CORRECTLY_PLACED_MATCHED
+
+    def test_placement_properties(self):
+        assert LeafPlacement.CORRECTLY_PLACED_MATCHED.matched
+        assert not LeafPlacement.CORRECTLY_PLACED_MISMATCHED.matched
+        assert LeafPlacement.INCORRECTLY_PLACED_MATCHED.matched
+        assert not LeafPlacement.OTHER.correctly_placed

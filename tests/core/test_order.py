@@ -1,0 +1,103 @@
+"""Issuance-order analysis: the four Table 5 defect classes."""
+
+import pytest
+
+from repro.ca import build_cross_signed_pair, build_hierarchy, malform
+from repro.core import ChainTopology, OrderDefect, analyze_order
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = build_hierarchy("OrderT", depth=2, key_seed_prefix="ordert")
+    leaf = h.issue_leaf("ordert.example")
+    other = build_hierarchy("OrderO", depth=1, key_seed_prefix="ordero")
+    return h, leaf, other
+
+
+class TestCompliant:
+    def test_clean_chain_compliant(self, world):
+        h, leaf, _ = world
+        analysis = analyze_order(h.chain_for(leaf))
+        assert analysis.compliant
+        assert analysis.defects == frozenset()
+        assert analysis.path_count == 1
+
+    def test_clean_chain_with_root_compliant(self, world):
+        h, leaf, _ = world
+        assert analyze_order(h.chain_for(leaf, include_root=True)).compliant
+
+
+class TestDefectClasses:
+    def test_duplicates(self, world):
+        h, leaf, _ = world
+        analysis = analyze_order(malform.duplicate_leaf(h.chain_for(leaf)))
+        assert analysis.has(OrderDefect.DUPLICATE_CERTIFICATES)
+        assert analysis.duplicate_roles == frozenset({"leaf"})
+        assert not analysis.compliant
+
+    def test_duplicate_root_role(self, world):
+        h, leaf, _ = world
+        chain = h.chain_for(leaf, include_root=True)
+        analysis = analyze_order(malform.duplicate_certificate(chain, 3))
+        assert "root" in analysis.duplicate_roles
+
+    def test_irrelevant(self, world):
+        h, leaf, other = world
+        chain = malform.insert_irrelevant(
+            h.chain_for(leaf), [other.root.certificate]
+        )
+        analysis = analyze_order(chain)
+        assert analysis.has(OrderDefect.IRRELEVANT_CERTIFICATES)
+        assert analysis.irrelevant_count == 1
+
+    def test_reversed(self, world):
+        h, leaf, _ = world
+        chain = malform.reverse_intermediates(h.chain_for(leaf, include_root=True))
+        analysis = analyze_order(chain)
+        assert analysis.has(OrderDefect.REVERSED_SEQUENCES)
+        assert analysis.reversed_any and analysis.reversed_all
+        assert analysis.path_structures == ("1->2->3->0",)
+
+    def test_multiple_paths(self):
+        primary, legacy, cross = build_cross_signed_pair(
+            "OrderXS", key_seed_prefix="order-xs"
+        )
+        leaf = primary.issue_leaf("oxs.example")
+        chain = [leaf, primary.intermediates[0].certificate, cross,
+                 primary.root.certificate, legacy.root.certificate]
+        analysis = analyze_order(chain)
+        assert analysis.has(OrderDefect.MULTIPLE_PATHS)
+        assert analysis.path_count == 2
+
+    def test_combined_defects(self, world):
+        h, leaf, other = world
+        chain = malform.duplicate_leaf(
+            malform.insert_irrelevant(
+                malform.reverse_intermediates(
+                    h.chain_for(leaf, include_root=True)
+                ),
+                [other.root.certificate],
+            )
+        )
+        analysis = analyze_order(chain)
+        assert analysis.defects >= {
+            OrderDefect.DUPLICATE_CERTIFICATES,
+            OrderDefect.IRRELEVANT_CERTIFICATES,
+            OrderDefect.REVERSED_SEQUENCES,
+        }
+
+
+class TestSharedTopology:
+    def test_prebuilt_topology_reused(self, world):
+        h, leaf, _ = world
+        chain = h.chain_for(leaf)
+        topo = ChainTopology(chain)
+        analysis = analyze_order(chain, topology=topo)
+        assert analysis.compliant
+
+    def test_incomplete_chain_is_order_compliant(self, world):
+        h, leaf, _ = world
+        # Order and completeness are orthogonal: a truncated but ordered
+        # list has compliant ordering.
+        chain = h.chain_for(leaf)[:2]
+        assert analyze_order(chain).compliant

@@ -1,0 +1,160 @@
+"""The issuance-relation predicate: the paper's three criteria."""
+
+import pytest
+
+from repro.ca import next_serial
+from repro.core import (
+    DEFAULT_POLICY,
+    RelationPolicy,
+    STRUCTURAL_POLICY,
+    evaluate,
+    find_issuers,
+    issued,
+)
+from repro.x509 import (
+    CertificateBuilder,
+    Name,
+    SimulatedKeyPair,
+    SubjectKeyIdentifier,
+    Validity,
+    utc,
+)
+
+ISSUER_NAME = Name.build(common_name="Relation CA")
+WINDOW = Validity(utc(2024, 1, 1), utc(2026, 1, 1))
+
+
+def _issuer_cert(key, *, subject=ISSUER_NAME, skid=True):
+    builder = (
+        CertificateBuilder()
+        .subject_name(subject)
+        .issuer_name(subject)
+        .serial_number(next_serial())
+        .validity(WINDOW)
+        .public_key(key.public_key)
+        .ca()
+    )
+    if skid:
+        builder.add_extension(SubjectKeyIdentifier(key.public_key.key_id))
+    return builder.sign(key)
+
+
+def _subject_cert(signer_key, *, issuer=ISSUER_NAME, akid=None):
+    key = SimulatedKeyPair()
+    builder = (
+        CertificateBuilder()
+        .subject_name(Name.build(common_name="relation-leaf.example"))
+        .issuer_name(issuer)
+        .serial_number(next_serial())
+        .validity(WINDOW)
+        .public_key(key.public_key)
+        .end_entity()
+    )
+    if akid is not None:
+        builder.akid(akid)
+    return builder.sign(signer_key)
+
+
+class TestCriteria:
+    def test_all_three_criteria_hold(self):
+        key = SimulatedKeyPair(seed=b"rel1")
+        issuer = _issuer_cert(key)
+        subject = _subject_cert(key, akid=key.public_key.key_id)
+        evidence = evaluate(issuer, subject)
+        assert evidence.signature_valid
+        assert evidence.name_match
+        assert evidence.kid_match is True
+        assert evidence.holds
+
+    def test_signature_required_by_default(self):
+        key, wrong = SimulatedKeyPair(seed=b"rel2"), SimulatedKeyPair()
+        issuer = _issuer_cert(key)
+        subject = _subject_cert(wrong, akid=key.public_key.key_id)
+        assert not issued(issuer, subject)
+
+    def test_name_mismatch_with_kid_match_still_holds(self):
+        # Criterion 2 OR criterion 3 suffices alongside the signature.
+        key = SimulatedKeyPair(seed=b"rel3")
+        issuer = _issuer_cert(key)
+        subject = _subject_cert(
+            key, issuer=Name.build(common_name="Somebody Else"),
+            akid=key.public_key.key_id,
+        )
+        assert issued(issuer, subject)
+
+    def test_kid_mismatch_with_name_match_still_holds(self):
+        key = SimulatedKeyPair(seed=b"rel4")
+        issuer = _issuer_cert(key)
+        subject = _subject_cert(key, akid=b"\x00" * 20)
+        evidence = evaluate(issuer, subject)
+        assert evidence.kid_match is False
+        assert evidence.holds
+
+    def test_both_identifiers_failing_breaks_relation(self):
+        key = SimulatedKeyPair(seed=b"rel5")
+        issuer = _issuer_cert(key)
+        subject = _subject_cert(
+            key, issuer=Name.build(common_name="Else"), akid=b"\x00" * 20
+        )
+        assert not issued(issuer, subject)
+
+    def test_absent_kid_treated_as_unknown_not_mismatch(self):
+        key = SimulatedKeyPair(seed=b"rel6")
+        issuer = _issuer_cert(key, skid=False)
+        subject = _subject_cert(key, akid=key.public_key.key_id)
+        evidence = evaluate(issuer, subject)
+        assert evidence.kid_match is None
+        assert evidence.holds  # name still matches
+
+    def test_empty_issuer_subject_never_name_matches(self):
+        from repro.x509 import EMPTY_NAME
+
+        key = SimulatedKeyPair(seed=b"rel7")
+        issuer = _issuer_cert(key, subject=EMPTY_NAME, skid=False)
+        subject = _subject_cert(key, issuer=EMPTY_NAME)
+        assert not evaluate(issuer, subject).name_match
+
+
+class TestPolicies:
+    def test_structural_policy_ignores_signature(self):
+        key, wrong = SimulatedKeyPair(seed=b"rel8"), SimulatedKeyPair()
+        issuer = _issuer_cert(key)
+        subject = _subject_cert(wrong)  # signed by the wrong key
+        assert not issued(issuer, subject)
+        assert issued(issuer, subject, STRUCTURAL_POLICY)
+
+    def test_kid_only_policy(self):
+        key = SimulatedKeyPair(seed=b"rel9")
+        issuer = _issuer_cert(key)
+        subject = _subject_cert(
+            key, issuer=Name.build(common_name="Else"),
+            akid=key.public_key.key_id,
+        )
+        kid_only = RelationPolicy(use_name_match=False)
+        assert issued(issuer, subject, kid_only)
+
+    def test_empty_policy_rejected(self):
+        with pytest.raises(ValueError):
+            RelationPolicy(
+                require_signature=False, use_name_match=False,
+                use_kid_match=False,
+            )
+
+
+class TestFindIssuers:
+    def test_finds_in_candidate_order(self, chain, hierarchy):
+        leaf = chain[0]
+        candidates = [hierarchy.root.certificate, chain[1], chain[2]]
+        found = find_issuers(leaf, candidates)
+        assert found == [chain[1]]
+
+    def test_self_never_own_issuer(self, hierarchy):
+        root = hierarchy.root.certificate
+        assert find_issuers(root, [root]) == []
+
+    def test_duplicate_instances_excluded_by_fingerprint(self, chain):
+        import copy
+
+        leaf = chain[0]
+        clone = copy.deepcopy(leaf)
+        assert find_issuers(leaf, [clone]) == []

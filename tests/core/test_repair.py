@@ -1,0 +1,215 @@
+"""Chain repair: every defect class gets fixed, with a changelog."""
+
+import pytest
+
+from repro.ca import build_cross_signed_pair, build_hierarchy, malform
+from repro.core import (
+    analyze_chain,
+    repair_chain,
+    verify_repair,
+)
+from repro.errors import ChainError
+from repro.trust import RootStore, StaticAIARepository
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = build_hierarchy(
+        "RepairT", depth=2, key_seed_prefix="repairt",
+        aia_base="http://aia.repairt.example",
+    )
+    leaf = h.issue_leaf("repairt.example")
+    store = RootStore("repairt", [h.root.certificate])
+    repo = StaticAIARepository()
+    for authority in h.authorities:
+        repo.publish(authority.aia_uri, authority.certificate)
+    other = build_hierarchy("RepairO", depth=1, key_seed_prefix="repairo")
+    return h, leaf, store, repo, other
+
+
+def _is_compliant(domain, chain, store, repo):
+    return analyze_chain(domain, chain, store, repo).compliant
+
+
+class TestNoOp:
+    def test_compliant_chain_untouched(self, world):
+        h, leaf, store, repo, _ = world
+        result = repair_chain(h.chain_for(leaf), domain="repairt.example",
+                              store=store, fetcher=repo)
+        assert not result.changed
+        assert result.chain == h.chain_for(leaf)
+        assert result.summary() == "already compliant; no changes"
+
+    def test_empty_chain_rejected(self, world):
+        _h, _leaf, store, repo, _ = world
+        with pytest.raises(ChainError):
+            repair_chain([], store=store)
+
+    def test_ca_only_list_rejected(self, world):
+        h, _leaf, store, repo, _ = world
+        with pytest.raises(ChainError):
+            repair_chain([h.root.certificate, h.intermediates[0].certificate],
+                         store=store)
+
+
+class TestDefectRepairs:
+    def test_reversed_chain_reordered(self, world):
+        h, leaf, store, repo, _ = world
+        broken = malform.reverse_intermediates(
+            h.chain_for(leaf, include_root=True)
+        )
+        result = repair_chain(broken, domain="repairt.example",
+                              store=store, fetcher=repo)
+        assert verify_repair(broken, result, domain="repairt.example")
+        assert _is_compliant("repairt.example", result.chain, store, repo)
+        assert any(a.kind == "reordered" for a in result.actions)
+
+    def test_duplicates_removed(self, world):
+        h, leaf, store, repo, _ = world
+        broken = malform.duplicate_leaf(h.chain_for(leaf), copies=3)
+        result = repair_chain(broken, domain="repairt.example",
+                              store=store, fetcher=repo)
+        assert len(result.chain) == 3
+        assert sum(a.kind == "removed_duplicate" for a in result.actions) == 3
+
+    def test_irrelevant_removed(self, world):
+        h, leaf, store, repo, other = world
+        broken = malform.insert_irrelevant(
+            h.chain_for(leaf),
+            [other.root.certificate, other.intermediates[0].certificate],
+        )
+        result = repair_chain(broken, domain="repairt.example",
+                              store=store, fetcher=repo)
+        assert _is_compliant("repairt.example", result.chain, store, repo)
+        assert sum(a.kind == "removed_irrelevant" for a in result.actions) == 2
+
+    def test_stale_leaves_removed_right_leaf_kept(self, world):
+        h, leaf, store, repo, _ = world
+        stale = [h.issue_leaf("repairt.example") for _ in range(2)]
+        broken = malform.append_stale_leaves(h.chain_for(leaf), stale)
+        result = repair_chain(broken, domain="repairt.example",
+                              store=store, fetcher=repo)
+        assert result.chain[0] is broken[0]
+        assert all(s not in result.chain for s in stale)
+
+    def test_misplaced_leaf_fronted(self, world):
+        h, leaf, store, repo, _ = world
+        broken = malform.move_leaf(h.chain_for(leaf), 2)
+        result = repair_chain(broken, domain="repairt.example",
+                              store=store, fetcher=repo)
+        assert result.chain[0].matches_domain("repairt.example")
+        assert any(a.kind == "moved_leaf" for a in result.actions)
+
+    def test_missing_intermediate_fetched(self, world):
+        h, leaf, store, repo, _ = world
+        result = repair_chain([leaf], domain="repairt.example",
+                              store=store, fetcher=repo)
+        assert result.complete
+        assert len(result.chain) == 3
+        assert any(a.kind == "fetched_missing" for a in result.actions)
+        assert _is_compliant("repairt.example", result.chain, store, repo)
+
+    def test_missing_intermediate_without_fetcher(self, world):
+        h, leaf, store, _repo, _ = world
+        result = repair_chain([leaf], domain="repairt.example", store=store)
+        assert not result.complete
+
+    def test_root_dropped_by_default(self, world):
+        h, leaf, store, repo, _ = world
+        result = repair_chain(h.chain_for(leaf, include_root=True),
+                              domain="repairt.example",
+                              store=store, fetcher=repo)
+        assert not any(c.is_self_signed for c in result.chain)
+        assert any(a.kind == "dropped_root" for a in result.actions)
+
+    def test_root_kept_on_request(self, world):
+        h, leaf, store, repo, _ = world
+        result = repair_chain(h.chain_for(leaf, include_root=True),
+                              domain="repairt.example",
+                              store=store, fetcher=repo, include_root=True)
+        assert result.chain[-1].is_self_signed
+
+    def test_everything_at_once(self, world):
+        h, leaf, store, repo, other = world
+        broken = malform.duplicate_leaf(
+            malform.insert_irrelevant(
+                malform.reverse_intermediates(
+                    h.chain_for(leaf, include_root=True)
+                ),
+                [other.root.certificate],
+            )
+        )
+        result = repair_chain(broken, domain="repairt.example",
+                              store=store, fetcher=repo)
+        assert verify_repair(broken, result, domain="repairt.example")
+        assert _is_compliant("repairt.example", result.chain, store, repo)
+        kinds = {a.kind for a in result.actions}
+        assert {"removed_duplicate", "removed_irrelevant",
+                "reordered"} <= kinds
+
+
+class TestPathChoice:
+    def test_anchored_path_preferred(self, world):
+        _h, _leaf, _store, _repo, _ = world
+        primary, legacy, cross = build_cross_signed_pair(
+            "RepairXS", key_seed_prefix="repair-xs"
+        )
+        leaf = primary.issue_leaf("rxs.example")
+        # Only the legacy root is trusted: the cross path must win.
+        store = RootStore("rxs", [legacy.root.certificate])
+        chain = [leaf, primary.intermediates[0].certificate,
+                 primary.root.certificate, cross]
+        result = repair_chain(chain, domain="rxs.example", store=store)
+        assert cross in result.chain
+        assert primary.root.certificate not in result.chain
+        assert any(a.kind == "chose_path" for a in result.actions)
+
+    def test_repair_is_idempotent(self, world):
+        h, leaf, store, repo, _ = world
+        broken = malform.reverse_intermediates(h.chain_for(leaf))
+        once = repair_chain(broken, domain="repairt.example",
+                            store=store, fetcher=repo)
+        twice = repair_chain(once.chain, domain="repairt.example",
+                             store=store, fetcher=repo)
+        assert not twice.changed
+        assert twice.chain == once.chain
+
+
+class TestWithoutStore:
+    def test_longest_path_chosen_without_store(self, world):
+        """With no trust anchors to rank by, the repair prefers the
+        longest (most complete) candidate path."""
+        from repro.ca import build_cross_signed_pair
+
+        primary, legacy, cross = build_cross_signed_pair(
+            "RepairNS", key_seed_prefix="repair-ns"
+        )
+        leaf = primary.issue_leaf("rns.example")
+        chain = [leaf, primary.intermediates[0].certificate,
+                 primary.root.certificate, cross, legacy.root.certificate]
+        result = repair_chain(chain, domain="rns.example")
+        # Both paths have length 4 post-leaf... the chosen one is
+        # deterministic and single.
+        from repro.core import ChainTopology
+
+        assert ChainTopology(result.chain or [leaf]).is_single_compliant_path()
+
+    def test_incomplete_flag_without_store_or_fetcher(self, world):
+        h, leaf, _store, _repo, _ = world
+        result = repair_chain([leaf, h.chain_for(leaf)[1]],
+                              domain="repairt.example")
+        assert not result.complete
+
+
+class TestVerifyRepair:
+    def test_rejects_empty_result(self, world):
+        from repro.core import RepairResult
+
+        assert not verify_repair([], RepairResult(chain=[]))
+
+    def test_rejects_wrong_domain(self, world):
+        h, leaf, store, repo, _ = world
+        result = repair_chain(h.chain_for(leaf), domain="repairt.example",
+                              store=store, fetcher=repo)
+        assert not verify_repair(h.chain_for(leaf), result,
+                                 domain="unrelated.example")

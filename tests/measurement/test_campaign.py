@@ -1,0 +1,92 @@
+"""End-to-end measurement campaigns over the simulated network."""
+
+import pytest
+
+from repro.measurement import Campaign
+from repro.webpki import Ecosystem, EcosystemConfig, VANTAGE_AU, VANTAGE_US
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    ecosystem = Ecosystem.generate(EcosystemConfig(n_domains=400, seed=21))
+    return Campaign(ecosystem)
+
+
+class TestCollection:
+    def test_collect_reaches_most_domains(self, campaign):
+        result = campaign.collect()
+        population = len(campaign.ecosystem.deployments)
+        for vantage in (VANTAGE_US, VANTAGE_AU):
+            assert result.reachable_counts[vantage] >= 0.9 * population
+        assert result.total_observations >= 0.9 * population
+
+    def test_union_includes_vantage_disagreements(self, campaign):
+        result = campaign.collect()
+        variant_domains = {
+            d.domain for d in campaign.ecosystem.deployments
+            if d.alt_vantage_chain is not None
+            and not d.unreachable_from
+        }
+        observed = [domain for domain, _ in result.observations]
+        for domain in variant_domains:
+            assert observed.count(domain) == 2
+
+    def test_unique_counts_consistent(self, campaign):
+        result = campaign.collect()
+        assert result.unique_chains == result.total_observations
+        assert result.unique_certificates > 0
+
+    def test_tls_version_comparison_high(self, campaign):
+        identical = campaign.compare_tls_versions(sample=200)
+        assert identical >= 95.0  # paper: 98.8%
+
+
+class TestAnalysis:
+    def test_analyze_scanned_matches_ground_truth(self, campaign):
+        scanned, _ = campaign.analyze(campaign.collect().observations)
+        truth, _ = campaign.analyze()
+        # Scanning loses only the unreachable minority; headline rates
+        # must agree within a couple of points.
+        assert scanned.noncompliance_rate == pytest.approx(
+            truth.noncompliance_rate, abs=2.5
+        )
+
+    def test_reports_returned_per_observation(self, campaign):
+        observations = campaign.ecosystem.observations()[:50]
+        report, reports = campaign.analyze(observations)
+        assert report.total == len(reports) == 50
+
+    def test_run_default_campaign_smoke(self):
+        from repro.measurement import run_default_campaign
+
+        campaign, report = run_default_campaign(n_domains=150, seed=33)
+        assert report.total >= 140
+        assert 0 <= report.noncompliance_rate <= 100
+
+
+class TestFlakyCollection:
+    def test_retries_recover_coverage(self):
+        """A flaky population scanned with retries reaches near-full
+        coverage; without retries it visibly drops."""
+        from repro.net import Scanner
+        from repro.webpki import Ecosystem, EcosystemConfig
+
+        ecosystem = Ecosystem.generate(
+            EcosystemConfig(n_domains=200, seed=31)
+        )
+        network = ecosystem.install()
+        domains = [d.domain for d in ecosystem.deployments
+                   if not d.unreachable_from][:150]
+        for domain in domains:
+            network.make_flaky(domain, 0.35)
+
+        impatient = Scanner(network, "us")
+        flaky_hits = sum(
+            r.success for r in impatient.scan(domains)
+        )
+        patient = Scanner(network, "us", retries=5, retry_cooldown=1.0)
+        patient_hits = sum(
+            r.success for r in patient.scan(domains)
+        )
+        assert patient_hits > flaky_hits
+        assert patient_hits >= 0.97 * len(domains)

@@ -1,0 +1,85 @@
+"""JSONL observation persistence."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.measurement import (
+    load_observations,
+    observation_from_json,
+    observation_to_json,
+    save_observations,
+)
+
+
+class TestRoundTrip:
+    def test_single_observation(self, chain):
+        line = observation_to_json("rt.example", list(chain))
+        domain, restored = observation_from_json(line)
+        assert domain == "rt.example"
+        assert restored == list(chain)
+
+    def test_file_roundtrip(self, tmp_path, hierarchy, chain):
+        observations = [
+            ("a.example", list(chain)),
+            ("b.example", [chain[0]]),
+            ("c.example", [hierarchy.root.certificate]),
+        ]
+        path = tmp_path / "corpus.jsonl"
+        assert save_observations(path, observations) == 3
+        restored = load_observations(path)
+        assert restored == observations
+
+    def test_fingerprints_preserved(self, tmp_path, chain):
+        path = tmp_path / "fp.jsonl"
+        save_observations(path, [("fp.example", list(chain))])
+        (_, restored), = load_observations(path)
+        assert [c.fingerprint for c in restored] == [
+            c.fingerprint for c in chain
+        ]
+
+    def test_ecosystem_corpus_roundtrip(self, tmp_path, small_ecosystem):
+        observations = small_ecosystem.observations()[:50]
+        path = tmp_path / "eco.jsonl"
+        save_observations(path, observations)
+        assert load_observations(path) == observations
+
+
+class TestRobustness:
+    def test_blank_and_comment_lines_tolerated(self, tmp_path, chain):
+        path = tmp_path / "comments.jsonl"
+        content = (
+            "# a comment\n\n"
+            + observation_to_json("x.example", [chain[0]])
+            + "\n\n"
+        )
+        path.write_text(content)
+        assert len(load_observations(path)) == 1
+
+    def test_malformed_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(EncodingError, match="bad.jsonl:1"):
+            load_observations(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "version.jsonl"
+        path.write_text('{"v": 99, "domain": "x", "chain": []}\n')
+        with pytest.raises(EncodingError, match="version"):
+            load_observations(path)
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(EncodingError):
+            observation_from_json('{"v": 1, "domain": "x"}')
+
+    def test_analysis_identical_after_reload(self, tmp_path, small_ecosystem):
+        from repro.core import analyze_chain
+
+        union = small_ecosystem.registry.union()
+        observations = small_ecosystem.observations()[:30]
+        path = tmp_path / "re.jsonl"
+        save_observations(path, observations)
+        for (d1, c1), (d2, c2) in zip(observations, load_observations(path)):
+            before = analyze_chain(d1, c1, union, small_ecosystem.aia_repo)
+            after = analyze_chain(d2, c2, union, small_ecosystem.aia_repo)
+            assert before.compliant == after.compliant
+            assert before.defect_summary == after.defect_summary

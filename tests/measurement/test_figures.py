@@ -1,0 +1,86 @@
+"""Figure regeneration: topology sketches and case-study outcomes."""
+
+import pytest
+
+from repro.measurement import (
+    figure_1_trace,
+    figure_2_sketches,
+    figure_5_candidates,
+    figure_case_outcomes,
+    topology_sketch,
+)
+
+
+class TestTopologySketch:
+    def test_compliant_sketch(self, hierarchy, leaf):
+        sketch = topology_sketch("s.example", hierarchy.chain_for(leaf))
+        assert sketch.labels == ("0", "1", "2")
+        assert sketch.roles[0] == "leaf"
+        assert sketch.paths == ("2->1->0",)
+        assert "s.example" in sketch.render()
+
+    def test_duplicate_labels_in_sketch(self, hierarchy, leaf):
+        from repro.ca import malform
+
+        chain = malform.duplicate_leaf(hierarchy.chain_for(leaf))
+        sketch = topology_sketch("d.example", chain)
+        # Labels are list positions (the paper's notation): the copy at
+        # position 1 relabels to 0[1]; later certs keep their positions.
+        assert sketch.labels == ("0", "0[1]", "2", "3")
+
+
+class TestFigure2(object):
+    def test_all_four_panels(self, small_ecosystem):
+        sketches = figure_2_sketches(small_ecosystem)
+        assert set(sketches) == {
+            "a_compliant", "b_stale_leaves", "c_cross_signed",
+            "d_foreign_chain",
+        }
+
+    def test_panel_b_shows_stale_leaves(self, small_ecosystem):
+        sketch = figure_2_sketches(small_ecosystem)["b_stale_leaves"]
+        assert sketch.roles.count("leaf") == 5
+
+    def test_panel_c_has_two_paths(self, small_ecosystem):
+        sketch = figure_2_sketches(small_ecosystem)["c_cross_signed"]
+        assert len(sketch.paths) == 2
+
+    def test_panel_d_relabels_duplicate(self, small_ecosystem):
+        sketch = figure_2_sketches(small_ecosystem)["d_foreign_chain"]
+        assert "4[1]" in sketch.labels  # the paper's exact relabelling
+
+
+class TestCaseFigures:
+    def test_figure3_gnutls_fails_on_length(self, small_ecosystem):
+        data = figure_case_outcomes(small_ecosystem, "fig3_long_list")
+        assert data["list_length"] == 17
+        assert data["results"]["gnutls"] == "input_list_too_long"
+        assert data["results"]["chrome"] == "ok"
+        assert data["structures"]["chrome"] == "8->1->16->0"
+
+    def test_figure4_backtracking_split(self, small_ecosystem):
+        data = figure_case_outcomes(small_ecosystem, "fig4_backtracking")
+        assert data["results"]["openssl"] == "untrusted_root"
+        assert data["results"]["gnutls"] == "untrusted_root"
+        assert data["results"]["cryptoapi"] == "ok"
+        assert data["structures"]["cryptoapi"] == "4->3->2->0"
+        # MbedTLS lands on the valid path only because it cannot reorder.
+        assert data["results"]["mbedtls"] == "ok"
+
+    def test_figure1_trace_shape(self, small_ecosystem):
+        domain = small_ecosystem.deployments[0].domain
+        trace = figure_1_trace(small_ecosystem, domain)
+        assert set(trace) == {"domain", "client", "construction", "validation"}
+        assert "structure" in trace["construction"]
+
+
+class TestFigure5:
+    def test_two_candidates_same_subject(self):
+        candidates = figure_5_candidates()
+        assert len(candidates) == 2
+        assert candidates[0].subject == candidates[1].subject
+
+    def test_most_recent_is_preferred(self):
+        a, b = figure_5_candidates()
+        assert a.preferred and not b.preferred
+        assert a.validity.more_recent_than(b.validity)

@@ -1,0 +1,39 @@
+"""Formatting helpers."""
+
+import pytest
+
+from repro.measurement import cell, format_mapping_table, format_table, pct, shares
+
+
+def test_pct():
+    assert pct(1, 4) == 25.0
+    assert pct(0, 0) == 0.0
+
+
+def test_cell_formatting():
+    assert cell(5974, 16952) == "5,974 (35.2%)"
+    assert cell(1, 3, digits=2) == "1 (33.33%)"
+
+
+def test_format_table_aligns_columns():
+    text = format_table(("a", "bb"), [("x", "1"), ("longer", "22")])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    assert all(len(line) >= len("longer") for line in lines[1:])
+
+
+def test_format_mapping_table():
+    text = format_mapping_table("Title", {"k": "v"})
+    assert text.startswith("Title\n")
+    assert "k" in text and "v" in text
+
+
+def test_shares_normalise():
+    result = shares({"a": 3, "b": 1})
+    assert result["a"] == pytest.approx(75.0)
+    assert result["b"] == pytest.approx(25.0)
+
+
+def test_shares_empty():
+    assert shares({}) == {}

@@ -1,0 +1,111 @@
+"""Table regeneration: structure and internal consistency of each."""
+
+import pytest
+
+from repro.measurement import (
+    TableContext,
+    render_table_1,
+    render_table_3,
+    render_table_4,
+    render_table_5,
+    render_table_6,
+    render_table_7,
+    render_table_8,
+    render_table_10,
+    render_table_11,
+    table_1,
+    table_3,
+    table_4,
+    table_5,
+    table_6,
+    table_7,
+    table_8,
+    table_10,
+    table_11,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx(small_ecosystem):
+    return TableContext.build(small_ecosystem)
+
+
+class TestStaticTables:
+    def test_table1_fourteen_rows(self):
+        rows = table_1()
+        assert len(rows) == 14
+        ours_only = [r for r in rows
+                     if r["this_work"] == "yes" and r["bettertls"] == "no"]
+        assert len(ours_only) == 8  # our novel coverage
+
+    def test_table4_and_6_render(self):
+        assert "Apache" in render_table_4()
+        assert "GoGetSSL" in render_table_6()
+        assert len(table_4()) == 5
+        assert len(table_6()) == 5
+
+    def test_table1_renders(self):
+        assert "ORDER_REORGANIZATION" in render_table_1()
+
+
+class TestCorpusTables:
+    def test_table3_counts_sum_to_total(self, ctx):
+        rows = table_3(ctx)
+        assert sum(r["count"] for r in rows) == ctx.dataset.total
+        assert rows[0]["placement"] == "correctly_placed_matched"
+        assert rows[0]["percent"] > 85
+
+    def test_table5_defect_counts(self, ctx):
+        rows = table_5(ctx)
+        total_row = rows[-1]
+        assert total_row["type"] == "total"
+        assert total_row["count"] == ctx.dataset.order_noncompliant
+        # Defect rows may overlap, so their sum is >= the total.
+        assert sum(r["count"] for r in rows[:-1]) >= total_row["count"]
+
+    def test_table7_classes_partition_corpus(self, ctx):
+        rows = table_7(ctx)
+        assert sum(r["count"] for r in rows) == ctx.dataset.total
+        shares = {r["type"]: r["percent"] for r in rows}
+        assert shares["complete_without_root"] > shares["complete_with_root"]
+        assert shares["incomplete"] < 5
+
+    def test_table8_aia_dominates_store_choice(self, ctx):
+        data = table_8(ctx)
+        for store in data.values():
+            assert store["aia_not_supported"] >= store["aia_supported"]
+        # The legacy cohort makes no-AIA counts large for every store.
+        assert data["mozilla"]["aia_not_supported"] > 0.1 * ctx.dataset.total
+
+    def test_table10_overview_covers_noncompliant(self, ctx):
+        rows = table_10(ctx)
+        assert sum(rows["overview"].values()) == ctx.dataset.noncompliant
+
+    def test_table10_azure_duplicate_leaf_zero(self, ctx):
+        rows = table_10(ctx)
+        assert rows["duplicate_leaf"].get("azure", 0) == 0
+
+    def test_table11_totals_cover_corpus(self, ctx):
+        data = table_11(ctx)
+        assert sum(row["total"] for row in data.values()) == ctx.dataset.total
+
+    def test_table11_lets_encrypt_cleanest_major_ca(self, ctx):
+        data = table_11(ctx)
+        le = data["lets-encrypt"]["noncompliant_rate"]
+        assert le < data["digicert"]["noncompliant_rate"] or le < 2.5
+
+    def test_renderers_produce_text(self, ctx):
+        for renderer in (render_table_3, render_table_5, render_table_7,
+                         render_table_8, render_table_10, render_table_11):
+            text = renderer(ctx)
+            assert isinstance(text, str) and len(text.splitlines()) >= 3
+
+
+def test_render_all_bundles_every_table(ctx):
+    from repro.measurement import render_all
+
+    text = render_all(ctx)
+    for marker in ("Table 1", "Table 3", "Table 4", "Table 5", "Table 6",
+                   "Table 7", "Table 8", "Table 10", "Table 11"):
+        assert marker in text
+    assert "Table 9" not in text  # opt-in (slow ladder probe)

@@ -1,0 +1,66 @@
+"""Token bucket rate limiting over simulated time."""
+
+import pytest
+
+from repro.net import SimClock, TokenBucket
+
+
+class TestValidation:
+    def test_positive_parameters_required(self):
+        with pytest.raises(ValueError):
+            TokenBucket(SimClock(), rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(SimClock(), rate=1, burst=0)
+
+    def test_negative_consume_rejected(self):
+        bucket = TokenBucket(SimClock(), rate=10, burst=10)
+        with pytest.raises(ValueError):
+            bucket.consume(-1)
+
+
+class TestBehaviour:
+    def test_burst_consumed_without_waiting(self):
+        clock = SimClock()
+        bucket = TokenBucket(clock, rate=100, burst=100)
+        waited = bucket.consume(100)
+        assert waited == 0
+        assert clock.now() == 0
+
+    def test_exhausted_bucket_waits(self):
+        clock = SimClock()
+        bucket = TokenBucket(clock, rate=100, burst=100)
+        bucket.consume(100)
+        waited = bucket.consume(50)
+        assert waited == pytest.approx(0.5)
+        assert clock.now() == pytest.approx(0.5)
+
+    def test_refill_over_time(self):
+        clock = SimClock()
+        bucket = TokenBucket(clock, rate=10, burst=10)
+        bucket.consume(10)
+        clock.advance(1.0)  # refills 10 tokens
+        assert bucket.consume(10) == 0
+
+    def test_oversized_request_honoured_by_waiting(self):
+        clock = SimClock()
+        bucket = TokenBucket(clock, rate=10, burst=5)
+        waited = bucket.consume(25)
+        assert waited > 0
+        assert clock.now() >= 2.0  # at least (25-5)/10 seconds
+
+    def test_observed_rate_bounded_by_configured_rate(self):
+        clock = SimClock()
+        rate = 500 * 1024
+        bucket = TokenBucket(clock, rate=rate, burst=rate)
+        for _ in range(50):
+            bucket.consume(100_000)
+        # Allow the initial burst allowance on top of the steady rate.
+        assert bucket.observed_rate() <= rate + rate / clock.now()
+
+    def test_counters(self):
+        clock = SimClock()
+        bucket = TokenBucket(clock, rate=10, burst=10)
+        bucket.consume(4)
+        bucket.consume(8)
+        assert bucket.total_consumed == pytest.approx(12)
+        assert bucket.total_wait > 0

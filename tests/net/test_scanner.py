@@ -1,0 +1,149 @@
+"""The ZGrab2-style scanner: records, failures, rate limiting."""
+
+import pytest
+
+from repro.net import (
+    RATE_LIMIT_BYTES_PER_SECOND,
+    Scanner,
+    SimulatedNetwork,
+    TLS12,
+    TLS13,
+    TLSServerConfig,
+    install_tls_server,
+)
+
+
+@pytest.fixture()
+def network(hierarchy, leaf):
+    net = SimulatedNetwork(seed=9)
+    net.add_vantage("us", base_rtt=0.02)
+    chain = hierarchy.chain_for(leaf)
+    for name in ("a.example", "b.example", "c.example"):
+        install_tls_server(net, name, TLSServerConfig(default_chain=chain))
+    # A TLS 1.3-only server and a TLS-broken host.
+    install_tls_server(
+        net, "modern.example",
+        TLSServerConfig(default_chain=chain, supported_versions=(TLS13,)),
+    )
+    net.get_or_add_host("broken.example")  # no TLS handler at all
+    return net, chain
+
+
+class TestScanRecords:
+    def test_successful_scan(self, network):
+        net, chain = network
+        scanner = Scanner(net, "us")
+        record = scanner.scan_domain("a.example")
+        assert record.success
+        assert list(record.chain) == chain
+        assert record.tls_version == TLS12
+        assert record.wire_bytes > 0
+        assert record.error is None
+
+    def test_unreachable_recorded_not_raised(self, network):
+        net, _ = network
+        record = Scanner(net, "us").scan_domain("ghost.example")
+        assert not record.success
+        assert record.error == "unreachable"
+        assert record.chain == ()
+
+    def test_handshake_failure_recorded(self, network):
+        net, _ = network
+        record = Scanner(net, "us").scan_domain(
+            "modern.example", versions=(TLS12,)
+        )
+        assert record.error == "handshake_failed"
+
+    def test_broken_server_counts_as_unreachable(self, network):
+        net, _ = network
+        record = Scanner(net, "us").scan_domain("broken.example")
+        assert not record.success
+
+    def test_scan_many(self, network):
+        net, _ = network
+        records = Scanner(net, "us").scan(
+            ["a.example", "b.example", "ghost.example"]
+        )
+        assert [r.success for r in records] == [True, True, False]
+        assert [r.domain for r in records] == [
+            "a.example", "b.example", "ghost.example",
+        ]
+
+
+class TestVersionComparison:
+    def test_scan_both_versions(self, network):
+        net, _ = network
+        results = Scanner(net, "us").scan_both_versions(["a.example"])
+        tls12, tls13 = results["a.example"]
+        assert tls12.tls_version == TLS12
+        assert tls13.tls_version == TLS13
+        assert tls12.chain == tls13.chain
+
+
+class TestRateLimit:
+    def test_scan_respects_bandwidth_cap(self, network):
+        net, _ = network
+        rate = 50_000  # tight cap to force waiting
+        scanner = Scanner(net, "us", rate_limit=rate)
+        scanner.scan(["a.example", "b.example", "c.example"] * 10)
+        observed = scanner.bucket.observed_rate()
+        # Steady-state rate stays under cap plus the one-burst allowance.
+        assert observed <= rate + rate / max(net.clock.now(), 1e-9)
+
+    def test_default_cap_is_500kb(self, network):
+        net, _ = network
+        scanner = Scanner(net, "us")
+        assert scanner.bucket.rate == RATE_LIMIT_BYTES_PER_SECOND
+
+
+class TestFlakinessAndRetries:
+    def test_flaky_host_sometimes_fails_without_retries(self, network):
+        net, _ = network
+        net.make_flaky("a.example", 0.6)
+        scanner = Scanner(net, "us")
+        outcomes = [scanner.scan_domain("a.example").success
+                    for _ in range(40)]
+        assert any(outcomes) and not all(outcomes)
+        net.make_flaky("a.example", 0.0)
+
+    def test_retries_recover_transient_failures(self, network):
+        net, _ = network
+        net.make_flaky("b.example", 0.5)
+        patient = Scanner(net, "us", retries=6)
+        successes = sum(
+            patient.scan_domain("b.example").success for _ in range(25)
+        )
+        assert successes >= 23  # P(7 straight failures) ~ 0.8%
+        net.make_flaky("b.example", 0.0)
+
+    def test_retry_cooldown_advances_clock(self, network):
+        net, _ = network
+        net.make_flaky("c.example", 1.0)  # always fails -> all retries used
+        scanner = Scanner(net, "us", retries=3, retry_cooldown=10.0)
+        before = net.clock.now()
+        record = scanner.scan_domain("c.example")
+        assert not record.success
+        assert net.clock.now() - before >= 30.0
+        net.make_flaky("c.example", 0.0)
+
+    def test_handshake_failures_not_retried(self, network):
+        net, _ = network
+        scanner = Scanner(net, "us", retries=5, retry_cooldown=100.0)
+        before = net.clock.now()
+        record = scanner.scan_domain("modern.example", versions=(TLS12,))
+        assert record.error == "handshake_failed"
+        assert net.clock.now() - before < 100.0  # no cooldown burned
+
+    def test_negative_retries_rejected(self, network):
+        net, _ = network
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            Scanner(net, "us", retries=-1)
+
+    def test_flaky_probability_validated(self, network):
+        net, _ = network
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            net.make_flaky("a.example", 1.5)

@@ -1,0 +1,100 @@
+"""The network simulator: hosts, vantages, reachability, clock."""
+
+import pytest
+
+from repro.errors import HostUnreachableError, NetworkError
+from repro.net import SimClock, SimulatedNetwork
+
+
+class TestClock:
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        assert clock.now() == pytest.approx(1.5)
+
+    def test_time_cannot_reverse(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+
+class TestTopology:
+    def test_add_host_and_bind(self):
+        network = SimulatedNetwork()
+        host = network.add_host("a.example")
+        host.bind(443, lambda payload: ("echo", payload))
+        network.add_vantage("v")
+        connection = network.connect("v", "a.example", 443)
+        assert connection.request("hi") == ("echo", "hi")
+
+    def test_duplicate_host_rejected(self):
+        network = SimulatedNetwork()
+        network.add_host("a.example")
+        with pytest.raises(NetworkError):
+            network.add_host("a.example")
+
+    def test_get_or_add_host_idempotent(self):
+        network = SimulatedNetwork()
+        first = network.get_or_add_host("b.example")
+        assert network.get_or_add_host("b.example") is first
+
+    def test_duplicate_port_bind_rejected(self):
+        network = SimulatedNetwork()
+        host = network.add_host("a.example")
+        host.bind(80, lambda p: p)
+        with pytest.raises(NetworkError):
+            host.bind(80, lambda p: p)
+
+    def test_unbound_port_refuses(self):
+        network = SimulatedNetwork()
+        network.add_host("a.example")
+        network.add_vantage("v")
+        connection = network.connect("v", "a.example", 9999)
+        with pytest.raises(NetworkError):
+            connection.request("x")
+
+
+class TestReachability:
+    def test_unknown_vantage_rejected(self):
+        network = SimulatedNetwork()
+        network.add_host("a.example")
+        with pytest.raises(NetworkError):
+            network.connect("nowhere", "a.example", 443)
+
+    def test_unknown_host_unreachable(self):
+        network = SimulatedNetwork()
+        network.add_vantage("v")
+        with pytest.raises(HostUnreachableError):
+            network.connect("v", "ghost.example", 443)
+
+    def test_per_vantage_block(self):
+        network = SimulatedNetwork()
+        network.add_host("a.example").bind(443, lambda p: p)
+        network.add_vantage("us")
+        network.add_vantage("au")
+        network.block("au", "a.example")
+        assert network.is_reachable("us", "a.example")
+        assert not network.is_reachable("au", "a.example")
+        with pytest.raises(HostUnreachableError):
+            network.connect("au", "a.example", 443)
+
+
+class TestLatency:
+    def test_connect_advances_clock(self):
+        network = SimulatedNetwork(seed=1)
+        network.add_host("a.example").bind(443, lambda p: p)
+        network.add_vantage("v", base_rtt=0.1)
+        before = network.clock.now()
+        network.connect("v", "a.example", 443)
+        assert network.clock.now() > before
+
+    def test_seeded_latency_reproducible(self):
+        def total_time(seed):
+            network = SimulatedNetwork(seed=seed)
+            network.add_host("a.example").bind(443, lambda p: p)
+            network.add_vantage("v")
+            for _ in range(10):
+                network.connect("v", "a.example", 443)
+            return network.clock.now()
+
+        assert total_time(7) == total_time(7)
+        assert total_time(7) != total_time(8)

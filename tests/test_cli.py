@@ -1,0 +1,134 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.x509 import load_pem_bundle, to_pem_bundle
+
+
+@pytest.fixture()
+def chain_file(tmp_path, hierarchy, leaf):
+    path = tmp_path / "chain.pem"
+    path.write_text(to_pem_bundle(
+        hierarchy.chain_for(leaf, include_root=True)
+    ))
+    return path
+
+
+@pytest.fixture()
+def broken_chain_file(tmp_path, hierarchy, leaf):
+    from repro.ca import malform
+
+    broken = malform.duplicate_leaf(
+        malform.reverse_intermediates(
+            hierarchy.chain_for(leaf, include_root=True)
+        )
+    )
+    path = tmp_path / "broken.pem"
+    path.write_text(to_pem_bundle(broken))
+    return path
+
+
+class TestAnalyze:
+    def test_compliant_chain_exits_zero(self, chain_file, capsys):
+        code = main(["analyze", str(chain_file),
+                     "--domain", "fixture.example"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "COMPLIANT" in out
+        assert "correctly_placed_matched" in out
+
+    def test_broken_chain_exits_nonzero(self, broken_chain_file, capsys):
+        code = main(["analyze", str(broken_chain_file),
+                     "--domain", "fixture.example"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "NON-COMPLIANT" in out
+        assert "reversed_sequences" in out
+
+    def test_roots_file(self, tmp_path, hierarchy, leaf, capsys):
+        from repro.x509 import to_pem
+
+        chain_path = tmp_path / "noroot.pem"
+        chain_path.write_text(to_pem_bundle(hierarchy.chain_for(leaf)))
+        roots_path = tmp_path / "roots.pem"
+        roots_path.write_text(to_pem(hierarchy.root.certificate))
+        code = main(["analyze", str(chain_path),
+                     "--domain", "fixture.example",
+                     "--roots", str(roots_path)])
+        assert code == 0
+
+
+class TestRepair:
+    def test_repair_writes_compliant_bundle(self, broken_chain_file,
+                                            tmp_path, capsys):
+        out_path = tmp_path / "fixed.pem"
+        code = main(["repair", str(broken_chain_file),
+                     "--domain", "fixture.example",
+                     "--include-root",
+                     "-o", str(out_path)])
+        assert code == 0
+        fixed = load_pem_bundle(out_path.read_text())
+        from repro.core import analyze_order
+
+        assert analyze_order(fixed).compliant
+        assert "removed_duplicate" in capsys.readouterr().out
+
+    def test_repair_to_stdout(self, broken_chain_file, capsys):
+        code = main(["repair", str(broken_chain_file),
+                     "--domain", "fixture.example"])
+        assert code == 0
+        assert "BEGIN CERTIFICATE" in capsys.readouterr().out
+
+
+class TestCapabilities:
+    def test_single_client(self, capsys):
+        code = main(["capabilities", "--client", "gnutls"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "GnuTLS" in out
+        assert "path_length_constraint" in out
+
+    def test_extended_probes(self, capsys):
+        code = main(["capabilities", "--client", "openssl", "--extended"])
+        assert code == 0
+        assert "deprecated_crypto" in capsys.readouterr().out
+
+
+class TestScanAndDifferential:
+    def test_scan_with_output(self, tmp_path, capsys):
+        corpus = tmp_path / "corpus.jsonl"
+        code = main(["scan", "--domains", "150", "--seed", "5",
+                     "--output", str(corpus)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "non-compliant" in out
+        from repro.measurement import load_observations
+
+        assert len(load_observations(corpus)) >= 140
+
+    def test_differential_summary(self, capsys):
+        code = main(["differential", "--domains", "150", "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "library failures" in out
+        assert "attribution" in out
+
+
+class TestScanNetworkMode:
+    def test_simulated_network_scan(self, capsys):
+        code = main(["scan", "--domains", "120", "--seed", "6",
+                     "--simulate-network"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scanned:" in out
+        assert "Table 7" in out
+
+
+class TestCapabilitiesMatrix:
+    def test_full_matrix_with_recommended(self, capsys):
+        code = main(["capabilities", "--recommended"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Recommended" in out
+        assert "MbedTLS" in out

@@ -1,0 +1,167 @@
+"""Cross-module integration: the full paper pipeline, end to end.
+
+These tests exercise generate → install → scan → analyse → differential
+over one shared small world, plus the HTTP-backed AIA path and the
+real-crypto (ECDSA) backend through the analysis pipeline.
+"""
+
+import pytest
+
+from repro.chainbuilder import (
+    ALL_CLIENTS,
+    DIFFERENTIAL_BROWSERS,
+    DifferentialHarness,
+    LIBRARIES,
+)
+from repro.core import analyze_chain
+from repro.measurement import Campaign, TableContext
+from repro.net import HTTPAIAFetcher, Scanner
+from repro.webpki import Ecosystem, EcosystemConfig, VANTAGE_US
+
+
+@pytest.fixture(scope="module")
+def world():
+    ecosystem = Ecosystem.generate(EcosystemConfig(n_domains=600, seed=77))
+    network = ecosystem.install()
+    return ecosystem, network
+
+
+class TestScanToAnalysis:
+    def test_scanned_chains_match_deployments(self, world):
+        ecosystem, network = world
+        scanner = Scanner(network, VANTAGE_US)
+        checked = 0
+        for deployment in ecosystem.deployments[:25]:
+            if VANTAGE_US in deployment.unreachable_from:
+                continue
+            record = scanner.scan_domain(deployment.domain)
+            assert record.success
+            assert list(record.chain) == deployment.chain
+            checked += 1
+        assert checked > 15
+
+    def test_campaign_over_network(self, world):
+        ecosystem, network = world
+        campaign = Campaign(ecosystem, network=network)
+        collection = campaign.collect()
+        report, _ = campaign.analyze(collection.observations)
+        assert report.total == collection.total_observations
+        assert 0.5 <= report.noncompliance_rate <= 8.0
+
+    def test_http_aia_fetcher_agrees_with_repository(self, world):
+        ecosystem, network = world
+        fetcher = HTTPAIAFetcher(network, VANTAGE_US)
+        for uri, cert in ecosystem.aia_repo.items()[:10]:
+            assert fetcher.fetch(uri) == cert
+
+    def test_analysis_identical_over_http_aia(self, world):
+        ecosystem, network = world
+        union = ecosystem.registry.union()
+        http_fetcher = HTTPAIAFetcher(network, VANTAGE_US)
+        for domain, chain in ecosystem.observations()[:40]:
+            via_repo = analyze_chain(domain, chain, union, ecosystem.aia_repo)
+            via_http = analyze_chain(domain, chain, union, http_fetcher)
+            assert via_repo.completeness.category == (
+                via_http.completeness.category
+            )
+
+
+class TestDifferentialIntegration:
+    def test_headline_gap_direction(self, world):
+        ecosystem, _ = world
+        harness = DifferentialHarness(
+            ecosystem.registry, aia_fetcher=ecosystem.aia_repo
+        )
+        report = harness.run(
+            ecosystem.observations(), at_time=ecosystem.config.now,
+            observe_into_cache=True,
+        )
+        lib_fail = report.failure_rate(LIBRARIES)
+        browser_fail = report.failure_rate(DIFFERENTIAL_BROWSERS)
+        # The paper's §5 headline: libraries fail far more chains than
+        # browsers (40.9% vs 12.5% at full scale).
+        assert lib_fail > 2 * browser_fail
+        assert lib_fail > 15.0
+
+    def test_case_study_verdicts(self, world):
+        ecosystem, _ = world
+        harness = DifferentialHarness(
+            ecosystem.registry, aia_fetcher=ecosystem.aia_repo
+        )
+        cases = ecosystem.case_studies()
+        moment = ecosystem.config.now
+
+        fig3 = harness.evaluate(
+            cases["fig3_long_list"].domain,
+            cases["fig3_long_list"].chain, at_time=moment,
+        )
+        assert fig3.result_of("gnutls") == "input_list_too_long"
+        assert fig3.result_of("chrome") == "ok"
+
+        fig4 = harness.evaluate(
+            cases["fig4_backtracking"].domain,
+            cases["fig4_backtracking"].chain, at_time=moment,
+        )
+        assert fig4.result_of("openssl") == "untrusted_root"
+        assert fig4.result_of("cryptoapi") == "ok"
+
+        ns3 = harness.evaluate(
+            cases["ns3_block_duplicates"].domain,
+            cases["ns3_block_duplicates"].chain, at_time=moment,
+        )
+        assert ns3.result_of("gnutls") == "input_list_too_long"
+        assert ns3.result_of("openssl") == "ok"
+
+    def test_legacy_chains_split_on_aia(self, world):
+        """The Table 8 cohort: AIA clients validate, the rest cannot."""
+        ecosystem, _ = world
+        harness = DifferentialHarness(
+            ecosystem.registry, aia_fetcher=ecosystem.aia_repo
+        )
+        legacy = next(
+            d for d in ecosystem.deployments
+            if d.legacy and not d.plan.any_defect
+            and d.plan.leaf_placement == "matched" and not d.includes_root
+        )
+        outcome = harness.evaluate(
+            legacy.domain, legacy.chain, at_time=ecosystem.config.now
+        )
+        assert outcome.result_of("cryptoapi") == "ok"
+        assert outcome.result_of("chrome") == "ok"
+        assert outcome.result_of("openssl") == "no_issuer_found"
+        assert outcome.result_of("gnutls") == "no_issuer_found"
+
+
+class TestTableContextIntegration:
+    def test_context_builds_over_scanned_world(self, world):
+        ecosystem, _ = world
+        ctx = TableContext.build(ecosystem)
+        assert ctx.dataset.total == len(ecosystem.observations())
+        assert ctx.report_server(ctx.reports[0]) in (
+            "apache", "nginx", "azure", "cloudflare", "iis", "aws-elb",
+            "other",
+        )
+
+
+class TestECDSABackend:
+    def test_analysis_pipeline_backend_agnostic(self):
+        """A chain minted with real ECDSA flows through the same rules."""
+        from repro.ca import CertificateAuthority
+        from repro.core import analyze_order
+        from repro.trust import RootStore
+        from repro.x509 import Name, Validity, utc
+
+        root = CertificateAuthority(
+            Name.build(organization="ECDSA Org", common_name="ECDSA Root"),
+            validity=Validity(utc(2020, 1, 1), utc(2035, 1, 1)),
+            key_backend="ecdsa",
+        )
+        intermediate = root.issue_intermediate(
+            Name.build(common_name="ECDSA Int"), key_backend="ecdsa"
+        )
+        leaf = intermediate.issue_leaf("ecdsa.example", key_backend="ecdsa")
+        chain = [leaf, intermediate.certificate]
+        assert analyze_order(chain).compliant
+        store = RootStore("ecdsa", [root.certificate])
+        report = analyze_chain("ecdsa.example", chain, store)
+        assert report.compliant

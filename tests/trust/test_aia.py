@@ -1,0 +1,118 @@
+"""AIA repository and recursive completion."""
+
+import pytest
+
+from repro.ca import build_hierarchy
+from repro.errors import AIAFetchError
+from repro.trust import MAX_AIA_DEPTH, StaticAIARepository, complete_via_aia
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = build_hierarchy(
+        "AIAT", depth=2, key_seed_prefix="aiat",
+        aia_base="http://aia.aiat.example",
+    )
+    repo = StaticAIARepository()
+    for authority in h.authorities:
+        repo.publish(authority.aia_uri, authority.certificate)
+    leaf = h.issue_leaf("aiat.example")
+    return h, leaf, repo
+
+
+class TestRepository:
+    def test_fetch_published(self, world):
+        h, _leaf, repo = world
+        uri = h.root.aia_uri
+        assert repo.fetch(uri) == h.root.certificate
+        assert repo.stats.successes >= 1
+
+    def test_fetch_unknown_uri(self, world):
+        _h, _leaf, repo = world
+        with pytest.raises(AIAFetchError) as excinfo:
+            repo.fetch("http://aia.aiat.example/nothing.crt")
+        assert excinfo.value.reason == "not_found"
+
+    def test_unreachable_uri(self, world):
+        h, _leaf, _repo = world
+        repo = StaticAIARepository()
+        repo.publish("http://x/y.crt", h.root.certificate)
+        repo.mark_unreachable("http://x/y.crt")
+        with pytest.raises(AIAFetchError) as excinfo:
+            repo.fetch("http://x/y.crt")
+        assert excinfo.value.reason == "unreachable"
+        assert repo.stats.failures == 1
+
+    def test_republish_clears_unreachable(self, world):
+        h, _leaf, _repo = world
+        repo = StaticAIARepository()
+        repo.mark_unreachable("http://x/z.crt")
+        repo.publish("http://x/z.crt", h.root.certificate)
+        assert repo.fetch("http://x/z.crt") == h.root.certificate
+
+    def test_len_and_items(self, world):
+        _h, _leaf, repo = world
+        assert len(repo) == len(repo.items()) == 3
+
+
+class TestCompletion:
+    def test_leaf_completes_to_root(self, world):
+        _h, leaf, repo = world
+        result = complete_via_aia(leaf, repo)
+        assert result.completed
+        assert len(result.fetched) == 3  # issuing, upper, root
+        assert result.fetched[-1].is_self_signed
+
+    def test_self_signed_input_completes_without_fetches(self, world):
+        h, _leaf, repo = world
+        result = complete_via_aia(h.root.certificate, repo)
+        assert result.completed
+        assert result.fetched == ()
+
+    def test_missing_aia_field(self, world):
+        h, _leaf, repo = world
+        bare = h.issuing_ca.issue_leaf("noaia.example", include_aia=False)
+        assert complete_via_aia(bare, repo).outcome == "missing_aia"
+
+    def test_unreachable_outcome(self, world):
+        h, _leaf, _repo = world
+        repo = StaticAIARepository()
+        leaf = h.issuing_ca.issue_leaf("dead.example")
+        assert complete_via_aia(leaf, repo).outcome == "unreachable"
+
+    def test_wrong_certificate_outcome(self, world):
+        h, _leaf, _repo = world
+        repo = StaticAIARepository()
+        uri = "http://aia.aiat.example/self.crt"
+        leaf = h.issuing_ca.issue_leaf("selfref.example", aia_uri=uri)
+        repo.publish_wrong(uri, leaf)  # the URI serves the cert itself
+        assert complete_via_aia(leaf, repo).outcome == "wrong_certificate"
+
+    def test_non_issuer_at_uri_is_wrong_certificate(self, world):
+        h, _leaf, _repo = world
+        other = build_hierarchy("AIAO", depth=0, key_seed_prefix="aiao")
+        repo = StaticAIARepository()
+        uri = "http://aia.aiat.example/mismatch.crt"
+        leaf = h.issuing_ca.issue_leaf("mismatch.example", aia_uri=uri)
+        repo.publish(uri, other.root.certificate)
+        assert complete_via_aia(leaf, repo).outcome == "wrong_certificate"
+
+    def test_depth_limit(self):
+        # A ladder deeper than MAX_AIA_DEPTH must stop with the guard
+        # outcome instead of recursing indefinitely.
+        repo = StaticAIARepository()
+        deep = build_hierarchy(
+            "AIADeep", depth=MAX_AIA_DEPTH + 2, key_seed_prefix="aiadeep",
+            aia_base="http://aia.deep.example",
+        )
+        for authority in deep.authorities:
+            repo.publish(authority.aia_uri, authority.certificate)
+        leaf = deep.issue_leaf("deep.example")
+        assert complete_via_aia(leaf, repo).outcome == "depth_exceeded"
+
+    def test_custom_depth_budget(self, world):
+        _h, leaf, repo = world
+        assert complete_via_aia(leaf, repo, max_depth=2).outcome == (
+            "depth_exceeded"
+        )
+        assert complete_via_aia(leaf, repo, max_depth=4).completed

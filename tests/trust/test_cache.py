@@ -1,0 +1,94 @@
+"""The Firefox-style intermediate cache."""
+
+import pytest
+
+from repro.ca import build_hierarchy
+from repro.trust import IntermediateCache
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = build_hierarchy("CacheT", depth=2, key_seed_prefix="cachet")
+    leaf = h.issue_leaf("cachet.example")
+    return h, leaf
+
+
+class TestObservation:
+    def test_only_ca_certificates_cached(self, world):
+        h, leaf = world
+        cache = IntermediateCache()
+        assert not cache.observe(leaf)
+        assert cache.observe(h.intermediates[0].certificate)
+        assert len(cache) == 1
+
+    def test_observe_chain_counts(self, world):
+        h, leaf = world
+        cache = IntermediateCache()
+        cached = cache.observe_chain(h.chain_for(leaf, include_root=True))
+        assert cached == 3  # two intermediates + root
+        assert leaf not in cache
+
+    def test_reobservation_is_idempotent(self, world):
+        h, _leaf = world
+        cache = IntermediateCache()
+        cert = h.intermediates[0].certificate
+        cache.observe(cert)
+        cache.observe(cert)
+        assert len(cache) == 1
+
+
+class TestLookup:
+    def test_find_issuers_hits(self, world):
+        h, leaf = world
+        cache = IntermediateCache()
+        cache.observe_chain(h.chain_for(leaf))
+        found = cache.find_issuers(leaf)
+        assert found == [h.issuing_ca.certificate]
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_find_issuers_miss_counted(self, world):
+        _h, leaf = world
+        cache = IntermediateCache()
+        assert cache.find_issuers(leaf) == []
+        assert cache.misses == 1
+
+    def test_clear_resets(self, world):
+        h, leaf = world
+        cache = IntermediateCache()
+        cache.observe_chain(h.chain_for(leaf))
+        cache.find_issuers(leaf)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0
+
+
+class TestEviction:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            IntermediateCache(capacity=0)
+
+    def test_lru_eviction(self):
+        cache = IntermediateCache(capacity=2)
+        hierarchies = [
+            build_hierarchy(f"Evict{i}", depth=0,
+                            key_seed_prefix=f"evict{i}")
+            for i in range(3)
+        ]
+        for h in hierarchies:
+            cache.observe(h.root.certificate)
+        assert len(cache) == 2
+        assert hierarchies[0].root.certificate not in cache
+        assert hierarchies[2].root.certificate in cache
+
+    def test_touch_refreshes_recency(self):
+        cache = IntermediateCache(capacity=2)
+        hierarchies = [
+            build_hierarchy(f"Touch{i}", depth=0,
+                            key_seed_prefix=f"touch{i}")
+            for i in range(3)
+        ]
+        cache.observe(hierarchies[0].root.certificate)
+        cache.observe(hierarchies[1].root.certificate)
+        cache.observe(hierarchies[0].root.certificate)  # refresh 0
+        cache.observe(hierarchies[2].root.certificate)  # evicts 1
+        assert hierarchies[0].root.certificate in cache
+        assert hierarchies[1].root.certificate not in cache

@@ -1,0 +1,123 @@
+"""Revocation registry and its interplay with validation/construction."""
+
+import pytest
+
+from repro.chainbuilder import ChainBuilder, MBEDTLS, OPENSSL, validate_path
+from repro.trust import (
+    RevocationRegistry,
+    RevocationStatus,
+    RootStore,
+)
+from repro.x509 import utc
+
+NOW = utc(2024, 6, 15)
+
+
+class TestRegistry:
+    def test_default_status_is_good(self, leaf):
+        registry = RevocationRegistry()
+        assert registry.status(leaf) is RevocationStatus.GOOD
+        assert registry.checks == 1
+
+    def test_revoke_and_unrevoke(self, leaf):
+        registry = RevocationRegistry()
+        registry.revoke(leaf, reason="keyCompromise")
+        assert registry.status(leaf) is RevocationStatus.REVOKED
+        assert registry.entry(leaf).reason == "keyCompromise"
+        registry.unrevoke(leaf)
+        assert registry.status(leaf) is RevocationStatus.GOOD
+
+    def test_responder_outage_returns_unknown(self, leaf, hierarchy):
+        registry = RevocationRegistry()
+        registry.take_down(hierarchy.issuing_ca.name)
+        assert registry.status(leaf) is RevocationStatus.UNKNOWN
+        registry.restore(hierarchy.issuing_ca.name)
+        assert registry.status(leaf) is RevocationStatus.GOOD
+
+    def test_outage_masks_revocation(self, leaf, hierarchy):
+        # A taken-down responder cannot report the revocation: UNKNOWN
+        # wins — exactly the soft-fail trap.
+        registry = RevocationRegistry()
+        registry.revoke(leaf)
+        registry.take_down(hierarchy.issuing_ca.name)
+        assert registry.status(leaf) is RevocationStatus.UNKNOWN
+
+    def test_revoked_count(self, chain):
+        registry = RevocationRegistry()
+        for cert in chain[:2]:
+            registry.revoke(cert)
+        assert registry.revoked_count == 2
+
+
+class TestValidationIntegration:
+    @pytest.fixture()
+    def path(self, hierarchy, leaf):
+        return [leaf, *[ca.certificate for ca in
+                        reversed(hierarchy.intermediates)],
+                hierarchy.root.certificate]
+
+    def test_revoked_leaf_fails(self, path, store):
+        registry = RevocationRegistry()
+        registry.revoke(path[0])
+        result = validate_path(path, store, at_time=NOW,
+                               revocation=registry)
+        assert result.error == "revoked"
+        assert result.failing_index == 0
+
+    def test_revoked_intermediate_fails(self, path, store):
+        registry = RevocationRegistry()
+        registry.revoke(path[1])
+        result = validate_path(path, store, at_time=NOW,
+                               revocation=registry)
+        assert result.error == "revoked"
+        assert result.failing_index == 1
+
+    def test_trust_anchor_exempt(self, path, store):
+        registry = RevocationRegistry()
+        registry.revoke(path[-1])  # the root
+        assert validate_path(path, store, at_time=NOW,
+                             revocation=registry).ok
+
+    def test_soft_fail_ignores_unknown(self, path, store, hierarchy):
+        registry = RevocationRegistry()
+        registry.take_down(hierarchy.issuing_ca.name)
+        assert validate_path(path, store, at_time=NOW,
+                             revocation=registry).ok
+
+    def test_hard_fail_rejects_unknown(self, path, store, hierarchy):
+        registry = RevocationRegistry()
+        registry.take_down(hierarchy.issuing_ca.name)
+        result = validate_path(path, store, at_time=NOW,
+                               revocation=registry,
+                               revocation_hard_fail=True)
+        assert result.error == "revocation_unknown"
+
+    def test_no_registry_means_no_checks(self, path, store):
+        assert validate_path(path, store, at_time=NOW).ok
+
+
+class TestConstructionIntegration:
+    def test_partial_validation_skips_revoked_candidate(
+        self, hierarchy, leaf, store, aia_repo
+    ):
+        """MbedTLS-style clients never add a revoked candidate, so a
+        revoked intermediate surfaces as a construction failure."""
+        registry = RevocationRegistry()
+        issuing = hierarchy.intermediates[-1].certificate
+        registry.revoke(issuing)
+        chain = hierarchy.chain_for(leaf)
+
+        mbed = ChainBuilder(MBEDTLS, store, aia_fetcher=aia_repo,
+                            revocation=registry)
+        result = mbed.build(chain, at_time=NOW)
+        assert not result.anchored
+        assert issuing not in result.path
+
+        # OpenSSL-style clients construct first and fail in validation.
+        openssl = ChainBuilder(OPENSSL, store, aia_fetcher=aia_repo,
+                               revocation=registry)
+        verdict = openssl.build_and_validate(
+            chain, domain="fixture.example", at_time=NOW
+        )
+        assert verdict.build.anchored
+        assert verdict.validation.error == "revoked"

@@ -1,0 +1,144 @@
+"""Root stores and the four-program registry."""
+
+import pytest
+
+from repro.ca import build_hierarchy
+from repro.errors import RootStoreError
+from repro.trust import RootStore, RootStoreRegistry, STORE_NAMES
+
+
+@pytest.fixture(scope="module")
+def world():
+    a = build_hierarchy("StoreA", depth=1, key_seed_prefix="storea")
+    b = build_hierarchy("StoreB", depth=1, key_seed_prefix="storeb")
+    return a, b
+
+
+class TestRootStore:
+    def test_add_and_contains(self, world):
+        a, _ = world
+        store = RootStore("t", [a.root.certificate])
+        assert a.root.certificate in store
+        assert len(store) == 1
+
+    def test_duplicate_anchor_rejected(self, world):
+        a, _ = world
+        store = RootStore("t", [a.root.certificate])
+        with pytest.raises(RootStoreError):
+            store.add(a.root.certificate)
+
+    def test_find_by_skid(self, world):
+        a, _ = world
+        root = a.root.certificate
+        store = RootStore("t", [root])
+        assert store.find_by_skid(root.subject_key_id) == [root]
+        assert store.find_by_skid(b"\x00" * 20) == []
+
+    def test_find_by_subject(self, world):
+        a, _ = world
+        root = a.root.certificate
+        store = RootStore("t", [root])
+        assert store.find_by_subject(root.subject) == [root]
+
+    def test_find_issuers_of_via_akid(self, world):
+        a, _ = world
+        store = RootStore("t", [a.root.certificate])
+        intermediate = a.intermediates[0].certificate
+        assert store.find_issuers_of(intermediate) == [a.root.certificate]
+
+    def test_find_issuers_of_via_dn_when_akid_absent(self, world):
+        a, _ = world
+        store = RootStore("t", [a.root.certificate])
+        from repro.x509 import Name
+
+        child = a.root.issue_intermediate(
+            Name.build(common_name="No AKID Int"), include_akid=False
+        )
+        assert store.find_issuers_of(child.certificate) == [a.root.certificate]
+
+    def test_find_issuers_dn_fallback_requires_signature(self, world):
+        a, b = world
+        store = RootStore("t", [a.root.certificate])
+        # Same-DN trick: a cert *claiming* A's root as issuer but signed
+        # by B's key must not match the anchor.
+        from repro.ca import next_serial
+        from repro.x509 import (
+            CertificateBuilder, Name, SimulatedKeyPair, Validity, utc,
+        )
+
+        key = SimulatedKeyPair(seed=b"store/impostor")
+        impostor = (
+            CertificateBuilder()
+            .subject_name(Name.build(common_name="Impostor"))
+            .issuer_name(a.root.certificate.subject)
+            .serial_number(next_serial())
+            .validity(Validity(utc(2024, 1, 1), utc(2026, 1, 1)))
+            .public_key(key.public_key)
+            .ca()
+            .sign(b.root.keypair)
+        )
+        assert store.find_issuers_of(impostor) == []
+
+    def test_contains_key_of_matches_by_key(self, world):
+        a, _ = world
+        store = RootStore("t", [a.root.certificate])
+        # A re-issued variant with the same key counts as anchored.
+        from repro.ca import next_serial
+        from repro.x509 import CertificateBuilder, Name, Validity, utc
+
+        variant = (
+            CertificateBuilder()
+            .subject_name(Name.build(common_name="Rebranded Root"))
+            .issuer_name(Name.build(common_name="Rebranded Root"))
+            .serial_number(next_serial())
+            .validity(Validity(utc(2020, 1, 1), utc(2030, 1, 1)))
+            .public_key(a.root.keypair.public_key)
+            .ca()
+            .sign(a.root.keypair)
+        )
+        assert store.contains_key_of(variant)
+        assert variant not in store
+
+    def test_union_merges_without_duplicates(self, world):
+        a, b = world
+        store_a = RootStore("a", [a.root.certificate])
+        store_b = RootStore("b", [a.root.certificate, b.root.certificate])
+        union = store_a.union(store_b)
+        assert len(union) == 2
+        assert union.name == "union"
+
+    def test_iteration(self, world):
+        a, b = world
+        store = RootStore("t", [a.root.certificate, b.root.certificate])
+        assert len(list(store)) == 2
+
+
+class TestRegistry:
+    def test_four_programs(self):
+        registry = RootStoreRegistry()
+        assert set(registry.stores) == set(STORE_NAMES)
+
+    def test_unknown_store_rejected(self):
+        with pytest.raises(RootStoreError):
+            RootStoreRegistry().store("netscape")
+
+    def test_membership_tracks_programs(self, world):
+        a, _ = world
+        registry = RootStoreRegistry()
+        registry.add_to(a.root.certificate, ("mozilla", "apple"))
+        assert registry.membership(a.root.certificate) == {"mozilla", "apple"}
+
+    def test_add_everywhere(self, world):
+        _, b = world
+        registry = RootStoreRegistry()
+        registry.add_everywhere(b.root.certificate)
+        assert registry.membership(b.root.certificate) == set(STORE_NAMES)
+
+    def test_union_covers_all_programs(self, world):
+        a, b = world
+        registry = RootStoreRegistry()
+        registry.add_to(a.root.certificate, ("mozilla",))
+        registry.add_to(b.root.certificate, ("apple",))
+        union = registry.union()
+        assert a.root.certificate in union
+        assert b.root.certificate in union

@@ -1,0 +1,196 @@
+"""Chain materialisation: every defect plan produces its defect."""
+
+import random
+
+import pytest
+
+from repro.ca import profile_by_name
+from repro.ca.hierarchy import build_hierarchy
+from repro.core import (
+    CompletenessClass,
+    LeafPlacement,
+    OrderDefect,
+    analyze_completeness,
+    analyze_order,
+    classify_leaf_placement,
+)
+from repro.trust import RootStore
+from repro.webpki import CAInstance, ChainMaterializer, leaf_domain
+from repro.webpki.misconfig import DefectPlan
+from repro.x509 import utc
+
+NOW = utc(2024, 3, 15)
+
+
+def _plan(**overrides) -> DefectPlan:
+    base = dict(
+        leaf_placement="matched",
+        duplicate_kind=None,
+        duplicate_adjacent=False,
+        irrelevant_kind=None,
+        multiple_paths=False,
+        reversed_seq=False,
+        reversed_full=True,
+        incomplete=False,
+        incomplete_missing_one=True,
+        incomplete_aia_failure=None,
+        leaf_expired=False,
+    )
+    base.update(overrides)
+    return DefectPlan(**base)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    h = build_hierarchy(
+        "DeployT", depth=2, key_seed_prefix="deployt",
+        aia_base="http://aia.deployt.example",
+    )
+    other = build_hierarchy("DeployO", depth=1, key_seed_prefix="deployo")
+    profile = profile_by_name("other")
+    instances = [
+        CAInstance(name="main", profile=profile, hierarchy=h, weight=1.0,
+                   aia_base="http://aia.deployt.example"),
+        CAInstance(name="second", profile=profile, hierarchy=other, weight=1.0),
+    ]
+    materializer = ChainMaterializer(random.Random(0), instances, now=NOW)
+    store = RootStore("deployt", [h.root.certificate])
+    return instances[0], materializer, store
+
+
+class TestCleanDeployments:
+    def test_clean_plan_is_compliant(self, setup):
+        instance, mat, _ = setup
+        chain, _root = mat.materialize(instance, "clean.example", _plan())
+        assert analyze_order(chain).compliant
+        assert chain[0].matches_domain("clean.example")
+
+    def test_mismatched_leaf(self, setup):
+        instance, mat, _ = setup
+        chain, _ = mat.materialize(
+            instance, "mm.example", _plan(leaf_placement="mismatched")
+        )
+        analysis = classify_leaf_placement("mm.example", chain)
+        assert analysis.placement is LeafPlacement.CORRECTLY_PLACED_MISMATCHED
+
+    def test_other_leaf_is_selfsigned_appliance(self, setup):
+        instance, mat, _ = setup
+        chain, _ = mat.materialize(
+            instance, "plesk.example", _plan(leaf_placement="other")
+        )
+        analysis = classify_leaf_placement("plesk.example", chain)
+        assert analysis.placement is LeafPlacement.OTHER
+        assert chain[0].is_self_signed
+
+    def test_expired_leaf(self, setup):
+        instance, mat, _ = setup
+        chain, _ = mat.materialize(
+            instance, "old.example",
+            _plan(leaf_expired=True, reversed_seq=True),
+        )
+        assert not chain[0].is_valid_at(NOW)
+
+
+class TestDefectMaterialisation:
+    def test_reversed(self, setup):
+        instance, mat, _ = setup
+        chain, includes_root = mat.materialize(
+            instance, "rev.example", _plan(reversed_seq=True)
+        )
+        analysis = analyze_order(chain)
+        assert analysis.has(OrderDefect.REVERSED_SEQUENCES)
+        assert includes_root == any(c.is_self_signed for c in chain)
+
+    def test_duplicate_leaf_adjacent(self, setup):
+        instance, mat, _ = setup
+        chain, _ = mat.materialize(
+            instance, "dup.example",
+            _plan(duplicate_kind="leaf", duplicate_adjacent=True),
+        )
+        analysis = analyze_order(chain)
+        assert analysis.has(OrderDefect.DUPLICATE_CERTIFICATES)
+        assert "leaf" in analysis.duplicate_roles
+        assert chain[0] == chain[1]
+
+    def test_duplicate_root_forces_root_presence(self, setup):
+        instance, mat, store = setup
+        chain, includes_root = mat.materialize(
+            instance, "duproot.example", _plan(duplicate_kind="root")
+        )
+        assert includes_root
+        assert "root" in analyze_order(chain).duplicate_roles
+
+    def test_block_duplicates_grow_long(self, setup):
+        instance, mat, _ = setup
+        chain, _ = mat.materialize(
+            instance, "block.example", _plan(duplicate_kind="block")
+        )
+        assert len(chain) >= 15
+
+    @pytest.mark.parametrize("kind", [
+        "stale_leaves", "unrelated_root", "foreign_chain", "mixed_extras",
+    ])
+    def test_irrelevant_kinds(self, setup, kind):
+        instance, mat, _ = setup
+        chain, _ = mat.materialize(
+            instance, "irr.example", _plan(irrelevant_kind=kind)
+        )
+        assert analyze_order(chain).has(OrderDefect.IRRELEVANT_CERTIFICATES)
+
+    def test_incomplete_missing_one(self, setup):
+        instance, mat, store = setup
+        chain, includes_root = mat.materialize(
+            instance, "inc1.example",
+            _plan(incomplete=True, incomplete_missing_one=True),
+        )
+        assert not includes_root
+        analysis = analyze_completeness(chain, store)
+        assert analysis.category is CompletenessClass.INCOMPLETE
+
+    def test_incomplete_missing_more_is_bare_leaf(self, setup):
+        instance, mat, _ = setup
+        chain, _ = mat.materialize(
+            instance, "inc2.example",
+            _plan(incomplete=True, incomplete_missing_one=False),
+        )
+        assert len(chain) == 1
+
+    def test_incomplete_aia_missing(self, setup):
+        instance, mat, _ = setup
+        chain, _ = mat.materialize(
+            instance, "noaia.example",
+            _plan(incomplete=True, incomplete_aia_failure="missing"),
+        )
+        assert chain[0].aia_ca_issuer_uris == ()
+
+    def test_incomplete_aia_dead_points_nowhere(self, setup):
+        instance, mat, _ = setup
+        chain, _ = mat.materialize(
+            instance, "deadaia.example",
+            _plan(incomplete=True, incomplete_aia_failure="dead"),
+        )
+        assert "/missing/" in chain[0].aia_ca_issuer_uris[0]
+
+    def test_incomplete_aia_wrong_registers_self(self, setup):
+        instance, mat, _ = setup
+        chain, _ = mat.materialize(
+            instance, "wrongaia.example",
+            _plan(incomplete=True, incomplete_aia_failure="wrong"),
+        )
+        uri = chain[0].aia_ca_issuer_uris[0]
+        assert mat.wrong_aia_paths[uri] == chain[0]
+
+
+class TestLeafDomainHelper:
+    def test_san_preferred(self, setup):
+        instance, mat, _ = setup
+        chain, _ = mat.materialize(instance, "helper.example", _plan())
+        assert leaf_domain(chain[0]) == "helper.example"
+
+    def test_cn_fallback(self, setup):
+        instance, mat, _ = setup
+        chain, _ = mat.materialize(
+            instance, "pleskish.example", _plan(leaf_placement="other")
+        )
+        assert leaf_domain(chain[0]) in ("Plesk", "localhost", "testexp",
+                                         "router")

@@ -1,0 +1,100 @@
+"""HTTP server profiles and defect-conditioned assignment."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.webpki import (
+    ALL_SERVERS,
+    APACHE,
+    AZURE,
+    DEFECT_SERVER_WEIGHTS,
+    HTTPServerProfile,
+    TABLE4_SERVERS,
+    assign_server,
+    server_by_name,
+    table4_rows,
+)
+
+
+class TestProfiles:
+    def test_seven_servers(self):
+        assert len(ALL_SERVERS) == 7
+
+    def test_lookup(self):
+        assert server_by_name("apache") is APACHE
+        with pytest.raises(KeyError):
+            server_by_name("thttpd")
+
+    def test_azure_checks_duplicate_leaf(self):
+        assert AZURE.duplicate_leaf_check
+        assert not APACHE.duplicate_leaf_check
+
+    def test_everyone_checks_private_key_match(self):
+        assert all(s.private_key_match_check for s in ALL_SERVERS)
+
+    def test_nobody_checks_duplicate_intermediates(self):
+        assert not any(s.duplicate_intermediate_check for s in ALL_SERVERS)
+
+    def test_invalid_cert_fields_rejected(self):
+        with pytest.raises(ValueError):
+            HTTPServerProfile(
+                name="x", display_name="X", automatic_management=False,
+                cert_fields="SF9", private_key_match_check=True,
+                duplicate_leaf_check=False,
+                duplicate_intermediate_check=False, base_share=0.1,
+            )
+
+    def test_base_shares_sum_to_one(self):
+        assert sum(s.base_share for s in ALL_SERVERS) == pytest.approx(1.0)
+
+
+class TestAssignment:
+    def test_azure_never_gets_duplicate_leaf(self):
+        rng = random.Random(1)
+        servers = Counter(
+            assign_server(rng, "duplicate_leaf").name for _ in range(2000)
+        )
+        assert servers.get("azure", 0) == 0
+        assert servers["apache"] > servers["nginx"]  # Table 10 shape
+
+    def test_reversed_assignment_includes_azure(self):
+        rng = random.Random(2)
+        servers = Counter(
+            assign_server(rng, "reversed").name for _ in range(2000)
+        )
+        assert servers["azure"] > 0
+        assert servers["nginx"] > servers["apache"]
+
+    def test_base_distribution_for_compliant(self):
+        rng = random.Random(3)
+        servers = Counter(assign_server(rng, None).name for _ in range(2000))
+        assert set(servers) <= {s.name for s in ALL_SERVERS}
+        assert servers["nginx"] > servers["iis"]
+
+    def test_unknown_defect_falls_back_to_base(self):
+        rng = random.Random(4)
+        server = assign_server(rng, "mystery_defect")
+        assert server in ALL_SERVERS
+
+    def test_weights_normalised_per_defect(self):
+        for defect, weights in DEFECT_SERVER_WEIGHTS.items():
+            assert sum(weights.values()) == pytest.approx(1.0, abs=0.02), defect
+
+
+class TestTable4:
+    def test_five_probed_servers(self):
+        assert len(table4_rows()) == len(TABLE4_SERVERS) == 5
+
+    def test_apache_row_shows_both_layouts(self):
+        row = next(r for r in table4_rows() if r["server"] == "Apache")
+        assert "SF1" in row["supported_certificate_fields"]
+        assert "SF2" in row["supported_certificate_fields"]
+
+    def test_azure_row_checks_duplicates(self):
+        row = next(
+            r for r in table4_rows()
+            if "Azure" in r["server"]
+        )
+        assert row["duplicate_leaf_certificate_check"] == "yes"

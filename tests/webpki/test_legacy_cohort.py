@@ -1,0 +1,159 @@
+"""The Table 8 legacy cohort: mechanism-level checks.
+
+The legacy instances model roots re-issued under a new DN: deployed
+chains reference the old root (no keyid AKID on the upper intermediate),
+so only an AIA download identifies the anchor.  These tests pin the
+mechanism down in isolation so the Table 8 shape cannot drift silently.
+"""
+
+import pytest
+
+from repro.chainbuilder import CHROME, ChainBuilder, FIREFOX, OPENSSL
+from repro.core import (
+    CompletenessClass,
+    analyze_completeness,
+    analyze_order,
+)
+from repro.trust import IntermediateCache
+
+
+@pytest.fixture(scope="module")
+def legacy(small_ecosystem):
+    instance = next(i for i in small_ecosystem.instances if i.legacy)
+    deployment = next(
+        d for d in small_ecosystem.deployments
+        if d.ca_instance == instance.name
+        and not d.plan.any_defect
+        and d.plan.leaf_placement == "matched"
+        and not d.includes_root
+    )
+    return small_ecosystem, instance, deployment
+
+
+class TestMechanism:
+    def test_upper_intermediate_has_no_akid(self, legacy):
+        _eco, instance, deployment = legacy
+        terminal = deployment.chain[-1]
+        assert terminal.authority_key_id is None
+        assert terminal.aia_ca_issuer_uris  # the AIA escape hatch
+
+    def test_anchor_shares_key_but_not_dn(self, legacy):
+        _eco, instance, _deployment = legacy
+        anchor = instance.anchor
+        old_root = instance.hierarchy.root.certificate
+        assert anchor.public_key == old_root.public_key
+        assert anchor.subject != old_root.subject
+        assert anchor.is_self_signed
+
+    def test_store_cannot_identify_issuer(self, legacy):
+        eco, instance, deployment = legacy
+        store = eco.registry.store("mozilla")
+        terminal = deployment.chain[-1]
+        assert store.find_issuers_of(terminal) == []
+        assert not store.contains_key_of(terminal)
+
+    def test_chain_is_order_compliant(self, legacy):
+        _eco, _instance, deployment = legacy
+        assert analyze_order(deployment.chain).compliant
+
+
+class TestAnalysisClassification:
+    def test_complete_with_aia(self, legacy):
+        eco, _instance, deployment = legacy
+        analysis = analyze_completeness(
+            deployment.chain, eco.registry.union(), eco.aia_repo
+        )
+        assert analysis.category is CompletenessClass.COMPLETE_WITHOUT_ROOT
+
+    def test_incomplete_without_aia(self, legacy):
+        eco, _instance, deployment = legacy
+        analysis = analyze_completeness(
+            deployment.chain, eco.registry.union(), None
+        )
+        assert analysis.category is CompletenessClass.INCOMPLETE
+
+
+class TestClientBehaviour:
+    def test_aia_client_succeeds(self, legacy):
+        eco, _instance, deployment = legacy
+        builder = ChainBuilder(
+            CHROME, eco.registry.store("chrome"), aia_fetcher=eco.aia_repo
+        )
+        verdict = builder.build_and_validate(
+            deployment.chain, domain=deployment.domain,
+            at_time=eco.config.now,
+        )
+        assert verdict.ok
+        assert "aia" in verdict.build.structure
+
+    def test_plain_library_fails(self, legacy):
+        eco, _instance, deployment = legacy
+        builder = ChainBuilder(
+            OPENSSL, eco.registry.store("mozilla"), aia_fetcher=eco.aia_repo
+        )
+        verdict = builder.build_and_validate(
+            deployment.chain, domain=deployment.domain,
+            at_time=eco.config.now,
+        )
+        assert not verdict.ok
+        assert verdict.error == "no_issuer_found"
+
+    def test_firefox_rescued_by_cache_of_old_root(self, legacy):
+        eco, instance, deployment = legacy
+        cache = IntermediateCache()
+        # A chain from another site of the same CA that included the old
+        # root warms the cache...
+        cache.observe(instance.hierarchy.root.certificate)
+        builder = ChainBuilder(
+            FIREFOX, eco.registry.store("mozilla"),
+            aia_fetcher=eco.aia_repo, cache=cache,
+        )
+        verdict = builder.build_and_validate(
+            deployment.chain, domain=deployment.domain,
+            at_time=eco.config.now,
+        )
+        assert verdict.ok
+        assert "cache" in verdict.build.structure
+
+    def test_firefox_cold_cache_fails(self, legacy):
+        eco, _instance, deployment = legacy
+        builder = ChainBuilder(
+            FIREFOX, eco.registry.store("mozilla"),
+            aia_fetcher=eco.aia_repo, cache=IntermediateCache(),
+        )
+        verdict = builder.build_and_validate(
+            deployment.chain, domain=deployment.domain,
+            at_time=eco.config.now,
+        )
+        assert not verdict.ok
+
+
+class TestStoreCohorts:
+    def test_cohort_membership_restrictions(self, small_ecosystem):
+        cohort = next(
+            (i for i in small_ecosystem.instances
+             if i.name == "cohort-ms-apple"), None,
+        )
+        assert cohort is not None
+        membership = small_ecosystem.registry.membership(cohort.anchor)
+        assert membership == {"microsoft", "apple"}
+
+    def test_cohort_chains_split_by_store(self, small_ecosystem):
+        eco = small_ecosystem
+        deployment = next(
+            (d for d in eco.deployments
+             if d.ca_instance == "cohort-ms-apple"
+             and not d.plan.any_defect and not d.includes_root
+             and d.plan.leaf_placement == "matched"),
+            None,
+        )
+        if deployment is None:
+            pytest.skip("no clean cohort deployment at this scale")
+        microsoft = analyze_completeness(
+            deployment.chain, eco.registry.store("microsoft"), eco.aia_repo
+        )
+        mozilla = analyze_completeness(
+            deployment.chain, eco.registry.store("mozilla"), eco.aia_repo
+        )
+        assert microsoft.complete
+        assert not mozilla.complete

@@ -1,0 +1,105 @@
+"""Defect-plan sampling: rates, kinds, determinism."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.webpki import CA_DEFECT_RATES, DefectRates, sample_defect_plan
+
+
+class TestDefectRates:
+    def test_all_profiled_cas_have_rates(self):
+        for name in ("lets-encrypt", "digicert", "sectigo", "zerossl",
+                     "gogetssl", "taiwan-ca", "cyber-folks", "trustico",
+                     "other"):
+            assert name in CA_DEFECT_RATES
+
+    def test_reseller_trio_dominated_by_reversals(self):
+        for name in ("cyber-folks", "trustico"):
+            rates = CA_DEFECT_RATES[name]
+            assert rates.reversed_seq > 0.5
+
+    def test_taiwan_ca_dominated_by_incomplete(self):
+        assert CA_DEFECT_RATES["taiwan-ca"].incomplete > 0.4
+
+    def test_lets_encrypt_cleanest(self):
+        le = CA_DEFECT_RATES["lets-encrypt"].any_rate()
+        assert le < CA_DEFECT_RATES["digicert"].any_rate()
+        assert le < 0.02
+
+    def test_any_rate_capped(self):
+        rates = DefectRates(duplicate=0.9, reversed_seq=0.9)
+        assert rates.any_rate() == 1.0
+
+
+class TestSampling:
+    def _sample_many(self, ca, n=20_000, seed=0):
+        rng = random.Random(seed)
+        return [
+            sample_defect_plan(rng, ca, supports_cross_sign=True)
+            for _ in range(n)
+        ]
+
+    def test_rates_respected_statistically(self):
+        plans = self._sample_many("trustico")
+        reversed_share = sum(p.reversed_seq for p in plans) / len(plans)
+        assert reversed_share == pytest.approx(0.62, abs=0.02)
+
+    def test_leaf_placement_split(self):
+        plans = self._sample_many("other")
+        counts = Counter(p.leaf_placement for p in plans)
+        assert counts["matched"] / len(plans) == pytest.approx(0.925, abs=0.01)
+        assert counts["mismatched"] / len(plans) == pytest.approx(0.069, abs=0.01)
+        assert counts["other"] / len(plans) == pytest.approx(0.006, abs=0.005)
+
+    def test_cross_sign_requires_support(self):
+        rng = random.Random(1)
+        plans = [
+            sample_defect_plan(rng, "sectigo", supports_cross_sign=False)
+            for _ in range(5000)
+        ]
+        assert not any(p.multiple_paths for p in plans)
+
+    def test_duplicate_kinds_distribution(self):
+        plans = [p for p in self._sample_many("gogetssl", n=50_000)
+                 if p.duplicate_kind is not None]
+        kinds = Counter(p.duplicate_kind for p in plans)
+        assert kinds["leaf"] > kinds["intermediate"] > kinds.get("root", 0)
+
+    def test_expired_leaf_only_with_defect(self):
+        plans = self._sample_many("other", n=5000)
+        assert all(p.any_defect for p in plans if p.leaf_expired)
+
+    def test_aia_failure_only_when_incomplete(self):
+        plans = self._sample_many("taiwan-ca", n=5000)
+        for plan in plans:
+            if plan.incomplete_aia_failure is not None:
+                assert plan.incomplete
+
+    def test_determinism(self):
+        a = self._sample_many("digicert", n=100, seed=5)
+        b = self._sample_many("digicert", n=100, seed=5)
+        assert a == b
+
+    def test_unknown_ca_uses_other_rates(self):
+        rng = random.Random(2)
+        plan = sample_defect_plan(rng, "no-such-ca", supports_cross_sign=False)
+        assert plan is not None
+
+
+class TestPrimaryDefect:
+    def test_priority_order(self):
+        rng = random.Random(3)
+        while True:
+            plan = sample_defect_plan(rng, "gogetssl", supports_cross_sign=False)
+            if plan.duplicate_kind and plan.reversed_seq:
+                assert plan.primary_defect.startswith("duplicate")
+                break
+
+    def test_no_defect_is_none(self):
+        rng = random.Random(4)
+        plan = sample_defect_plan(rng, "lets-encrypt", supports_cross_sign=False)
+        # LE plans are almost always clean with this seed's first draw.
+        if not plan.any_defect:
+            assert plan.primary_defect is None

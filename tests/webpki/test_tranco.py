@@ -1,0 +1,51 @@
+"""The synthetic ranked domain list."""
+
+import pytest
+
+from repro.webpki import TrancoList
+
+
+class TestGeneration:
+    def test_size_and_ranks(self):
+        tranco = TrancoList(size=500, seed=1)
+        assert len(tranco) == 500
+        assert tranco[0].rank == 1
+        assert tranco[499].rank == 500
+
+    def test_names_unique(self):
+        tranco = TrancoList(size=2000, seed=2)
+        names = tranco.domains()
+        assert len(set(names)) == len(names)
+
+    def test_deterministic_per_seed(self):
+        assert TrancoList(size=100, seed=3).domains() == (
+            TrancoList(size=100, seed=3).domains()
+        )
+        assert TrancoList(size=100, seed=3).domains() != (
+            TrancoList(size=100, seed=4).domains()
+        )
+
+    def test_names_look_like_domains(self):
+        from repro.x509 import classify_name_form
+
+        tranco = TrancoList(size=200, seed=5)
+        assert all(
+            classify_name_form(name) == "domain" for name in tranco.domains()
+        )
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TrancoList(size=0)
+
+
+class TestTiers:
+    def test_tier_boundaries(self):
+        tranco = TrancoList(size=1000, seed=6)
+        assert tranco.tier_of(tranco[0]) == "head"
+        assert tranco.tier_of(tranco[150]) == "torso"
+        assert tranco.tier_of(tranco[900]) == "tail"
+
+    def test_iteration_in_rank_order(self):
+        tranco = TrancoList(size=50, seed=7)
+        ranks = [entry.rank for entry in tranco]
+        assert ranks == sorted(ranks)

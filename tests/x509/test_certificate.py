@@ -1,0 +1,138 @@
+"""Certificate identity, self-signedness, and domain matching."""
+
+from repro.ca import next_serial
+from repro.x509 import (
+    CertificateBuilder,
+    Name,
+    SimulatedKeyPair,
+    SubjectKeyIdentifier,
+    Validity,
+    utc,
+)
+
+
+def _mint(subject="example.com", issuer=None, key=None, signer=None,
+          san=True, serial=None):
+    key = key or SimulatedKeyPair()
+    signer = signer or key
+    builder = (
+        CertificateBuilder()
+        .subject_name(Name.build(common_name=subject))
+        .issuer_name(Name.build(common_name=issuer or subject))
+        .serial_number(serial if serial is not None else next_serial())
+        .validity(Validity(utc(2024, 1, 1), utc(2025, 1, 1)))
+        .public_key(key.public_key)
+        .end_entity()
+    )
+    if san:
+        builder.san_domains(subject)
+    return builder.sign(signer)
+
+
+class TestIdentity:
+    def test_fingerprint_stable(self):
+        cert = _mint()
+        assert cert.fingerprint == cert.fingerprint
+
+    def test_identical_fields_same_fingerprint(self):
+        key = SimulatedKeyPair(seed=b"cert-id")
+        a = _mint(key=key, serial=7)
+        b = _mint(key=key, serial=7)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_serial_changes_fingerprint(self):
+        key = SimulatedKeyPair(seed=b"cert-id2")
+        assert _mint(key=key, serial=1) != _mint(key=key, serial=2)
+
+    def test_certificates_usable_in_sets(self):
+        cert = _mint()
+        assert len({cert, cert}) == 1
+
+    def test_not_equal_to_other_types(self):
+        assert _mint() != object()
+
+
+class TestSelfSigned:
+    def test_self_signed_detected(self):
+        assert _mint().is_self_signed
+
+    def test_same_dn_wrong_key_is_not_self_signed(self):
+        key, other = SimulatedKeyPair(), SimulatedKeyPair()
+        cert = _mint(key=key, signer=other)
+        assert cert.is_self_issued
+        assert not cert.is_self_signed
+
+    def test_different_issuer_not_self_signed(self, chain):
+        assert not chain[0].is_self_signed
+
+    def test_root_is_self_signed(self, hierarchy):
+        assert hierarchy.root.certificate.is_self_signed
+
+
+class TestStructuralAccessors:
+    def test_skid_and_akid(self, chain, hierarchy):
+        leaf = chain[0]
+        assert leaf.subject_key_id is not None
+        assert leaf.authority_key_id == (
+            hierarchy.issuing_ca.keypair.public_key.key_id
+        )
+
+    def test_aia_uris(self, chain, hierarchy):
+        assert chain[0].aia_ca_issuer_uris == (hierarchy.issuing_ca.aia_uri,)
+
+    def test_is_ca(self, chain, hierarchy):
+        assert not chain[0].is_ca
+        assert chain[1].is_ca
+        assert hierarchy.root.certificate.is_ca
+
+    def test_missing_extensions_yield_none(self):
+        key = SimulatedKeyPair()
+        cert = (
+            CertificateBuilder()
+            .subject_name(Name.build(common_name="bare"))
+            .issuer_name(Name.build(common_name="bare"))
+            .serial_number(1)
+            .validity(Validity(utc(2024, 1, 1), utc(2025, 1, 1)))
+            .public_key(key.public_key)
+            .sign(key)
+        )
+        assert cert.subject_key_id is None
+        assert cert.authority_key_id is None
+        assert cert.aia_ca_issuer_uris == ()
+        assert not cert.is_ca
+
+
+class TestDomainMatching:
+    def test_san_match(self):
+        assert _mint("match.example").matches_domain("match.example")
+
+    def test_cn_fallback_when_no_san(self):
+        cert = _mint("cn-only.example", san=False)
+        assert cert.matches_domain("cn-only.example")
+
+    def test_non_hostlike_cn_never_matches(self):
+        cert = _mint("Plesk", san=False)
+        assert not cert.matches_domain("Plesk")
+
+    def test_hostlike_identity(self):
+        assert _mint("a.example").has_hostlike_identity()
+        assert not _mint("Plesk", san=False).has_hostlike_identity()
+
+    def test_ip_cn_is_hostlike(self):
+        assert _mint("192.0.2.7", san=False).has_hostlike_identity()
+
+
+class TestSignatureVerification:
+    def test_verify_with_issuer_key(self, chain, hierarchy):
+        assert chain[0].verify_signature(hierarchy.issuing_ca.keypair.public_key)
+
+    def test_verify_fails_with_wrong_key(self, chain, hierarchy):
+        assert not chain[0].verify_signature(hierarchy.root.keypair.public_key)
+
+    def test_validity_check(self, chain):
+        assert chain[0].is_valid_at(utc(2024, 6, 1))
+        assert not chain[0].is_valid_at(utc(2030, 1, 1))
+
+    def test_summary_mentions_role(self, hierarchy):
+        assert "[root]" in hierarchy.root.certificate.summary()

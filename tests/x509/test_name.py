@@ -1,0 +1,118 @@
+"""Distinguished-name model and RFC 5280 §7.1 comparison semantics."""
+
+import pytest
+
+from repro.x509 import (
+    EMPTY_NAME,
+    Name,
+    NameAttribute,
+    NameOID,
+    RelativeDistinguishedName,
+)
+
+
+class TestNameBuild:
+    def test_build_sets_common_name(self):
+        name = Name.build(common_name="example.com")
+        assert name.common_name == "example.com"
+
+    def test_build_orders_rdns_canonically(self):
+        name = Name.build(common_name="x", country="US", organization="Acme")
+        rendered = name.rfc4514_string()
+        assert rendered == "C=US,O=Acme,CN=x"
+
+    def test_build_rejects_unknown_keyword(self):
+        with pytest.raises(TypeError):
+            Name.build(flavour="strawberry")
+
+    def test_build_empty_is_empty_name(self):
+        assert Name.build().is_empty()
+
+    def test_all_supported_attributes_render(self):
+        name = Name.build(
+            common_name="cn", country="US", locality="Springfield",
+            state="IL", organization="O", organizational_unit="OU",
+            serial_number="42", email="a@b.c",
+        )
+        assert len(name) == 8
+
+
+class TestNameComparison:
+    def test_equal_names_compare_equal(self):
+        a = Name.build(common_name="Example CA", organization="Org")
+        b = Name.build(common_name="Example CA", organization="Org")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_comparison_is_case_insensitive(self):
+        a = Name.build(common_name="Example CA")
+        b = Name.build(common_name="EXAMPLE ca")
+        assert a == b
+
+    def test_comparison_folds_internal_whitespace(self):
+        a = Name.build(common_name="Example   Root  CA")
+        b = Name.build(common_name="Example Root CA")
+        assert a == b
+
+    def test_comparison_strips_outer_whitespace(self):
+        assert Name.build(common_name="  X ") == Name.build(common_name="X")
+
+    def test_different_values_differ(self):
+        assert Name.build(common_name="A") != Name.build(common_name="B")
+
+    def test_rdn_order_matters(self):
+        a = Name.build(common_name="x", organization="o")
+        b = Name.build(organization="o", common_name="x")
+        # build() canonicalises order, so construct manually:
+        cn = RelativeDistinguishedName(
+            (NameAttribute(NameOID.COMMON_NAME, "x"),)
+        )
+        org = RelativeDistinguishedName(
+            (NameAttribute(NameOID.ORGANIZATION_NAME, "o"),)
+        )
+        assert Name([cn, org]) != Name([org, cn])
+        assert a == b  # sanity: build canonicalises
+
+    def test_name_not_equal_to_other_types(self):
+        assert Name.build(common_name="x") != "CN=x"
+
+    def test_multivalued_rdn_is_order_insensitive(self):
+        attrs = (
+            NameAttribute(NameOID.COMMON_NAME, "x"),
+            NameAttribute(NameOID.ORGANIZATION_NAME, "o"),
+        )
+        a = Name([RelativeDistinguishedName(attrs)])
+        b = Name([RelativeDistinguishedName(tuple(reversed(attrs)))])
+        assert a == b
+
+
+class TestNameAccessors:
+    def test_get_attributes_returns_all_values(self):
+        rdn1 = RelativeDistinguishedName(
+            (NameAttribute(NameOID.ORGANIZATIONAL_UNIT, "A"),)
+        )
+        rdn2 = RelativeDistinguishedName(
+            (NameAttribute(NameOID.ORGANIZATIONAL_UNIT, "B"),)
+        )
+        name = Name([rdn1, rdn2])
+        assert name.get_attributes(NameOID.ORGANIZATIONAL_UNIT) == ["A", "B"]
+
+    def test_common_name_none_when_absent(self):
+        assert Name.build(organization="o").common_name is None
+
+    def test_empty_name_constant(self):
+        assert EMPTY_NAME.is_empty()
+        assert not EMPTY_NAME
+        assert len(EMPTY_NAME) == 0
+
+    def test_rfc4514_escapes_commas(self):
+        name = Name.build(organization="Acme, Inc.")
+        assert "Acme\\, Inc." in name.rfc4514_string()
+
+    def test_rdn_requires_attribute(self):
+        with pytest.raises(ValueError):
+            RelativeDistinguishedName(())
+
+    def test_iteration_yields_rdns(self):
+        name = Name.build(common_name="x", organization="o")
+        assert len(list(name)) == 2

@@ -1,0 +1,36 @@
+"""OID registry behaviour."""
+
+from repro.x509 import ExtensionOID, NameOID, ObjectIdentifier
+from repro.x509.oid import lookup, registered_oids
+
+
+def test_lookup_returns_registered_instance():
+    assert lookup("2.5.4.3") is NameOID.COMMON_NAME
+
+
+def test_lookup_unknown_returns_unnamed():
+    oid = lookup("1.2.3.999")
+    assert oid.dotted == "1.2.3.999"
+    assert oid.name == "unknown"
+
+
+def test_oids_hashable_and_comparable():
+    assert ObjectIdentifier("2.5.4.3", "commonName") == NameOID.COMMON_NAME
+    assert len({NameOID.COMMON_NAME, lookup("2.5.4.3")}) == 1
+
+
+def test_arcs_parse_dotted():
+    assert ExtensionOID.BASIC_CONSTRAINTS.arcs == (2, 5, 29, 19)
+
+
+def test_registry_contains_core_oids():
+    registry = registered_oids()
+    for dotted in ("2.5.29.17", "2.5.29.19", "1.3.6.1.5.5.7.1.1",
+                   "1.3.6.1.5.5.7.48.2", "1.3.6.1.5.5.7.3.1"):
+        assert dotted in registry
+
+
+def test_registry_copy_is_defensive():
+    registry = registered_oids()
+    registry.clear()
+    assert registered_oids()

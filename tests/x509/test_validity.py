@@ -1,0 +1,91 @@
+"""Validity windows: containment, comparisons, and UTC hygiene."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.x509 import Validity, ensure_utc, utc
+
+
+class TestConstruction:
+    def test_inverted_window_rejected(self):
+        with pytest.raises(ValueError):
+            Validity(utc(2024, 2, 1), utc(2024, 1, 1))
+
+    def test_naive_datetime_rejected(self):
+        with pytest.raises(ValueError):
+            Validity(datetime(2024, 1, 1), utc(2025, 1, 1))
+
+    def test_ensure_utc_rejects_naive(self):
+        with pytest.raises(ValueError):
+            ensure_utc(datetime(2024, 1, 1))
+
+    def test_from_duration(self):
+        window = Validity.from_duration(utc(2024, 1, 1), days=90)
+        assert window.not_after == utc(2024, 1, 1) + timedelta(days=90)
+
+    def test_duration_property(self):
+        window = Validity(utc(2024, 1, 1), utc(2024, 1, 11))
+        assert window.duration == timedelta(days=10)
+
+    def test_zero_length_window_is_legal(self):
+        moment = utc(2024, 1, 1)
+        window = Validity(moment, moment)
+        assert window.contains(moment)
+
+
+class TestContainment:
+    window = Validity(utc(2024, 1, 1), utc(2024, 12, 31))
+
+    def test_contains_midpoint(self):
+        assert self.window.contains(utc(2024, 6, 1))
+
+    def test_boundaries_inclusive(self):
+        assert self.window.contains(utc(2024, 1, 1))
+        assert self.window.contains(utc(2024, 12, 31))
+
+    def test_expired(self):
+        assert self.window.is_expired(utc(2025, 1, 1))
+        assert not self.window.is_expired(utc(2024, 12, 31))
+
+    def test_not_yet_valid(self):
+        assert self.window.is_not_yet_valid(utc(2023, 12, 31))
+        assert not self.window.is_not_yet_valid(utc(2024, 1, 1))
+
+
+class TestComparisons:
+    def test_overlaps_true_for_sharing_windows(self):
+        a = Validity(utc(2024, 1, 1), utc(2024, 6, 1))
+        b = Validity(utc(2024, 5, 1), utc(2024, 12, 1))
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+
+    def test_overlaps_false_for_disjoint(self):
+        a = Validity(utc(2024, 1, 1), utc(2024, 2, 1))
+        b = Validity(utc(2024, 3, 1), utc(2024, 4, 1))
+        assert not a.overlaps(b)
+
+    def test_touching_windows_overlap(self):
+        a = Validity(utc(2024, 1, 1), utc(2024, 2, 1))
+        b = Validity(utc(2024, 2, 1), utc(2024, 3, 1))
+        assert a.overlaps(b)
+
+    def test_more_recent_than_compares_not_before(self):
+        older = Validity(utc(2023, 1, 1), utc(2025, 1, 1))
+        newer = Validity(utc(2024, 1, 1), utc(2024, 6, 1))
+        assert newer.more_recent_than(older)
+        assert not older.more_recent_than(newer)
+
+    def test_longer_than_compares_duration(self):
+        short = Validity(utc(2024, 1, 1), utc(2024, 2, 1))
+        long = Validity(utc(2024, 1, 1), utc(2025, 1, 1))
+        assert long.longer_than(short)
+        assert not short.longer_than(long)
+
+    def test_non_utc_timezone_normalised(self):
+        from datetime import timezone
+
+        offset = timezone(timedelta(hours=5))
+        local = datetime(2024, 1, 1, 5, 0, tzinfo=offset)
+        window = Validity(local, utc(2024, 6, 1))
+        assert window.not_before == utc(2024, 1, 1)
