@@ -4,10 +4,20 @@ Unlike the table benches (single-shot, correctness-oriented), these
 measure steady-state throughput of the hot paths — topology
 construction, compliance analysis, client path building, PEM encoding —
 so performance regressions in the core surface in CI.
+
+``test_perf_obs_throughput_snapshot`` additionally writes
+``BENCH_obs.json`` at the repo root: a chains-analyzed-per-second
+snapshot taken through the :mod:`repro.obs` metrics registry, giving
+subsequent performance PRs a measured trajectory to compare against.
 """
+
+import json
+import pathlib
+import time
 
 import pytest
 
+from repro import obs
 from repro.chainbuilder import CHROME, ChainBuilder, MBEDTLS
 from repro.core import ChainTopology, analyze_chain, analyze_order
 from repro.x509 import load_pem_bundle, to_pem_bundle
@@ -72,6 +82,45 @@ def test_perf_pem_roundtrip(sample, benchmark):
 
     restored = benchmark(roundtrip)
     assert restored == deployment.chain
+
+
+def test_perf_obs_throughput_snapshot(ecosystem):
+    """Instrumented analyze pass; writes the BENCH_obs.json trajectory.
+
+    Runs the compliance hot path over a slice of the bench ecosystem
+    with live instrumentation, derives chains/second from the metrics
+    registry plus the ``campaign.analyze``-style wall time, and appends
+    nothing — the file is a fresh snapshot each run, diffed by git.
+    """
+    observations = ecosystem.observations()[:2_000]
+    union = ecosystem.registry.union()
+    with obs.instrumented() as (registry, tracer):
+        throughput = registry.counter("campaign.chains_analyzed")
+        with tracer.span("bench.analyze", chains=len(observations)):
+            start = time.perf_counter()
+            for domain, chain in observations:
+                analyze_chain(domain, chain, union, ecosystem.aia_repo)
+                throughput.inc()
+            elapsed = time.perf_counter() - start
+        analyzed = registry.total("campaign.chains_analyzed")
+        snapshot = {
+            "bench": "obs_throughput",
+            "chains": int(analyzed),
+            "seconds": round(elapsed, 6),
+            "chains_per_second": round(analyzed / elapsed, 1),
+            "noncompliant": int(registry.value(
+                "compliance.verdict", verdict="noncompliant"
+            )),
+            "aia_fetch_attempts": int(registry.total("aia.fetch.attempts")),
+        }
+    assert analyzed == len(observations)
+    assert snapshot["chains_per_second"] > 0
+    out_path = pathlib.Path(__file__).resolve().parent.parent / (
+        "BENCH_obs.json"
+    )
+    out_path.write_text(json.dumps(snapshot, indent=2) + "\n",
+                        encoding="utf-8")
+    print(f"\n{json.dumps(snapshot, indent=2)}")
 
 
 def test_perf_certificate_issuance(benchmark):

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from datetime import datetime
 
+from repro import obs
 from repro.chainbuilder.policy import (
     ClientPolicy,
     KIDPriority,
@@ -153,6 +154,21 @@ class ChainBuilder:
     def build(self, presented: list[Certificate], *,
               at_time: datetime) -> BuildResult:
         """Construct a certification path from ``presented``."""
+        result = self._build(presented, at_time=at_time)
+        metrics = obs.get_metrics()
+        metrics.counter("chainbuilder.builds",
+                        client=self.policy.name,
+                        outcome="anchored" if result.anchored else "failed",
+                        ).inc()
+        stats = result.stats
+        metrics.counter("chainbuilder.paths_explored").inc(
+            stats.candidates_considered
+        )
+        metrics.counter("chainbuilder.backtracks").inc(stats.backtracks)
+        return result
+
+    def _build(self, presented: list[Certificate], *,
+               at_time: datetime) -> BuildResult:
         ctx = _BuildContext()
         if not presented:
             return BuildResult(False, [], "empty_input", ctx.stats)
@@ -309,6 +325,9 @@ class ChainBuilder:
                     break
 
         stats.candidates_considered += len(found)
+        obs.get_metrics().histogram(
+            "chainbuilder.candidate_pool_size"
+        ).observe(len(found))
 
         if self.policy.partial_validation:
             # MbedTLS validates while building: out-of-window or revoked

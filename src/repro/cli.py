@@ -7,9 +7,12 @@ Subcommands mirror the library's main workflows::
     repro-chain repair chain.pem --domain x    # fix one deployment
     repro-chain capabilities                   # Table 9 (live harness)
     repro-chain differential --domains 2000    # §5.2 summary
+    repro-chain stats metrics.json             # render a metrics snapshot
     repro-chain save-corpus corpus.jsonl       # archive observations
 
-Every command is also reachable as ``python -m repro.cli ...``.
+``scan`` accepts ``--metrics-out``/``--trace-out`` to export the run's
+observability data (see docs/OBSERVABILITY.md).  Every command is also
+reachable as ``python -m repro.cli ...``.
 """
 
 from __future__ import annotations
@@ -20,39 +23,117 @@ import sys
 from repro.x509 import load_pem_bundle, to_pem_bundle
 
 
+def _render_reachability(snapshot: dict) -> list[str]:
+    """Per-vantage ``attempted/reachable`` lines from a metrics snapshot."""
+    attempts = {
+        tuple(sorted(series["labels"].items())): series["value"]
+        for series in snapshot.get("scan.attempts", {}).get("series", [])
+        if "vantage" in series["labels"]
+    }
+    successes = {
+        tuple(sorted(series["labels"].items())): series["value"]
+        for series in snapshot.get("scan.success", {}).get("series", [])
+        if "vantage" in series["labels"]
+    }
+    lines = []
+    for key in sorted(attempts):
+        attempted = attempts[key]
+        reached = successes.get(key, 0.0)
+        share = 100.0 * reached / attempted if attempted else 0.0
+        vantage = dict(key).get("vantage", "?")
+        lines.append(
+            f"vantage {vantage:<4} reachable {int(reached):,}/"
+            f"{int(attempted):,} ({share:.1f}%)"
+        )
+    return lines
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.measurement import (
         Campaign, TableContext, render_table_3, render_table_5,
         render_table_7,
     )
     from repro.webpki import Ecosystem, EcosystemConfig
 
-    ecosystem = Ecosystem.generate(
-        EcosystemConfig(n_domains=args.domains, seed=args.seed)
-    )
-    campaign = Campaign(ecosystem)
-    if args.simulate_network:
-        collection = campaign.collect()
-        observations = collection.observations
-        print(f"scanned: {collection.reachable_counts}")
-    else:
-        observations = ecosystem.observations()
-    report, _ = campaign.analyze(observations)
-    print(f"chains: {report.total:,}  non-compliant: {report.noncompliant:,} "
-          f"({report.noncompliance_rate:.2f}%)")
-    ctx = TableContext.build(ecosystem)
-    for title, renderer in (
-        ("Table 3 (leaf placement)", render_table_3),
-        ("Table 5 (issuance order)", render_table_5),
-        ("Table 7 (completeness)", render_table_7),
-    ):
-        print(f"\n== {title} ==")
-        print(renderer(ctx))
-    if args.output:
-        from repro.measurement.dataset import save_observations
+    obs.configure()
+    with obs.instrumented() as (registry, tracer):
+        obs.catalogue.preregister(registry)
+        ecosystem = Ecosystem.generate(
+            EcosystemConfig(n_domains=args.domains, seed=args.seed)
+        )
+        campaign = Campaign(ecosystem)
+        if args.simulate_network:
+            collection = campaign.collect()
+            observations = collection.observations
+            for line in _render_reachability(registry.snapshot()):
+                print(line)
+        else:
+            observations = ecosystem.observations()
+        report, _ = campaign.analyze(observations)
+        print(f"chains: {report.total:,}  "
+              f"non-compliant: {report.noncompliant:,} "
+              f"({report.noncompliance_rate:.2f}%)")
+        ctx = TableContext.build(ecosystem)
+        for title, renderer in (
+            ("Table 3 (leaf placement)", render_table_3),
+            ("Table 5 (issuance order)", render_table_5),
+            ("Table 7 (completeness)", render_table_7),
+        ):
+            print(f"\n== {title} ==")
+            print(renderer(ctx))
+        if args.output:
+            from repro.measurement.dataset import save_observations
 
-        count = save_observations(args.output, observations)
-        print(f"\nwrote {count:,} observations to {args.output}")
+            count = save_observations(args.output, observations)
+            print(f"\nwrote {count:,} observations to {args.output}")
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(registry.to_json())
+            print(f"wrote metrics to {args.metrics_out}")
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                handle.write(tracer.to_json())
+            print(f"wrote Chrome trace to {args.trace_out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Render a metrics snapshot (from a file or a fresh small run)."""
+    import json
+
+    from repro import obs
+
+    if args.metrics:
+        with open(args.metrics, encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+        print(obs.render_metrics_table(snapshot))
+        return 0
+
+    from repro.measurement import Campaign
+    from repro.webpki import Ecosystem, EcosystemConfig
+
+    with obs.instrumented() as (registry, tracer):
+        ecosystem = Ecosystem.generate(
+            EcosystemConfig(n_domains=args.domains, seed=args.seed)
+        )
+        campaign = Campaign(ecosystem)
+        collection = campaign.collect()
+        campaign.analyze(collection.observations)
+        print(obs.render_metrics_table(registry.snapshot()))
+        print()
+        print("== phase timing ==")
+        for name, entry in sorted(tracer.aggregate().items()):
+            if name.startswith("campaign."):
+                rate = ""
+                if name == "campaign.analyze" and entry["total_s"] > 0:
+                    per_second = (
+                        registry.total("campaign.chains_analyzed")
+                        / entry["total_s"]
+                    )
+                    rate = f"  ({per_second:,.0f} chains/s)"
+                print(f"{name:<24} x{int(entry['count'])}  "
+                      f"{entry['total_s'] * 1e3:,.1f} ms{rate}")
     return 0
 
 
@@ -176,7 +257,21 @@ def build_parser() -> argparse.ArgumentParser:
                       help="scan over the simulated network instead of "
                            "reading deployments directly")
     scan.add_argument("--output", help="write observations to a JSONL file")
+    scan.add_argument("--metrics-out",
+                      help="write the run's metrics registry as JSON")
+    scan.add_argument("--trace-out",
+                      help="write a Chrome trace-event JSON timing file")
     scan.set_defaults(func=_cmd_scan)
+
+    stats = sub.add_parser(
+        "stats", help="render a metrics snapshot as a readable table"
+    )
+    stats.add_argument("metrics", nargs="?",
+                       help="metrics JSON from 'scan --metrics-out'; "
+                            "omitted: run a small instrumented campaign")
+    stats.add_argument("--domains", type=int, default=500)
+    stats.add_argument("--seed", type=int, default=833)
+    stats.set_defaults(func=_cmd_stats)
 
     analyze = sub.add_parser("analyze", help="lint one PEM chain")
     analyze.add_argument("chain", help="PEM bundle as served, leaf first")

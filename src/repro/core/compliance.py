@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.core.completeness import (
     CompletenessAnalysis,
     CompletenessClass,
@@ -73,7 +74,7 @@ def analyze_chain(
     if not chain:
         raise ValueError(f"{domain}: cannot analyse an empty chain")
     topology = ChainTopology(chain, policy)
-    return ChainComplianceReport(
+    report = ChainComplianceReport(
         domain=domain,
         chain_length=len(chain),
         leaf=classify_leaf_placement(domain, chain),
@@ -82,3 +83,30 @@ def analyze_chain(
             chain, store, fetcher, policy=policy, topology=topology
         ),
     )
+    _record_outcome(report)
+    return report
+
+
+def _record_outcome(report: ChainComplianceReport) -> None:
+    """Mirror the Tables 3/5/7 classifications into the metrics registry.
+
+    A handful of no-op calls when instrumentation is disabled; with a
+    live registry these counters reproduce the paper's headline
+    breakdowns directly from a campaign run.
+    """
+    metrics = obs.get_metrics()
+    metrics.counter("compliance.chains").inc()
+    metrics.counter("compliance.leaf_placement",
+                    placement=report.leaf.placement.value).inc()
+    metrics.counter(
+        "compliance.order",
+        status="compliant" if report.order.compliant else "noncompliant",
+    ).inc()
+    for defect in report.order.defects:
+        metrics.counter("compliance.order_defect", defect=defect.value).inc()
+    metrics.counter("compliance.completeness",
+                    category=report.completeness.category.value).inc()
+    metrics.counter(
+        "compliance.verdict",
+        verdict="compliant" if report.compliant else "noncompliant",
+    ).inc()

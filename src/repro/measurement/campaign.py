@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.core.compliance import ChainComplianceReport, analyze_chain
 from repro.core.report import DatasetReport, aggregate
 from repro.net.scanner import ScanRecord, Scanner
@@ -20,6 +21,8 @@ from repro.trust.aia import AIAFetcher
 from repro.trust.rootstore import RootStore
 from repro.webpki.ecosystem import Ecosystem, VANTAGE_AU, VANTAGE_US
 from repro.x509 import Certificate
+
+_log = obs.get_logger("measurement.campaign")
 
 
 def _chain_key(chain: tuple[Certificate, ...]) -> tuple[bytes, ...]:
@@ -71,26 +74,40 @@ class Campaign:
     def collect(self, *, vantages: tuple[str, ...] = (VANTAGE_US, VANTAGE_AU)
                 ) -> CollectionResult:
         """Scan every domain from each vantage and merge (union rule)."""
+        tracer = obs.get_tracer()
         network = self._ensure_network()
         domains = [d.domain for d in self.ecosystem.deployments]
         per_vantage: dict[str, list[ScanRecord]] = {}
-        for vantage in vantages:
-            scanner = Scanner(network, vantage)
-            per_vantage[vantage] = scanner.scan(domains, versions=(TLS12,))
+        with tracer.span("campaign.collect", domains=len(domains),
+                         vantages=len(vantages)):
+            for vantage in vantages:
+                with tracer.span("campaign.scan", vantage=vantage):
+                    scanner = Scanner(network, vantage)
+                    per_vantage[vantage] = scanner.scan(
+                        domains, versions=(TLS12,)
+                    )
 
-        seen: set[tuple[str, tuple[bytes, ...]]] = set()
-        observations: list[tuple[str, list[Certificate]]] = []
-        all_certs: set[bytes] = set()
-        for vantage in vantages:
-            for record in per_vantage[vantage]:
-                if not record.success or not record.chain:
-                    continue
-                key = (record.domain, _chain_key(record.chain))
-                if key in seen:
-                    continue
-                seen.add(key)
-                observations.append((record.domain, list(record.chain)))
-                all_certs.update(c.fingerprint for c in record.chain)
+            seen: set[tuple[str, tuple[bytes, ...]]] = set()
+            observations: list[tuple[str, list[Certificate]]] = []
+            all_certs: set[bytes] = set()
+            with tracer.span("campaign.union_merge"):
+                for vantage in vantages:
+                    for record in per_vantage[vantage]:
+                        if not record.success or not record.chain:
+                            continue
+                        key = (record.domain, _chain_key(record.chain))
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                        observations.append(
+                            (record.domain, list(record.chain))
+                        )
+                        all_certs.update(
+                            c.fingerprint for c in record.chain
+                        )
+        _log.info("campaign.collected", domains=len(domains),
+                  observations=len(observations),
+                  unique_chains=len(seen))
         return CollectionResult(
             per_vantage=per_vantage,
             observations=observations,
@@ -146,10 +163,14 @@ class Campaign:
             observations = self.ecosystem.observations()
         store = store or self.ecosystem.registry.union()
         fetcher = fetcher if fetcher is not None else self.ecosystem.aia_repo
-        reports = [
-            analyze_chain(domain, chain, store, fetcher)
-            for domain, chain in observations
-        ]
+        with obs.get_tracer().span("campaign.analyze",
+                                   chains=len(observations)):
+            throughput = obs.get_metrics().counter("campaign.chains_analyzed")
+            reports = []
+            for domain, chain in observations:
+                reports.append(analyze_chain(domain, chain, store, fetcher))
+                throughput.inc()
+        _log.info("campaign.analyzed", chains=len(reports))
         return aggregate(reports), reports
 
 

@@ -7,6 +7,7 @@ verify the bound actually holds over a simulated campaign.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.net.simnet import SimClock
 
 
@@ -60,6 +61,13 @@ class TokenBucket:
             self._last_refill = self.clock.now()
         self.total_consumed += amount
         self.total_wait += waited
+        if waited:
+            # add() rather than set(): several buckets (one per vantage
+            # scanner) share the gauge, which totals campaign-wide
+            # simulated seconds lost to the 500 KB/s cap.
+            metrics = obs.get_metrics()
+            metrics.gauge("ratelimit.throttle_seconds").add(waited)
+            metrics.counter("ratelimit.throttled").inc()
         return waited
 
     def observed_rate(self) -> float:

@@ -10,9 +10,11 @@ re-run.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass
 from collections.abc import Iterable
 
+from repro import obs
 from repro.errors import NetworkError, TLSHandshakeError
 from repro.net.ratelimit import TokenBucket
 from repro.net.simnet import SimulatedNetwork
@@ -22,13 +24,28 @@ from repro.x509 import Certificate
 #: The paper's self-imposed bandwidth cap.
 RATE_LIMIT_BYTES_PER_SECOND = 500 * 1024
 
+_log = obs.get_logger("net.scanner")
+
+
+class ScanErrorKind(enum.StrEnum):
+    """Failure taxonomy for one scan attempt.
+
+    A ``StrEnum`` so historical call sites comparing against the bare
+    strings (``record.error == "unreachable"``) keep working, while
+    metrics and logs get a closed label set.
+    """
+
+    UNREACHABLE = "unreachable"
+    HANDSHAKE_FAILED = "handshake_failed"
+
 
 @dataclass(frozen=True, slots=True)
 class ScanRecord:
     """One scan attempt from one vantage point.
 
     ``chain`` is empty when the scan failed; ``error`` then holds a
-    short reason (``"unreachable"``, ``"handshake_failed"``).
+    :class:`ScanErrorKind` (which compares equal to its string value,
+    ``"unreachable"`` / ``"handshake_failed"``).
     """
 
     domain: str
@@ -36,7 +53,7 @@ class ScanRecord:
     success: bool
     tls_version: str | None
     chain: tuple[Certificate, ...]
-    error: str | None
+    error: ScanErrorKind | None
     wire_bytes: int
     timestamp: float
 
@@ -77,25 +94,35 @@ class Scanner:
                     versions: tuple[str, ...] = (TLS12,)) -> ScanRecord:
         """One scan (with optional retries); never raises — failures
         become records."""
+        metrics = obs.get_metrics()
+        metrics.counter("scan.attempts", vantage=self.vantage).inc()
         result = None
-        failure_reason = "unreachable"
-        for attempt in range(self.retries + 1):
-            if attempt:
-                self.network.clock.advance(self.retry_cooldown)
-            try:
-                result = perform_handshake(
-                    self.network, self.vantage, domain, versions=versions
-                )
-                break
-            except TLSHandshakeError:
-                # Protocol-level refusals are deterministic: retrying a
-                # version mismatch cannot help.
-                return self._failure(domain, "handshake_failed")
-            except NetworkError:
-                failure_reason = "unreachable"
+        failure_reason = ScanErrorKind.UNREACHABLE
+        with obs.get_tracer().span("scan.handshake", domain=domain,
+                                   vantage=self.vantage):
+            for attempt in range(self.retries + 1):
+                if attempt:
+                    self.network.clock.advance(self.retry_cooldown)
+                try:
+                    result = perform_handshake(
+                        self.network, self.vantage, domain, versions=versions
+                    )
+                    break
+                except TLSHandshakeError:
+                    # Protocol-level refusals are deterministic: retrying
+                    # a version mismatch cannot help.
+                    return self._failure(
+                        domain, ScanErrorKind.HANDSHAKE_FAILED
+                    )
+                except NetworkError:
+                    failure_reason = ScanErrorKind.UNREACHABLE
         if result is None:
             return self._failure(domain, failure_reason)
-        self.bucket.consume(result.wire_bytes)
+        waited = self.bucket.consume(result.wire_bytes)
+        metrics.counter("scan.success", vantage=self.vantage).inc()
+        metrics.histogram("scan.wire_bytes").observe(result.wire_bytes)
+        metrics.counter("scan.ratelimit_wait_seconds",
+                        vantage=self.vantage).inc(waited)
         return ScanRecord(
             domain=domain,
             vantage=self.vantage,
@@ -107,7 +134,12 @@ class Scanner:
             timestamp=self.network.clock.now(),
         )
 
-    def _failure(self, domain: str, reason: str) -> ScanRecord:
+    def _failure(self, domain: str, reason: ScanErrorKind) -> ScanRecord:
+        obs.get_metrics().counter(
+            "scan.failure", vantage=self.vantage, kind=reason.value
+        ).inc()
+        _log.debug("scan.failed", domain=domain, vantage=self.vantage,
+                   kind=reason.value)
         return ScanRecord(
             domain=domain,
             vantage=self.vantage,

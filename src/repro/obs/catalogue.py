@@ -1,0 +1,69 @@
+"""The metric-name catalogue the pipeline emits.
+
+One place that names every metric the instrumented hot paths touch, so
+(1) docs/OBSERVABILITY.md has a single source of truth, and (2)
+:func:`preregister` can seed a fresh registry with the whole set —
+exports then always contain every family, zero-valued when a phase
+(e.g. differential testing's chain building) did not run.  That is the
+conventional dashboard-friendly behaviour: absent data reads as 0, not
+as a missing series.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "COUNTERS",
+    "GAUGES",
+    "HISTOGRAMS",
+    "preregister",
+]
+
+#: Counter families (label names in comments).
+COUNTERS: tuple[str, ...] = (
+    "scan.attempts",              # vantage
+    "scan.success",               # vantage
+    "scan.failure",               # vantage, kind (ScanErrorKind)
+    "scan.ratelimit_wait_seconds",  # vantage
+    "ratelimit.throttled",
+    "campaign.chains_analyzed",
+    "aia.fetch.attempts",
+    "aia.fetch.success",
+    "aia.fetch.failure",          # reason (unreachable | not_found)
+    "cache.hits",
+    "cache.misses",
+    "chainbuilder.builds",        # client, outcome (anchored | failed)
+    "chainbuilder.paths_explored",
+    "chainbuilder.backtracks",
+    "compliance.chains",
+    "compliance.leaf_placement",  # placement (Table 3 classes)
+    "compliance.order",           # status
+    "compliance.order_defect",    # defect (Table 5 classes)
+    "compliance.completeness",    # category (Table 7 classes)
+    "compliance.verdict",         # verdict
+)
+
+#: Gauge families.
+GAUGES: tuple[str, ...] = (
+    "ratelimit.throttle_seconds",
+    "cache.size",
+)
+
+#: Histogram families.
+HISTOGRAMS: tuple[str, ...] = (
+    "scan.wire_bytes",
+    "chainbuilder.candidate_pool_size",
+)
+
+
+def preregister(registry) -> None:
+    """Create every catalogued family (unlabeled series) on ``registry``.
+
+    Labeled series still appear lazily on first use; this guarantees
+    the *family* shows up in ``snapshot()`` either way.
+    """
+    for name in COUNTERS:
+        registry.counter(name)
+    for name in GAUGES:
+        registry.gauge(name)
+    for name in HISTOGRAMS:
+        registry.histogram(name)

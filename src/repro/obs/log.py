@@ -1,0 +1,155 @@
+"""Structured logging on top of the stdlib.
+
+Library code obtains a :class:`StructLogger` via :func:`get_logger`
+and emits *events with fields* rather than prose::
+
+    log = get_logger("net.scanner")
+    log.info("scan.failed", domain=domain, vantage=self.vantage,
+             kind="unreachable")
+
+Nothing is printed until :func:`configure` installs a handler on the
+``repro`` logger (the CLI does this; libraries never should).  Two
+formats are supported, chosen by ``REPRO_LOG_FORMAT``:
+
+* ``kv`` (default) — ``2024-06-15T12:00:00 INFO repro.net.scanner
+  scan.failed domain=a.example vantage=us kind=unreachable``
+* ``json`` — one JSON object per line with the same content.
+
+``REPRO_LOG_LEVEL`` overrides the level (e.g. ``DEBUG``); the default
+is ``WARNING`` so an un-configured run stays silent.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+from typing import IO
+
+__all__ = [
+    "JsonFormatter",
+    "KeyValueFormatter",
+    "StructLogger",
+    "configure",
+    "get_logger",
+]
+
+ROOT_LOGGER_NAME = "repro"
+ENV_LEVEL = "REPRO_LOG_LEVEL"
+ENV_FORMAT = "REPRO_LOG_FORMAT"
+
+
+def _render_value(value: object) -> str:
+    text = str(value)
+    if " " in text or "=" in text or '"' in text:
+        return json.dumps(text)
+    return text
+
+
+class KeyValueFormatter(logging.Formatter):
+    """``timestamp LEVEL logger event key=value ...`` on one line."""
+
+    default_time_format = "%Y-%m-%dT%H:%M:%S"
+
+    def format(self, record: logging.LogRecord) -> str:
+        fields: dict[str, object] = getattr(record, "fields", {})
+        rendered = " ".join(
+            f"{key}={_render_value(value)}" for key, value in fields.items()
+        )
+        head = (
+            f"{self.formatTime(record)} {record.levelname} "
+            f"{record.name} {record.getMessage()}"
+        )
+        return f"{head} {rendered}" if rendered else head
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: ts/level/logger/event + fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, object] = {
+            "ts": self.formatTime(record),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        payload.update(getattr(record, "fields", {}))
+        return json.dumps(payload, default=str)
+
+
+class StructLogger:
+    """Thin wrapper turning keyword arguments into structured fields."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger) -> None:
+        self._logger = logger
+
+    def _emit(self, level: int, event: str, fields: dict[str, object]) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, event, extra={"fields": fields})
+
+    def debug(self, event: str, **fields: object) -> None:
+        self._emit(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self._emit(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self._emit(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self._emit(logging.ERROR, event, fields)
+
+    def isEnabledFor(self, level: int) -> bool:
+        return self._logger.isEnabledFor(level)
+
+
+def get_logger(name: str) -> StructLogger:
+    """A structured logger under the ``repro`` hierarchy."""
+    qualified = name if name.startswith(ROOT_LOGGER_NAME) else (
+        f"{ROOT_LOGGER_NAME}.{name}"
+    )
+    return StructLogger(logging.getLogger(qualified))
+
+
+def configure(
+    *,
+    level: int | str | None = None,
+    fmt: str | None = None,
+    stream: IO[str] | None = None,
+) -> logging.Logger:
+    """Install a handler on the ``repro`` logger (idempotent).
+
+    Arguments beat environment (``REPRO_LOG_LEVEL`` /
+    ``REPRO_LOG_FORMAT``) which beat the defaults (WARNING / kv).
+    Re-configuring replaces the previously installed handler rather
+    than stacking a second one.
+    """
+    if level is None:
+        level = os.environ.get(ENV_LEVEL, "WARNING")
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown {ENV_LEVEL}")
+    if fmt is None:
+        fmt = os.environ.get(ENV_FORMAT, "kv")
+    if fmt not in ("kv", "json"):
+        raise ValueError(f"{ENV_FORMAT} must be 'kv' or 'json', not {fmt!r}")
+
+    formatter: logging.Formatter = (
+        JsonFormatter() if fmt == "json" else KeyValueFormatter()
+    )
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(formatter)
+
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for existing in list(root.handlers):
+        if getattr(existing, "_repro_obs_handler", False):
+            root.removeHandler(existing)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root

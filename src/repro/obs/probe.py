@@ -1,0 +1,123 @@
+"""A timer-based sampling profiler over the span tracer.
+
+``sys.setprofile`` instruments *every* call and would tax the hot path
+it is meant to observe; this probe instead wakes on a timer in its own
+daemon thread and records which spans are open on every worker thread
+at that instant (read from :meth:`repro.obs.trace.Tracer.active_stacks`).
+The result is a statistical picture — "78% of samples landed inside
+``campaign.analyze`` > ``compliance.chain``" — at a fixed, tiny cost
+independent of how much work the pipeline does.
+
+Usage::
+
+    tracer = Tracer()
+    with SamplingProbe(tracer, interval=0.005) as probe:
+        run_campaign()
+    for stack, hits in probe.hotspots():
+        print(" > ".join(stack), hits)
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter as _TallyCounter
+
+__all__ = ["SamplingProbe"]
+
+
+class SamplingProbe:
+    """Periodically samples the tracer's active span stacks.
+
+    Parameters
+    ----------
+    tracer:
+        The tracer whose open spans are observed.  A
+        :class:`~repro.obs.trace.NullTracer` is accepted and simply
+        yields no samples.
+    interval:
+        Seconds between samples (wall clock).  The default 10 ms gives
+        ~100 samples/second, plenty for phase-level attribution.
+    """
+
+    def __init__(self, tracer, *, interval: float = 0.01) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.tracer = tracer
+        self.interval = interval
+        self._samples: _TallyCounter[tuple[str, ...]] = _TallyCounter()
+        self._idle_samples = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> "SamplingProbe":
+        if self._thread is not None:
+            raise RuntimeError("probe already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-obs-probe", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> "SamplingProbe":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_once()
+
+    # -- sampling ------------------------------------------------------
+
+    def sample_once(self) -> int:
+        """Take one sample now; returns how many stacks were recorded.
+
+        Public so tests (and deterministic pipelines) can sample
+        without the timing thread.
+        """
+        stacks = self.tracer.active_stacks()
+        with self._lock:
+            if not stacks:
+                self._idle_samples += 1
+                return 0
+            for stack in stacks.values():
+                self._samples[stack] += 1
+            return len(stacks)
+
+    # -- read-outs -----------------------------------------------------
+
+    @property
+    def total_samples(self) -> int:
+        with self._lock:
+            return sum(self._samples.values()) + self._idle_samples
+
+    def hotspots(self) -> list[tuple[tuple[str, ...], int]]:
+        """(span stack, hit count) pairs, hottest first."""
+        with self._lock:
+            return self._samples.most_common()
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-friendly export: stacks keyed ``"a > b > c"``."""
+        with self._lock:
+            return {
+                "interval_s": self.interval,
+                "total_samples": sum(self._samples.values())
+                + self._idle_samples,
+                "idle_samples": self._idle_samples,
+                "stacks": {
+                    " > ".join(stack): hits
+                    for stack, hits in self._samples.most_common()
+                },
+            }

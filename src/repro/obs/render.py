@@ -1,0 +1,64 @@
+"""Human-readable rendering of metrics snapshots.
+
+The JSON export (:meth:`repro.obs.metrics.MetricsRegistry.to_json`) is
+for machines; ``repro-chain stats`` pipes the same snapshot through
+:func:`render_metrics_table` for humans.  Works on a live registry's
+``snapshot()`` or on a previously written ``metrics.json``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_metrics_table"]
+
+
+def _format_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return f"{int(value):,}"
+    return f"{value:,.3f}"
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return "-"
+    return " ".join(f"{k}={v}" for k, v in sorted(labels.items()))
+
+
+def _histogram_cell(series: dict) -> str:
+    quantiles = series.get("quantiles", {})
+    return (
+        f"count={_format_number(series.get('count', 0))} "
+        f"mean={_format_number(series.get('mean', 0.0))} "
+        f"p50={_format_number(quantiles.get('p50', 0.0))} "
+        f"p99={_format_number(quantiles.get('p99', 0.0))} "
+        f"max={_format_number(series.get('max', 0.0))}"
+    )
+
+
+def render_metrics_table(snapshot: dict[str, dict]) -> str:
+    """Format a ``MetricsRegistry.snapshot()`` as an aligned table."""
+    rows: list[tuple[str, str, str]] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = family.get("type", "counter")
+        for series in family.get("series", []):
+            labels = _format_labels(series.get("labels", {}))
+            if kind == "histogram":
+                value = _histogram_cell(series)
+            else:
+                value = _format_number(series.get("value", 0.0))
+            rows.append((f"{name} ({kind})", labels, value))
+    if not rows:
+        return "(no metrics recorded)"
+    widths = [
+        max(len(row[i]) for row in rows + [("metric", "labels", "value")])
+        for i in range(3)
+    ]
+    header = (
+        f"{'metric':<{widths[0]}}  {'labels':<{widths[1]}}  value"
+    )
+    lines = [header, "-" * (widths[0] + widths[1] + max(widths[2], 5) + 4)]
+    lines.extend(
+        f"{name:<{widths[0]}}  {labels:<{widths[1]}}  {value}"
+        for name, labels, value in rows
+    )
+    return "\n".join(lines)

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol
 
+from repro import obs
 from repro.errors import AIAFetchError
 from repro.x509 import Certificate
 
@@ -69,15 +70,20 @@ class StaticAIARepository:
 
     def fetch(self, uri: str) -> Certificate:
         self.stats.attempts += 1
+        metrics = obs.get_metrics()
+        metrics.counter("aia.fetch.attempts").inc()
         if uri in self._unreachable:
             self.stats.failures += 1
+            metrics.counter("aia.fetch.failure", reason="unreachable").inc()
             raise AIAFetchError(f"URI unreachable: {uri}", uri, "unreachable")
         try:
             cert = self._entries[uri]
         except KeyError:
             self.stats.failures += 1
+            metrics.counter("aia.fetch.failure", reason="not_found").inc()
             raise AIAFetchError(f"no certificate at {uri}", uri, "not_found") from None
         self.stats.successes += 1
+        metrics.counter("aia.fetch.success").inc()
         return cert
 
     def __len__(self) -> int:

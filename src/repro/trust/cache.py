@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro import obs
 from repro.core.relation import DEFAULT_POLICY, RelationPolicy, issued
 from repro.x509 import Certificate
 
@@ -72,10 +73,14 @@ class IntermediateCache:
             if cert.fingerprint != subject.fingerprint
             and issued(cert, subject, policy)
         ]
+        metrics = obs.get_metrics()
         if matches:
             self.hits += 1
+            metrics.counter("cache.hits").inc()
         else:
             self.misses += 1
+            metrics.counter("cache.misses").inc()
+        metrics.gauge("cache.size").set(len(self._entries))
         return matches
 
     def clear(self) -> None:

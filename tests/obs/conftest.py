@@ -1,0 +1,18 @@
+"""Fixtures for the observability tests.
+
+Instrumentation is process-global; every test here must leave the
+null implementations installed for the rest of the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_instrumentation():
+    obs.disable()
+    yield
+    obs.disable()

@@ -1,0 +1,107 @@
+"""Structured logging: formatters, env overrides, idempotent setup."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import log as obslog
+
+
+@pytest.fixture(autouse=True)
+def _clean_repro_logger():
+    """Remove our handler and restore defaults after every test."""
+    yield
+    root = logging.getLogger(obslog.ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+    root.propagate = True
+
+
+def configure_to_buffer(**kwargs):
+    buffer = io.StringIO()
+    obslog.configure(stream=buffer, **kwargs)
+    return buffer
+
+
+class TestKeyValueFormat:
+    def test_event_and_fields_on_one_line(self):
+        buffer = configure_to_buffer(level="INFO", fmt="kv")
+        obslog.get_logger("net.scanner").info(
+            "scan.failed", domain="a.example", kind="unreachable"
+        )
+        line = buffer.getvalue().strip()
+        assert "repro.net.scanner" in line
+        assert "scan.failed" in line
+        assert "domain=a.example" in line
+        assert "kind=unreachable" in line
+
+    def test_values_with_spaces_are_quoted(self):
+        buffer = configure_to_buffer(level="INFO", fmt="kv")
+        obslog.get_logger("x").info("event", msg="two words")
+        assert 'msg="two words"' in buffer.getvalue()
+
+
+class TestJsonFormat:
+    def test_one_json_object_per_line(self):
+        buffer = configure_to_buffer(level="INFO", fmt="json")
+        obslog.get_logger("measurement").info("campaign.done", chains=42)
+        payload = json.loads(buffer.getvalue())
+        assert payload["event"] == "campaign.done"
+        assert payload["chains"] == 42
+        assert payload["logger"] == "repro.measurement"
+        assert payload["level"] == "INFO"
+
+
+class TestConfiguration:
+    def test_default_level_is_warning(self, monkeypatch):
+        monkeypatch.delenv(obslog.ENV_LEVEL, raising=False)
+        buffer = configure_to_buffer()
+        logger = obslog.get_logger("quiet")
+        logger.info("hidden")
+        logger.warning("shown")
+        assert "hidden" not in buffer.getvalue()
+        assert "shown" in buffer.getvalue()
+
+    def test_env_level_override(self, monkeypatch):
+        monkeypatch.setenv(obslog.ENV_LEVEL, "DEBUG")
+        buffer = configure_to_buffer()
+        obslog.get_logger("x").debug("visible")
+        assert "visible" in buffer.getvalue()
+
+    def test_env_format_override(self, monkeypatch):
+        monkeypatch.setenv(obslog.ENV_FORMAT, "json")
+        buffer = configure_to_buffer(level="INFO")
+        obslog.get_logger("x").info("event")
+        json.loads(buffer.getvalue())
+
+    def test_bad_level_and_format_rejected(self):
+        with pytest.raises(ValueError):
+            obslog.configure(level="NOT_A_LEVEL")
+        with pytest.raises(ValueError):
+            obslog.configure(fmt="xml")
+
+    def test_reconfigure_replaces_handler(self):
+        configure_to_buffer()
+        configure_to_buffer()
+        root = logging.getLogger(obslog.ROOT_LOGGER_NAME)
+        ours = [
+            h for h in root.handlers
+            if getattr(h, "_repro_obs_handler", False)
+        ]
+        assert len(ours) == 1
+
+    def test_get_logger_prefixes_hierarchy(self):
+        assert (
+            obslog.get_logger("net.scanner")._logger.name
+            == "repro.net.scanner"
+        )
+        assert obslog.get_logger("repro.core")._logger.name == "repro.core"
+
+    def test_unconfigured_library_logging_is_silent_and_cheap(self):
+        logger = obslog.get_logger("silent.module")
+        assert not logger.isEnabledFor(logging.DEBUG)
+        logger.debug("dropped", big_field="x" * 10_000)

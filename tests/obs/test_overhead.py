@@ -1,0 +1,71 @@
+"""Zero-overhead-by-default guard.
+
+The instrumentation threaded through ``analyze_chain`` must be free
+when disabled.  We measure (a) the compliance hot path with the null
+instrumentation installed — the shipping default — and (b) the cost of
+the exact null-hook call sequence one ``analyze_chain`` performs, and
+require (b) to stay under 5% of (a).  Measuring the hook sequence
+directly (rather than an A/B against a hook-free build we no longer
+have) keeps the guard deterministic: it fails if someone makes the
+null objects do work, grows the per-chain hook count dramatically, or
+swaps a null singleton for a real registry by default.
+"""
+
+import time
+
+from repro import obs
+from repro.core import analyze_chain
+
+ITERATIONS = 200
+
+
+def _time(fn, n: int) -> float:
+    start = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return time.perf_counter() - start
+
+
+def _null_hooks_for_one_chain() -> None:
+    """The obs calls one ``analyze_chain`` makes on the null path."""
+    metrics = obs.get_metrics()
+    metrics.counter("compliance.chains").inc()
+    metrics.counter("compliance.leaf_placement", placement="x").inc()
+    metrics.counter("compliance.order", status="x").inc()
+    metrics.counter("compliance.order_defect", defect="x").inc()
+    metrics.counter("compliance.completeness", category="x").inc()
+    metrics.counter("compliance.verdict", verdict="x").inc()
+    # campaign-level per-chain accounting
+    metrics.counter("campaign.chains_analyzed").inc()
+    # AIA fetches an incomplete chain might trigger
+    metrics.counter("aia.fetch.attempts").inc()
+    metrics.counter("aia.fetch.success").inc()
+
+
+def test_disabled_instrumentation_costs_under_5_percent(chain, store,
+                                                        aia_repo):
+    assert not obs.enabled()
+
+    def hot_path():
+        analyze_chain("fixture.example", chain, store, aia_repo)
+
+    hot_path()  # warm caches before timing
+    _time(_null_hooks_for_one_chain, 10)
+
+    analysis_seconds = _time(hot_path, ITERATIONS)
+    hook_seconds = _time(_null_hooks_for_one_chain, ITERATIONS)
+    # Generous margin: the hooks typically land well under 1%.
+    assert hook_seconds < 0.05 * analysis_seconds, (
+        f"null instrumentation hooks cost {hook_seconds:.6f}s for "
+        f"{ITERATIONS} chains vs {analysis_seconds:.6f}s of analysis "
+        f"({100 * hook_seconds / analysis_seconds:.1f}% — budget is 5%)"
+    )
+
+
+def test_null_singletons_are_shared_not_allocated():
+    """The disabled path must not allocate per call."""
+    metrics = obs.get_metrics()
+    assert metrics.counter("a") is metrics.counter("b", label="x")
+    assert metrics.histogram("h") is metrics.histogram("h2")
+    tracer = obs.get_tracer()
+    assert tracer.span("a") is tracer.span("b", attr=1)

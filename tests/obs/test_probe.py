@@ -1,0 +1,75 @@
+"""The timer-based sampling profiler."""
+
+import time
+
+import pytest
+
+from repro.obs.probe import SamplingProbe
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+class TestDeterministicSampling:
+    def test_sample_once_records_active_stack(self):
+        tracer = Tracer()
+        probe = SamplingProbe(tracer)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                assert probe.sample_once() == 1
+        assert probe.hotspots() == [(("outer", "inner"), 1)]
+
+    def test_idle_samples_counted_separately(self):
+        probe = SamplingProbe(Tracer())
+        assert probe.sample_once() == 0
+        snapshot = probe.snapshot()
+        assert snapshot["idle_samples"] == 1
+        assert snapshot["total_samples"] == 1
+        assert snapshot["stacks"] == {}
+
+    def test_hotspots_ordered_by_frequency(self):
+        tracer = Tracer()
+        probe = SamplingProbe(tracer)
+        with tracer.span("hot"):
+            for _ in range(3):
+                probe.sample_once()
+        with tracer.span("cold"):
+            probe.sample_once()
+        assert probe.hotspots() == [(("hot",), 3), (("cold",), 1)]
+
+    def test_snapshot_keys_are_joined_stacks(self):
+        tracer = Tracer()
+        probe = SamplingProbe(tracer)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                probe.sample_once()
+        assert probe.snapshot()["stacks"] == {"a > b": 1}
+
+
+class TestTimerThread:
+    def test_background_sampling_observes_work(self):
+        tracer = Tracer()
+        with SamplingProbe(tracer, interval=0.002) as probe:
+            with tracer.span("work"):
+                time.sleep(0.05)
+        assert probe.total_samples > 0
+        hotspots = dict(probe.hotspots())
+        assert hotspots.get(("work",), 0) > 0
+
+    def test_stop_is_idempotent_and_restartable(self):
+        probe = SamplingProbe(Tracer(), interval=0.001)
+        probe.start()
+        with pytest.raises(RuntimeError):
+            probe.start()
+        probe.stop()
+        probe.stop()
+        probe.start()
+        probe.stop()
+
+    def test_null_tracer_yields_only_idle_samples(self):
+        with SamplingProbe(NULL_TRACER, interval=0.001) as probe:
+            time.sleep(0.01)
+        assert probe.hotspots() == []
+        assert probe.snapshot()["idle_samples"] == probe.total_samples
+
+    def test_interval_validated(self):
+        with pytest.raises(ValueError):
+            SamplingProbe(NULL_TRACER, interval=0)

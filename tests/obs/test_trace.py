@@ -1,0 +1,156 @@
+"""Span nesting, timing tree, aggregation, Chrome-trace export."""
+
+import json
+import threading
+
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+class FakeClock:
+    """Deterministic clock: each call returns the next scripted time."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        self.t += 1.0
+        return self.t
+
+
+class TestNesting:
+    def test_children_attach_to_enclosing_span(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                pass
+        roots = tracer.roots()
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner.a", "inner.b"]
+        assert roots[0].children[0].children == []
+
+    def test_sibling_roots(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots()] == ["first", "second"]
+
+    def test_durations_and_self_time(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):      # start=1
+            with tracer.span("inner"):  # start=2, end=3
+                pass
+        outer = tracer.roots()[0]       # end=4
+        inner = outer.children[0]
+        assert inner.duration == 1.0
+        assert outer.duration == 3.0
+        assert outer.self_time == 2.0
+
+    def test_attrs_recorded(self):
+        tracer = Tracer()
+        with tracer.span("scan.handshake", domain="a.example") as span:
+            assert span.attrs == {"domain": "a.example"}
+
+    def test_threads_get_independent_stacks(self):
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            with tracer.span(name):
+                barrier.wait(timeout=5)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i}",)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # both spans are roots, not nested inside each other
+        assert sorted(r.name for r in tracer.roots()) == ["t0", "t1"]
+
+
+class TestReadouts:
+    def test_aggregate_counts_and_totals(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("phase"):
+            with tracer.span("step"):
+                pass
+            with tracer.span("step"):
+                pass
+        agg = tracer.aggregate()
+        assert agg["step"]["count"] == 2
+        assert agg["phase"]["count"] == 1
+        assert agg["phase"]["total_s"] >= agg["step"]["total_s"]
+
+    def test_tree_rendering(self):
+        tracer = Tracer()
+        with tracer.span("outer", n=1):
+            with tracer.span("inner"):
+                pass
+        text = tracer.tree()
+        assert "outer" in text and "  inner" in text and "n=1" in text
+
+    def test_active_stacks_while_open(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                stacks = tracer.active_stacks()
+                assert list(stacks.values()) == [("a", "b")]
+        assert tracer.active_stacks() == {}
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.roots() == []
+
+
+class TestChromeExport:
+    def test_event_shape_round_trip(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer", domain="a.example"):
+            with tracer.span("inner"):
+                pass
+        events = json.loads(tracer.to_json())
+        assert len(events) == 2
+        for event in events:
+            assert set(event) == {"name", "ph", "ts", "dur", "pid", "tid",
+                                  "args"}
+            assert event["ph"] == "X"
+            assert event["dur"] > 0
+        outer = next(e for e in events if e["name"] == "outer")
+        inner = next(e for e in events if e["name"] == "inner")
+        assert outer["args"] == {"domain": "a.example"}
+        # inner is contained within outer on the timeline
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+
+    def test_events_sorted_by_start(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        events = tracer.to_chrome_trace()
+        assert [e["ts"] for e in events] == sorted(e["ts"] for e in events)
+
+    def test_open_spans_are_skipped(self):
+        tracer = Tracer()
+        context = tracer.span("never.closed")
+        context.__enter__()
+        assert tracer.to_chrome_trace() == []
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything", key="value") as span:
+            assert span is None
+        assert NULL_TRACER.roots() == []
+        assert NULL_TRACER.aggregate() == {}
+        assert NULL_TRACER.to_json() == "[]"
+        assert NULL_TRACER.active_stacks() == {}

@@ -121,8 +121,63 @@ class TestScanNetworkMode:
                      "--simulate-network"])
         assert code == 0
         out = capsys.readouterr().out
-        assert "scanned:" in out
+        # per-vantage reachability is rendered, not a raw dict
+        assert "vantage us" in out and "vantage au" in out
+        assert "reachable" in out and "{" not in out.split("\n")[0]
         assert "Table 7" in out
+
+    def test_scan_writes_metrics_and_trace(self, tmp_path, capsys):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        code = main(["scan", "--domains", "120", "--seed", "6",
+                     "--simulate-network",
+                     "--metrics-out", str(metrics_path),
+                     "--trace-out", str(trace_path)])
+        assert code == 0
+        metrics = json.loads(metrics_path.read_text())
+        for family in ("scan.attempts", "scan.success", "cache.hits",
+                       "cache.misses", "chainbuilder.backtracks",
+                       "aia.fetch.attempts", "compliance.verdict"):
+            assert family in metrics, family
+        vantages = {
+            series["labels"].get("vantage")
+            for series in metrics["scan.attempts"]["series"]
+            if series["labels"]
+        }
+        assert {"us", "au"} <= vantages
+        trace = json.loads(trace_path.read_text())
+        assert trace, "expected at least one trace event"
+        for event in trace:
+            assert event["ph"] == "X"
+            assert {"name", "ts", "dur", "pid", "tid"} <= set(event)
+        names = {event["name"] for event in trace}
+        assert "campaign.collect" in names and "campaign.analyze" in names
+
+
+class TestStats:
+    def test_stats_from_file(self, tmp_path, capsys):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        main(["scan", "--domains", "120", "--seed", "6",
+              "--simulate-network", "--metrics-out", str(metrics_path)])
+        capsys.readouterr()
+        code = main(["stats", str(metrics_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scan.attempts (counter)" in out
+        assert "vantage=us" in out
+        assert "scan.wire_bytes (histogram)" in out
+
+    def test_stats_fresh_run(self, capsys):
+        code = main(["stats", "--domains", "120", "--seed", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== phase timing ==" in out
+        assert "chains/s" in out
+        assert "compliance.verdict (counter)" in out
 
 
 class TestCapabilitiesMatrix:

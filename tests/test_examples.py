@@ -19,7 +19,8 @@ def _examples_on_path(monkeypatch):
     yield
     for name in ("quickstart", "scan_campaign", "client_capabilities",
                  "differential_testing", "diagnose_deployment",
-                 "addtrust_outage", "paper_comparison"):
+                 "addtrust_outage", "paper_comparison",
+                 "instrumented_scan"):
         sys.modules.pop(name, None)
 
 
@@ -68,3 +69,15 @@ def test_paper_comparison_small(capsys):
     out = capsys.readouterr().out
     assert "Table 9" in out
     assert "Section 5.2" in out
+
+
+def test_instrumented_scan_small(capsys):
+    from repro import obs
+
+    _run("instrumented_scan", 120, 9)
+    out = capsys.readouterr().out
+    assert "scan.attempts (counter)" in out
+    assert "campaign.analyze" in out
+    assert "chains/s" in out
+    assert "Chrome trace JSON" in out
+    assert not obs.enabled()  # the example restores the null layer

@@ -37,6 +37,22 @@ def test_client_model_snippet(hierarchy, leaf, store, now):
         assert verdict.build.structure
 
 
+def test_observability_snippet():
+    from repro import obs
+    from repro.measurement import Campaign
+    from repro.webpki import Ecosystem, EcosystemConfig
+
+    ecosystem = Ecosystem.generate(EcosystemConfig(n_domains=60, seed=833))
+    with obs.instrumented() as (registry, tracer):
+        campaign = Campaign(ecosystem)
+        collection = campaign.collect()
+        campaign.analyze(collection.observations)
+    table = obs.render_metrics_table(registry.snapshot())
+    assert "scan.attempts" in table and "compliance.verdict" in table
+    assert "campaign.collect" in tracer.tree()
+    assert not obs.enabled()
+
+
 def test_package_docstring_snippet():
     import repro
 
