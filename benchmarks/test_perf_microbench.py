@@ -123,6 +123,67 @@ def test_perf_obs_throughput_snapshot(ecosystem):
     print(f"\n{json.dumps(snapshot, indent=2)}")
 
 
+def test_perf_journal_overhead_snapshot(ecosystem, tmp_path):
+    """Journal on vs off over the analysis hot path; writes
+    BENCH_journal.json.
+
+    Measures the same ``campaign.analyze``-style loop twice — without a
+    journal and with every verdict appended — takes the best of three
+    rounds each to damp scheduler noise, and records the relative cost
+    of full verdict provenance.  The snapshot is a measured trajectory,
+    not a gate; the hard <5% budget applies to the *disabled* path and
+    lives in ``tests/obs/test_overhead.py``.
+    """
+    from repro.core import analyze_chain as analyze
+    from repro.obs import RunJournal
+
+    observations = ecosystem.observations()[:2_000]
+    union = ecosystem.registry.union()
+    manifest = {"run": "bench", "config": {}, "seed": 0,
+                "root_store_digest": union.digest()}
+
+    def run(journal=None):
+        start = time.perf_counter()
+        for domain, chain in observations:
+            report = analyze(domain, chain, union, ecosystem.aia_repo)
+            if journal is not None:
+                key = tuple(c.fingerprint_hex for c in chain)
+                journal.record_verdict(domain, key, report.to_dict())
+        return time.perf_counter() - start
+
+    run()  # warm every cache before timing
+    baseline = min(run() for _ in range(3))
+
+    def journaled_round(index: int) -> float:
+        path = tmp_path / f"bench-{index}.jsonl"
+        with RunJournal.create(path, manifest) as journal:
+            return run(journal)
+
+    journaled = min(journaled_round(i) for i in range(3))
+    overhead_pct = 100.0 * (journaled - baseline) / baseline
+
+    # the journal written last round must be fully resumable
+    resumed = RunJournal.open(tmp_path / "bench-2.jsonl", manifest)
+    assert resumed.verdict_count == len(observations)
+    resumed.close()
+
+    snapshot = {
+        "bench": "journal_overhead",
+        "chains": len(observations),
+        "baseline_seconds": round(baseline, 6),
+        "journaled_seconds": round(journaled, 6),
+        "overhead_pct": round(overhead_pct, 2),
+        "journal_bytes": (tmp_path / "bench-2.jsonl").stat().st_size,
+    }
+    assert journaled > 0 and baseline > 0
+    out_path = pathlib.Path(__file__).resolve().parent.parent / (
+        "BENCH_journal.json"
+    )
+    out_path.write_text(json.dumps(snapshot, indent=2) + "\n",
+                        encoding="utf-8")
+    print(f"\n{json.dumps(snapshot, indent=2)}")
+
+
 def test_perf_certificate_issuance(benchmark):
     from repro.ca import build_hierarchy
 

@@ -23,6 +23,7 @@ from repro.chainbuilder.clients import (
 )
 from repro.chainbuilder.engine import ChainBuilder, ClientVerdict
 from repro.chainbuilder.policy import ClientPolicy
+from repro.obs.evidence import Evidence
 from repro.trust.aia import AIAFetcher
 from repro.trust.cache import IntermediateCache
 from repro.trust.rootstore import RootStoreRegistry
@@ -59,6 +60,17 @@ class ChainOutcome:
     def discrepant(self, clients: tuple[ClientPolicy, ...]) -> bool:
         results = set(self.subset_results(clients).values())
         return len(results) > 1
+
+    def to_event(self) -> dict[str, object]:
+        """JSON-ready journal payload: verdicts plus attribution evidence."""
+        return {
+            "domain": self.domain,
+            "chain_length": self.chain_length,
+            "results": {name: self.result_of(name) for name in self.verdicts},
+            "attribution": [
+                e.to_dict() for e in attribute_with_evidence(self)
+            ] if self.discrepant(LIBRARIES) else [],
+        }
 
 
 @dataclass
@@ -97,6 +109,15 @@ class DifferentialReport:
 def attribute_library_discrepancy(outcome: ChainOutcome) -> set[str]:
     """Attribute one library discrepancy to the paper's I-1..I-4 causes.
 
+    Tag-only view of :func:`attribute_with_evidence`, kept for callers
+    that just count (the Table-style attribution summaries).
+    """
+    return {record.rule_id for record in attribute_with_evidence(outcome)}
+
+
+def attribute_with_evidence(outcome: ChainOutcome) -> tuple[Evidence, ...]:
+    """Attribute one library discrepancy, citing the client verdicts.
+
     The rules formalise the paper's manual analysis:
 
     * I-1 — MbedTLS alone cannot find an issuer while another library
@@ -106,34 +127,64 @@ def attribute_library_discrepancy(outcome: ChainOutcome) -> set[str]:
       while CryptoAPI (backtracking) validated.
     * I-4 — CryptoAPI validates but AIA-less libraries cannot complete
       the chain.
+
+    Every record's ``details`` carries the per-client result map that
+    triggered the rule, so a journal replay can re-derive the tag.
     """
     results = outcome.subset_results(LIBRARIES)
-    tags: set[str] = set()
     ok_clients = {name for name, result in results.items() if result == "ok"}
+    records: list[Evidence] = []
+
+    def cite(rule_id: str, summary: str, clients: tuple[str, ...]) -> None:
+        records.append(Evidence(
+            rule_id=rule_id,
+            verdict="attribution",
+            summary=summary,
+            details={
+                "domain": outcome.domain,
+                "chain_length": outcome.chain_length,
+                "results": {name: results[name] for name in clients
+                            if name in results},
+            },
+        ))
 
     if results.get("mbedtls") in ("no_issuer_found", "unknown_issuer") and (
         "openssl" in ok_clients or "gnutls" in ok_clients
     ):
         # Another AIA-less library succeeded, so the chain was locally
         # completable: MbedTLS's failure is its forward-only scan.
-        tags.add(ISSUE_ORDER)
+        cite(ISSUE_ORDER,
+             "MbedTLS's forward-only scan dead-ended on a chain another "
+             "AIA-less library completed locally",
+             ("mbedtls", "openssl", "gnutls"))
     if results.get("gnutls") == "input_list_too_long":
-        tags.add(ISSUE_LONG_CHAIN)
+        cite(ISSUE_LONG_CHAIN,
+             f"GnuTLS rejected the presented list of "
+             f"{outcome.chain_length} certificates as too long",
+             ("gnutls",))
     if "cryptoapi" in ok_clients and any(
         results.get(name) == "untrusted_root"
         for name in ("openssl", "gnutls", "mbedtls")
     ):
-        tags.add(ISSUE_BACKTRACKING)
+        cite(ISSUE_BACKTRACKING,
+             "a non-backtracking library anchored at an untrusted root "
+             "while CryptoAPI backtracked to a trusted one",
+             ("cryptoapi", "openssl", "gnutls", "mbedtls"))
     if "cryptoapi" in ok_clients and all(
         results.get(name) in ("no_issuer_found", "unknown_issuer")
         for name in ("openssl", "gnutls")
     ):
         # Both scope-unrestricted, AIA-less libraries dead-ended: the
         # chain needed a certificate that only AIA could supply.
-        tags.add(ISSUE_AIA)
-    if not tags:
-        tags.add(ISSUE_OTHER)
-    return tags
+        cite(ISSUE_AIA,
+             "only AIA completion (CryptoAPI) could supply the missing "
+             "intermediate; AIA-less libraries dead-ended",
+             ("cryptoapi", "openssl", "gnutls"))
+    if not records:
+        cite(ISSUE_OTHER,
+             "library verdicts disagree for a reason outside I-1..I-4",
+             tuple(results))
+    return tuple(records)
 
 
 class DifferentialHarness:
@@ -185,17 +236,22 @@ class DifferentialHarness:
         *,
         at_time: datetime,
         observe_into_cache: bool = False,
+        journal=None,
     ) -> DifferentialReport:
         """Evaluate a corpus; optionally let Firefox learn as it goes.
 
         With ``observe_into_cache`` the cache ingests each chain *after*
         evaluating it, modelling a browsing session in corpus order.
+        With a ``journal`` (:class:`repro.obs.RunJournal`), every
+        outcome is appended as a ``differential`` event carrying the
+        per-client verdicts and the I-1..I-4 attribution evidence.
         """
         report = DifferentialReport()
         for domain, chain in observations:
-            report.outcomes.append(
-                self.evaluate(domain, chain, at_time=at_time)
-            )
+            outcome = self.evaluate(domain, chain, at_time=at_time)
+            report.outcomes.append(outcome)
+            if journal is not None:
+                journal.record("differential", **outcome.to_event())
             if observe_into_cache:
                 self.cache.observe_chain(chain)
         return report
@@ -211,5 +267,6 @@ __all__ = [
     "ISSUE_ORDER",
     "ISSUE_OTHER",
     "attribute_library_discrepancy",
+    "attribute_with_evidence",
     "DIFFERENTIAL_BROWSERS",
 ]

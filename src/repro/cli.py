@@ -5,14 +5,17 @@ Subcommands mirror the library's main workflows::
     repro-chain scan --domains 3000            # generate + scan + tables
     repro-chain analyze chain.pem --domain x   # lint one deployment
     repro-chain repair chain.pem --domain x    # fix one deployment
+    repro-chain explain x --journal run.jsonl  # verdict provenance
     repro-chain capabilities                   # Table 9 (live harness)
     repro-chain differential --domains 2000    # §5.2 summary
     repro-chain stats metrics.json             # render a metrics snapshot
     repro-chain save-corpus corpus.jsonl       # archive observations
 
-``scan`` accepts ``--metrics-out``/``--trace-out`` to export the run's
-observability data (see docs/OBSERVABILITY.md).  Every command is also
-reachable as ``python -m repro.cli ...``.
+``scan`` accepts ``--metrics-out``/``--trace-out``/``--openmetrics-out``
+to export the run's observability data, and ``--journal`` to write (or
+crash-safely resume) an append-only run journal of per-domain events
+(see docs/OBSERVABILITY.md).  Every command is also reachable as
+``python -m repro.cli ...``.
 """
 
 from __future__ import annotations
@@ -50,6 +53,7 @@ def _render_reachability(snapshot: dict) -> list[str]:
 
 def _cmd_scan(args: argparse.Namespace) -> int:
     from repro import obs
+    from repro.errors import JournalError
     from repro.measurement import (
         Campaign, TableContext, render_table_3, render_table_5,
         render_table_7,
@@ -63,14 +67,47 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             EcosystemConfig(n_domains=args.domains, seed=args.seed)
         )
         campaign = Campaign(ecosystem)
-        if args.simulate_network:
-            collection = campaign.collect()
-            observations = collection.observations
-            for line in _render_reachability(registry.snapshot()):
-                print(line)
-        else:
-            observations = ecosystem.observations()
-        report, _ = campaign.analyze(observations)
+        journal = None
+        if args.journal:
+            try:
+                journal = obs.RunJournal.open(
+                    args.journal, campaign.manifest()
+                )
+            except JournalError as exc:
+                print(f"repro-chain scan: {exc}", file=sys.stderr)
+                return 2
+            if journal.verdict_count:
+                print(f"journal: resuming {journal.verdict_count:,} "
+                      f"recorded verdicts from {args.journal}")
+        snapshot_writer = None
+        if args.openmetrics_out:
+            snapshot_writer = obs.SnapshotWriter(
+                registry, args.openmetrics_out,
+                interval=args.snapshot_interval,
+            )
+        progress_factory = None
+        if args.progress:
+            def progress_factory(vantage: str, total: int):
+                return obs.ProgressLine(
+                    total, prefix=f"scan[{vantage}]", force=True
+                )
+        try:
+            if args.simulate_network:
+                collection = campaign.collect(
+                    journal=journal, progress_factory=progress_factory
+                )
+                observations = collection.observations
+                for line in _render_reachability(registry.snapshot()):
+                    print(line)
+            else:
+                observations = ecosystem.observations()
+            report, _ = campaign.analyze(
+                observations, journal=journal,
+                snapshot_writer=snapshot_writer,
+            )
+        finally:
+            if journal is not None:
+                journal.close()
         print(f"chains: {report.total:,}  "
               f"non-compliant: {report.noncompliant:,} "
               f"({report.noncompliance_rate:.2f}%)")
@@ -87,10 +124,16 @@ def _cmd_scan(args: argparse.Namespace) -> int:
 
             count = save_observations(args.output, observations)
             print(f"\nwrote {count:,} observations to {args.output}")
+        if journal is not None:
+            print(f"wrote {journal.events_written:,} journal events "
+                  f"to {args.journal}")
         if args.metrics_out:
             with open(args.metrics_out, "w", encoding="utf-8") as handle:
                 handle.write(registry.to_json())
             print(f"wrote metrics to {args.metrics_out}")
+        if snapshot_writer is not None:
+            snapshot_writer.write_now()
+            print(f"wrote OpenMetrics snapshot to {args.openmetrics_out}")
         if args.trace_out:
             with open(args.trace_out, "w", encoding="utf-8") as handle:
                 handle.write(tracer.to_json())
@@ -104,10 +147,33 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     from repro import obs
 
+    if args.openmetrics and not args.metrics:
+        print("repro-chain stats: --openmetrics requires a metrics "
+              "file argument", file=sys.stderr)
+        return 2
     if args.metrics:
-        with open(args.metrics, encoding="utf-8") as handle:
-            snapshot = json.load(handle)
-        print(obs.render_metrics_table(snapshot))
+        try:
+            with open(args.metrics, encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+        except OSError as exc:
+            reason = exc.strerror or str(exc)
+            print(f"repro-chain stats: cannot read {args.metrics}: "
+                  f"{reason}", file=sys.stderr)
+            return 2
+        except json.JSONDecodeError as exc:
+            print(f"repro-chain stats: {args.metrics} is not valid "
+                  f"metrics JSON ({exc})", file=sys.stderr)
+            return 2
+        if not isinstance(snapshot, dict):
+            print(f"repro-chain stats: {args.metrics}: expected a JSON "
+                  f"object of metric families (from 'scan "
+                  f"--metrics-out'), got {type(snapshot).__name__}",
+                  file=sys.stderr)
+            return 2
+        if args.openmetrics:
+            sys.stdout.write(obs.to_openmetrics(snapshot))
+        else:
+            print(obs.render_metrics_table(snapshot))
         return 0
 
     from repro.measurement import Campaign
@@ -172,6 +238,99 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if report.compliant else 1
 
 
+def _print_explanation(domain: str, chain_length: int, report) -> None:
+    from repro import obs
+
+    print(f"domain       : {domain}")
+    print(f"chain length : {chain_length}")
+    print(f"verdict      : "
+          f"{'COMPLIANT' if report.compliant else 'NON-COMPLIANT'}")
+    if report.defect_summary:
+        print(f"defects      : {', '.join(report.defect_summary)}")
+    print("evidence:")
+    print(obs.render_evidence(report.evidence))
+
+
+def _explain_from_journal(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.core.compliance import ChainComplianceReport
+    from repro.errors import JournalError
+
+    try:
+        _, events = obs.read_journal(args.journal)
+    except (OSError, JournalError) as exc:
+        print(f"repro-chain explain: {exc}", file=sys.stderr)
+        return 2
+    verdicts = [e for e in events
+                if e.get("type") == "verdict"
+                and e.get("domain") == args.domain]
+    differentials = [e for e in events
+                     if e.get("type") == "differential"
+                     and e.get("domain") == args.domain]
+    if not verdicts and not differentials:
+        print(f"repro-chain explain: no recorded events for "
+              f"{args.domain!r} in {args.journal}", file=sys.stderr)
+        return 2
+    first = True
+    for event in verdicts:
+        if not first:
+            print()
+        first = False
+        report = ChainComplianceReport.from_dict(event["report"])
+        _print_explanation(args.domain, report.chain_length, report)
+        chain_key = event.get("chain_key") or ()
+        if chain_key:
+            print("chain (presented order):")
+            for fingerprint in chain_key:
+                print(f"  {fingerprint[:16]}…{fingerprint[-4:]}")
+    for event in differentials:
+        if not first:
+            print()
+        first = False
+        print(f"differential : {args.domain} "
+              f"({event.get('chain_length', '?')} certificates)")
+        for client, result in sorted(
+            (event.get("results") or {}).items()
+        ):
+            print(f"  {client:<12} {result}")
+        attribution = [
+            obs.evidence_from_dict(payload)
+            for payload in event.get("attribution") or ()
+        ]
+        if attribution:
+            print("attribution:")
+            print(obs.render_evidence(attribution))
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Render the machine-readable evidence behind a domain's verdict."""
+    if args.journal:
+        return _explain_from_journal(args)
+
+    from repro.core import analyze_chain
+    from repro.webpki import Ecosystem, EcosystemConfig
+
+    ecosystem = Ecosystem.generate(
+        EcosystemConfig(n_domains=args.domains, seed=args.seed)
+    )
+    matches = [(domain, chain)
+               for domain, chain in ecosystem.observations()
+               if domain == args.domain]
+    if not matches:
+        print(f"repro-chain explain: {args.domain!r} is not in the "
+              f"generated ecosystem (--domains {args.domains} "
+              f"--seed {args.seed})", file=sys.stderr)
+        return 2
+    store = ecosystem.registry.union()
+    for index, (domain, chain) in enumerate(matches):
+        if index:
+            print()
+        report = analyze_chain(domain, chain, store, ecosystem.aia_repo)
+        _print_explanation(domain, len(chain), report)
+    return 0
+
+
 def _cmd_repair(args: argparse.Namespace) -> int:
     from repro.core import repair_chain
 
@@ -218,6 +377,7 @@ def _cmd_capabilities(args: argparse.Namespace) -> int:
 
 
 def _cmd_differential(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.chainbuilder import (
         DIFFERENTIAL_BROWSERS, DifferentialHarness, LIBRARIES,
     )
@@ -229,10 +389,25 @@ def _cmd_differential(args: argparse.Namespace) -> int:
     harness = DifferentialHarness(
         ecosystem.registry, aia_fetcher=ecosystem.aia_repo
     )
-    report = harness.run(
-        ecosystem.observations(), at_time=ecosystem.config.now,
-        observe_into_cache=True,
-    )
+    journal = None
+    if args.journal:
+        journal = obs.RunJournal.open(args.journal, {
+            "run": "differential",
+            "config": {
+                "n_domains": args.domains,
+                "now": ecosystem.config.now.isoformat(),
+            },
+            "seed": args.seed,
+            "root_store_digest": ecosystem.registry.union().digest(),
+        })
+    try:
+        report = harness.run(
+            ecosystem.observations(), at_time=ecosystem.config.now,
+            observe_into_cache=True, journal=journal,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
     print(f"chains evaluated : {report.total:,} x 8 clients")
     print(f"library failures : {report.failure_rate(LIBRARIES):.1f}%")
     print(f"browser failures : "
@@ -261,6 +436,20 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the run's metrics registry as JSON")
     scan.add_argument("--trace-out",
                       help="write a Chrome trace-event JSON timing file")
+    scan.add_argument("--journal",
+                      help="append per-domain events to a JSONL run "
+                           "journal; an existing journal for the same "
+                           "campaign resumes its recorded verdicts")
+    scan.add_argument("--openmetrics-out",
+                      help="write an OpenMetrics text snapshot of the "
+                           "metrics registry, refreshed periodically "
+                           "during analysis")
+    scan.add_argument("--snapshot-interval", type=float, default=5.0,
+                      help="seconds between OpenMetrics snapshot "
+                           "refreshes (default: 5)")
+    scan.add_argument("--progress", action="store_true",
+                      help="render a live single-line progress bar "
+                           "per vantage (requires --simulate-network)")
     scan.set_defaults(func=_cmd_scan)
 
     stats = sub.add_parser(
@@ -271,7 +460,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "omitted: run a small instrumented campaign")
     stats.add_argument("--domains", type=int, default=500)
     stats.add_argument("--seed", type=int, default=833)
+    stats.add_argument("--openmetrics", action="store_true",
+                       help="emit OpenMetrics text instead of the table "
+                            "(requires a metrics file)")
     stats.set_defaults(func=_cmd_stats)
+
+    explain = sub.add_parser(
+        "explain",
+        help="render the evidence records behind a domain's verdict",
+    )
+    explain.add_argument("domain")
+    explain.add_argument("--journal",
+                         help="read the verdict (and any differential "
+                              "outcome) from a run journal instead of "
+                              "re-analysing")
+    explain.add_argument("--domains", type=int, default=2000,
+                         help="ecosystem size when re-analysing "
+                              "(must match the original run)")
+    explain.add_argument("--seed", type=int, default=833)
+    explain.set_defaults(func=_cmd_explain)
 
     analyze = sub.add_parser("analyze", help="lint one PEM chain")
     analyze.add_argument("chain", help="PEM bundle as served, leaf first")
@@ -302,6 +509,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     differential.add_argument("--domains", type=int, default=2000)
     differential.add_argument("--seed", type=int, default=833)
+    differential.add_argument("--journal",
+                              help="append per-chain outcomes (with "
+                                   "I-1..I-4 attribution evidence) to "
+                                   "a JSONL run journal")
     differential.set_defaults(func=_cmd_differential)
 
     return parser

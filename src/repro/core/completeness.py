@@ -14,10 +14,11 @@ wrong certificate served).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.relation import DEFAULT_POLICY, RelationPolicy
 from repro.core.topology import ChainTopology
+from repro.obs.evidence import Evidence, completeness_evidence
 from repro.trust.aia import AIAFetcher, complete_via_aia
 from repro.trust.rootstore import RootStore
 from repro.x509 import Certificate
@@ -59,6 +60,9 @@ class CompletenessAnalysis:
     category: CompletenessClass
     missing_count: int | None = None
     aia_outcome: str | None = None
+    #: machine-readable citations (see repro.obs.evidence): the terminal
+    #: certificates whose issuers decided the class, plus AIA outcome
+    evidence: tuple[Evidence, ...] = ()
 
     @property
     def complete(self) -> bool:
@@ -119,6 +123,15 @@ def analyze_completeness(
         (Table 8's "AIA Not Supported" columns).
     """
     topo = topology if topology is not None else ChainTopology(chain, policy)
+    analysis = _classify(topo, store, fetcher)
+    return replace(
+        analysis,
+        evidence=completeness_evidence(topo, analysis, store_name=store.name),
+    )
+
+
+def _classify(topo: ChainTopology, store: RootStore,
+              fetcher: AIAFetcher | None) -> CompletenessAnalysis:
     terminals = [node.certificate for node in topo.terminal_nodes()]
 
     if any(t.is_self_signed for t in terminals):

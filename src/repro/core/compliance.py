@@ -17,10 +17,15 @@ from repro.core.completeness import (
     CompletenessClass,
     analyze_completeness,
 )
-from repro.core.leaf import LeafAnalysis, classify_leaf_placement
+from repro.core.leaf import (
+    LeafAnalysis,
+    LeafPlacement,
+    classify_leaf_placement,
+)
 from repro.core.order import OrderAnalysis, analyze_order
 from repro.core.relation import DEFAULT_POLICY, RelationPolicy
 from repro.core.topology import ChainTopology
+from repro.obs.evidence import Evidence, evidence_from_dict
 from repro.trust.aia import AIAFetcher
 from repro.trust.rootstore import RootStore
 from repro.x509 import Certificate
@@ -60,6 +65,99 @@ class ChainComplianceReport:
         if not self.completeness.complete:
             defects.append("completeness:incomplete")
         return tuple(defects)
+
+    @property
+    def evidence(self) -> tuple[Evidence, ...]:
+        """Every evidence record the three analyses produced, in rule
+        order (R1 leaf, R2 order, R3 completeness)."""
+        return (
+            *self.leaf.evidence,
+            *self.order.evidence,
+            *self.completeness.evidence,
+        )
+
+    # -- journal serialisation -----------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready dict capturing the whole report, evidence included.
+
+        The representation is lossless: :meth:`from_dict` rebuilds a
+        report that aggregates (and renders) identically, which is what
+        makes a crash-interrupted campaign resumable from its journal.
+        """
+        return {
+            "domain": self.domain,
+            "chain_length": self.chain_length,
+            "leaf": {
+                "placement": self.leaf.placement.value,
+                "deciding_index": self.leaf.deciding_index,
+                "evidence": [e.to_dict() for e in self.leaf.evidence],
+            },
+            "order": {
+                "defects": sorted(d.value for d in self.order.defects),
+                "duplicate_roles": sorted(self.order.duplicate_roles),
+                "max_duplicate_count": self.order.max_duplicate_count,
+                "irrelevant_count": self.order.irrelevant_count,
+                "path_count": self.order.path_count,
+                "reversed_any": self.order.reversed_any,
+                "reversed_all": self.order.reversed_all,
+                "path_structures": list(self.order.path_structures),
+                "compliant": self.order.compliant,
+                "evidence": [e.to_dict() for e in self.order.evidence],
+            },
+            "completeness": {
+                "category": self.completeness.category.value,
+                "missing_count": self.completeness.missing_count,
+                "aia_outcome": self.completeness.aia_outcome,
+                "evidence": [
+                    e.to_dict() for e in self.completeness.evidence
+                ],
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChainComplianceReport":
+        """Inverse of :meth:`to_dict` (used by journal resume)."""
+        from repro.core.order import OrderDefect
+
+        leaf = payload["leaf"]
+        order = payload["order"]
+        completeness = payload["completeness"]
+
+        def _evidence(section: dict) -> tuple[Evidence, ...]:
+            return tuple(
+                evidence_from_dict(e) for e in section.get("evidence", ())
+            )
+
+        return cls(
+            domain=payload["domain"],
+            chain_length=payload["chain_length"],
+            leaf=LeafAnalysis(
+                placement=LeafPlacement(leaf["placement"]),
+                deciding_index=leaf["deciding_index"],
+                evidence=_evidence(leaf),
+            ),
+            order=OrderAnalysis(
+                defects=frozenset(
+                    OrderDefect(d) for d in order["defects"]
+                ),
+                duplicate_roles=frozenset(order["duplicate_roles"]),
+                max_duplicate_count=order["max_duplicate_count"],
+                irrelevant_count=order["irrelevant_count"],
+                path_count=order["path_count"],
+                reversed_any=order["reversed_any"],
+                reversed_all=order["reversed_all"],
+                path_structures=tuple(order["path_structures"]),
+                compliant=order["compliant"],
+                evidence=_evidence(order),
+            ),
+            completeness=CompletenessAnalysis(
+                category=CompletenessClass(completeness["category"]),
+                missing_count=completeness["missing_count"],
+                aia_outcome=completeness["aia_outcome"],
+                evidence=_evidence(completeness),
+            ),
+        )
 
 
 def analyze_chain(

@@ -18,8 +18,9 @@ where — and whether — a plausible server certificate sits:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
+from repro.obs.evidence import Evidence, leaf_evidence
 from repro.x509 import Certificate
 
 
@@ -49,10 +50,16 @@ class LeafPlacement(enum.Enum):
 
 @dataclass(frozen=True, slots=True)
 class LeafAnalysis:
-    """Placement class plus the index of the certificate that decided it."""
+    """Placement class plus the index of the certificate that decided it.
+
+    ``evidence`` carries the machine-readable citation for non-default
+    placements (see :mod:`repro.obs.evidence`); empty for the compliant
+    first-position match.
+    """
 
     placement: LeafPlacement
     deciding_index: int | None
+    evidence: tuple[Evidence, ...] = ()
 
     @property
     def compliant(self) -> bool:
@@ -77,8 +84,15 @@ def classify_leaf_placement(domain: str,
 
     Follows the paper's decision order exactly: first certificate match,
     then first certificate host-format, then the remaining certificates
-    (match beats format), else Other.
+    (match beats format), else Other.  The returned analysis carries
+    evidence records citing the deciding certificate.
     """
+    analysis = _classify(domain, chain)
+    records = leaf_evidence(domain, chain, analysis)
+    return replace(analysis, evidence=records) if records else analysis
+
+
+def _classify(domain: str, chain: list[Certificate]) -> LeafAnalysis:
     if not chain:
         return LeafAnalysis(LeafPlacement.OTHER, None)
 

@@ -10,9 +10,10 @@ sum past its total for the same reason).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 from repro.core.relation import DEFAULT_POLICY, RelationPolicy
+from repro.obs.evidence import Evidence, order_evidence
 from repro.core.topology import ChainTopology
 from repro.x509 import Certificate
 
@@ -60,6 +61,8 @@ class OrderAnalysis:
     reversed_all: bool
     path_structures: tuple[str, ...]
     compliant: bool
+    #: machine-readable citations per defect (see repro.obs.evidence)
+    evidence: tuple[Evidence, ...] = ()
 
     def has(self, defect: OrderDefect) -> bool:
         return defect in self.defects
@@ -83,7 +86,7 @@ def analyze_order(chain: list[Certificate],
         defects.add(OrderDefect.MULTIPLE_PATHS)
     if topo.has_reversed_path:
         defects.add(OrderDefect.REVERSED_SEQUENCES)
-    return OrderAnalysis(
+    analysis = OrderAnalysis(
         defects=frozenset(defects),
         duplicate_roles=frozenset(topo.duplicate_roles()),
         max_duplicate_count=topo.max_duplicate_count,
@@ -94,3 +97,6 @@ def analyze_order(chain: list[Certificate],
         path_structures=tuple(topo.path_structure(p) for p in topo.leaf_paths),
         compliant=topo.is_single_compliant_path(),
     )
+    if defects:
+        analysis = replace(analysis, evidence=order_evidence(topo, analysis))
+    return analysis

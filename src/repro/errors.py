@@ -171,5 +171,15 @@ class MeasurementError(ReproError):
     """Base class for measurement-campaign errors."""
 
 
+class JournalError(MeasurementError):
+    """A run journal could not be written, read, or resumed.
+
+    Raised on manifest mismatches (resuming a journal recorded under a
+    different config/seed/root store) and on structurally broken
+    journal files; a merely truncated final line is *not* an error —
+    crash-safe resume drops it.
+    """
+
+
 class EcosystemError(ReproError):
     """The synthetic ecosystem definition is inconsistent."""

@@ -17,6 +17,7 @@ from repro.core.report import DatasetReport, aggregate
 from repro.net.scanner import ScanRecord, Scanner
 from repro.net.simnet import SimulatedNetwork
 from repro.net.tls import TLS12, TLS13
+from repro.obs.journal import RunJournal
 from repro.trust.aia import AIAFetcher
 from repro.trust.rootstore import RootStore
 from repro.webpki.ecosystem import Ecosystem, VANTAGE_AU, VANTAGE_US
@@ -27,6 +28,11 @@ _log = obs.get_logger("measurement.campaign")
 
 def _chain_key(chain: tuple[Certificate, ...]) -> tuple[bytes, ...]:
     return tuple(cert.fingerprint for cert in chain)
+
+
+def _chain_key_hex(chain) -> tuple[str, ...]:
+    """The journal form of a chain identity: fingerprint hexes."""
+    return tuple(cert.fingerprint_hex for cert in chain)
 
 
 @dataclass
@@ -68,12 +74,47 @@ class Campaign:
         return self.network
 
     # ------------------------------------------------------------------
+    # Provenance
+    # ------------------------------------------------------------------
+
+    def manifest(self) -> dict:
+        """The journal manifest describing this campaign's identity.
+
+        A resumed run must regenerate the identical ecosystem, so the
+        manifest pins the generation config, the seed, and a digest of
+        the union trust store actually consulted; ``RunJournal.open``
+        refuses to resume across any difference.
+        """
+        config = self.ecosystem.config
+        return {
+            "run": "campaign",
+            "config": {
+                "n_domains": config.n_domains,
+                "now": config.now.isoformat(),
+            },
+            "seed": config.seed,
+            "root_store_digest": self.ecosystem.registry.union().digest(),
+        }
+
+    # ------------------------------------------------------------------
     # Collection
     # ------------------------------------------------------------------
 
-    def collect(self, *, vantages: tuple[str, ...] = (VANTAGE_US, VANTAGE_AU)
-                ) -> CollectionResult:
-        """Scan every domain from each vantage and merge (union rule)."""
+    def collect(self, *, vantages: tuple[str, ...] = (VANTAGE_US, VANTAGE_AU),
+                journal: RunJournal | None = None,
+                progress_factory=None) -> CollectionResult:
+        """Scan every domain from each vantage and merge (union rule).
+
+        Parameters
+        ----------
+        journal:
+            When given, every scan outcome is appended as a ``scan``
+            event and the merged totals as one ``collection`` event.
+        progress_factory:
+            ``factory(vantage, total)`` returning an object with
+            ``update(ok=...)`` / ``finish()`` (e.g.
+            :class:`repro.obs.ProgressLine`) to render live progress.
+        """
         tracer = obs.get_tracer()
         network = self._ensure_network()
         domains = [d.domain for d in self.ecosystem.deployments]
@@ -83,9 +124,32 @@ class Campaign:
             for vantage in vantages:
                 with tracer.span("campaign.scan", vantage=vantage):
                     scanner = Scanner(network, vantage)
-                    per_vantage[vantage] = scanner.scan(
-                        domains, versions=(TLS12,)
+                    progress = (
+                        progress_factory(vantage, len(domains))
+                        if progress_factory is not None else None
                     )
+
+                    def observe(record: ScanRecord,
+                                progress=progress) -> None:
+                        if journal is not None:
+                            journal.record(
+                                "scan",
+                                domain=record.domain,
+                                vantage=record.vantage,
+                                success=record.success,
+                                tls_version=record.tls_version,
+                                error=(str(record.error)
+                                       if record.error else None),
+                                wire_bytes=record.wire_bytes,
+                            )
+                        if progress is not None:
+                            progress.update(ok=record.success)
+
+                    per_vantage[vantage] = scanner.scan(
+                        domains, versions=(TLS12,), progress=observe
+                    )
+                    if progress is not None:
+                        progress.finish()
 
             seen: set[tuple[str, tuple[bytes, ...]]] = set()
             observations: list[tuple[str, list[Certificate]]] = []
@@ -108,6 +172,14 @@ class Campaign:
         _log.info("campaign.collected", domains=len(domains),
                   observations=len(observations),
                   unique_chains=len(seen))
+        if journal is not None:
+            journal.record(
+                "collection",
+                domains=len(domains),
+                observations=len(observations),
+                unique_chains=len(seen),
+                unique_certificates=len(all_certs),
+            )
         return CollectionResult(
             per_vantage=per_vantage,
             observations=observations,
@@ -152,25 +224,57 @@ class Campaign:
         *,
         store: RootStore | None = None,
         fetcher: AIAFetcher | None = None,
+        journal: RunJournal | None = None,
+        snapshot_writer=None,
     ) -> tuple[DatasetReport, list[ChainComplianceReport]]:
         """Run the Section 3.1 compliance analysis over a collection.
 
         Defaults: the ecosystem's ground-truth observations (skipping
         the network), the four-program union store, and the ecosystem's
         AIA repository.
+
+        With a ``journal``, every verdict is appended as it is reached,
+        and observations whose verdict the journal already holds (a
+        resumed run) are reconstructed from it instead of re-analysed —
+        the reconstruction is lossless, so the final tables match an
+        uninterrupted run byte for byte.  ``snapshot_writer`` (a
+        :class:`repro.obs.SnapshotWriter`) is ticked once per chain.
         """
         if observations is None:
             observations = self.ecosystem.observations()
         store = store or self.ecosystem.registry.union()
         fetcher = fetcher if fetcher is not None else self.ecosystem.aia_repo
+        resumed = 0
         with obs.get_tracer().span("campaign.analyze",
                                    chains=len(observations)):
-            throughput = obs.get_metrics().counter("campaign.chains_analyzed")
+            metrics = obs.get_metrics()
+            throughput = metrics.counter("campaign.chains_analyzed")
             reports = []
             for domain, chain in observations:
-                reports.append(analyze_chain(domain, chain, store, fetcher))
+                key = _chain_key_hex(chain) if journal is not None else ()
+                recorded = (
+                    journal.verdict_for(domain, key)
+                    if journal is not None else None
+                )
+                if recorded is not None:
+                    report = ChainComplianceReport.from_dict(recorded)
+                    resumed += 1
+                else:
+                    report = analyze_chain(domain, chain, store, fetcher)
+                    if journal is not None:
+                        journal.record_verdict(
+                            domain, key, report.to_dict()
+                        )
+                reports.append(report)
                 throughput.inc()
-        _log.info("campaign.analyzed", chains=len(reports))
+                if snapshot_writer is not None:
+                    snapshot_writer.tick()
+            if resumed:
+                metrics.counter("campaign.chains_resumed").inc(resumed)
+        if snapshot_writer is not None:
+            snapshot_writer.write_now()
+        _log.info("campaign.analyzed", chains=len(reports),
+                  resumed=resumed)
         return aggregate(reports), reports
 
 

@@ -111,16 +111,20 @@ class Scanner:
                 except TLSHandshakeError:
                     # Protocol-level refusals are deterministic: retrying
                     # a version mismatch cannot help.
+                    self._count_error(ScanErrorKind.HANDSHAKE_FAILED)
                     return self._failure(
                         domain, ScanErrorKind.HANDSHAKE_FAILED
                     )
                 except NetworkError:
                     failure_reason = ScanErrorKind.UNREACHABLE
+                    self._count_error(ScanErrorKind.UNREACHABLE)
         if result is None:
             return self._failure(domain, failure_reason)
         waited = self.bucket.consume(result.wire_bytes)
         metrics.counter("scan.success", vantage=self.vantage).inc()
-        metrics.histogram("scan.wire_bytes").observe(result.wire_bytes)
+        metrics.histogram(
+            "scan.wire_bytes", vantage=self.vantage
+        ).observe(result.wire_bytes)
         metrics.counter("scan.ratelimit_wait_seconds",
                         vantage=self.vantage).inc(waited)
         return ScanRecord(
@@ -133,6 +137,18 @@ class Scanner:
             wire_bytes=result.wire_bytes,
             timestamp=self.network.clock.now(),
         )
+
+    def _count_error(self, reason: ScanErrorKind) -> None:
+        """One failed *attempt* (retried ones included), by vantage.
+
+        ``scan.failure`` below counts failed *scans* — a scan whose last
+        retry succeeds contributes attempts here but no failure there.
+        Both carry ``vantage`` + ``kind`` so per-vantage error
+        breakdowns read straight out of the registry.
+        """
+        obs.get_metrics().counter(
+            "scan.error", vantage=self.vantage, kind=reason.value
+        ).inc()
 
     def _failure(self, domain: str, reason: ScanErrorKind) -> ScanRecord:
         obs.get_metrics().counter(
@@ -152,9 +168,21 @@ class Scanner:
         )
 
     def scan(self, domains: Iterable[str], *,
-             versions: tuple[str, ...] = (TLS12,)) -> list[ScanRecord]:
-        """Scan every domain once, in order, under the rate limit."""
-        return [self.scan_domain(d, versions=versions) for d in domains]
+             versions: tuple[str, ...] = (TLS12,),
+             progress=None) -> list[ScanRecord]:
+        """Scan every domain once, in order, under the rate limit.
+
+        ``progress``, if given, is called after every domain with the
+        finished :class:`ScanRecord` — the hook the CLI's live progress
+        line and the campaign journal hang off.
+        """
+        records = []
+        for domain in domains:
+            record = self.scan_domain(domain, versions=versions)
+            records.append(record)
+            if progress is not None:
+                progress(record)
+        return records
 
     def scan_both_versions(
         self, domains: Iterable[str]

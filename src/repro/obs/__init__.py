@@ -36,6 +36,9 @@ from __future__ import annotations
 from contextlib import contextmanager
 
 from repro.obs import catalogue
+from repro.obs.evidence import Evidence, evidence_from_dict, render_evidence
+from repro.obs.export import ProgressLine, SnapshotWriter, to_openmetrics
+from repro.obs.journal import RunJournal, read_journal
 from repro.obs.log import StructLogger, configure, get_logger
 from repro.obs.metrics import (
     Counter,
@@ -51,13 +54,17 @@ from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "Counter",
+    "Evidence",
     "catalogue",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NullTracer",
+    "ProgressLine",
+    "RunJournal",
     "SamplingProbe",
+    "SnapshotWriter",
     "Span",
     "StructLogger",
     "Tracer",
@@ -65,11 +72,15 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "evidence_from_dict",
     "get_logger",
     "get_metrics",
     "get_tracer",
     "instrumented",
+    "read_journal",
+    "render_evidence",
     "render_metrics_table",
+    "to_openmetrics",
 ]
 
 _metrics: MetricsRegistry | NullMetricsRegistry = NULL_REGISTRY

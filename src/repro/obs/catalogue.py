@@ -23,9 +23,12 @@ COUNTERS: tuple[str, ...] = (
     "scan.attempts",              # vantage
     "scan.success",               # vantage
     "scan.failure",               # vantage, kind (ScanErrorKind)
+    "scan.error",                 # vantage, kind — every failed attempt,
+                                  # retried ones included
     "scan.ratelimit_wait_seconds",  # vantage
     "ratelimit.throttled",
     "campaign.chains_analyzed",
+    "campaign.chains_resumed",    # reconstructed from a run journal
     "aia.fetch.attempts",
     "aia.fetch.success",
     "aia.fetch.failure",          # reason (unreachable | not_found)
@@ -40,6 +43,7 @@ COUNTERS: tuple[str, ...] = (
     "compliance.order_defect",    # defect (Table 5 classes)
     "compliance.completeness",    # category (Table 7 classes)
     "compliance.verdict",         # verdict
+    "journal.events",             # type (manifest | scan | verdict | ...)
 )
 
 #: Gauge families.

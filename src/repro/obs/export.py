@@ -1,0 +1,227 @@
+"""Metric export surfaces: OpenMetrics text, periodic snapshots, progress.
+
+Three consumers of the same :meth:`MetricsRegistry.snapshot` dict:
+
+* :func:`to_openmetrics` — the Prometheus/OpenMetrics text exposition
+  format, so a campaign's registry can be scraped (or node-exporter
+  textfile-collected) by stock monitoring;
+* :class:`SnapshotWriter` — an atomically-replaced on-disk snapshot
+  refreshed on a wall-clock cadence, the file-based equivalent of a
+  ``/metrics`` endpoint for batch runs;
+* :class:`ProgressLine` — a single ``\\r``-rewritten status line for
+  interactive ``repro-chain scan`` runs.
+
+Everything here is pull-based and allocation-light: nothing threads,
+nothing polls; the campaign pumps ``tick()`` from its existing loop.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from collections.abc import Mapping
+from pathlib import Path
+
+__all__ = ["ProgressLine", "SnapshotWriter", "to_openmetrics"]
+
+
+def _sanitize_name(name: str) -> str:
+    """Dotted registry names to OpenMetrics ``[a-zA-Z0-9_:]`` names."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch in "_:" else "_")
+    sanitized = "".join(out)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: Mapping[str, str],
+                   extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [(k, str(v)) for k, v in sorted(labels.items())]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    rendered = ",".join(
+        f'{_sanitize_name(k)}="{_escape_label_value(v)}"' for k, v in pairs
+    )
+    return "{" + rendered + "}"
+
+
+def _format_value(value: float) -> str:
+    """Integral floats render as integers for stable, diffable output."""
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _bucket_bound(label: str) -> str:
+    """Snapshot bucket keys (``"1.0"``, ``"+Inf"``) to ``le`` values."""
+    if label == "+Inf":
+        return "+Inf"
+    return _format_value(float(label))
+
+
+def to_openmetrics(snapshot: Mapping[str, Mapping]) -> str:
+    """Render a registry snapshot in OpenMetrics text format.
+
+    Counter families gain the conventional ``_total`` suffix; histogram
+    families expand into cumulative ``_bucket{le=...}`` series plus
+    ``_sum`` and ``_count``.  Output is deterministic (sorted families,
+    sorted labels) and ends with the mandatory ``# EOF`` marker, so a
+    golden-file test can hold the format stable.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        kind = family.get("type", "counter")
+        metric = _sanitize_name(name)
+        lines.append(f"# TYPE {metric} {kind}")
+        for series in family.get("series", []):
+            labels = series.get("labels", {})
+            if kind == "histogram":
+                cumulative = 0
+                buckets = series.get("buckets", {})
+                for bound_label, count in buckets.items():
+                    cumulative += count
+                    le = (("le", _bucket_bound(bound_label)),)
+                    lines.append(
+                        f"{metric}_bucket{_format_labels(labels, le)} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{metric}_sum{_format_labels(labels)} "
+                    f"{_format_value(series.get('sum', 0.0))}"
+                )
+                lines.append(
+                    f"{metric}_count{_format_labels(labels)} "
+                    f"{series.get('count', 0)}"
+                )
+            else:
+                suffix = "_total" if kind == "counter" else ""
+                lines.append(
+                    f"{metric}{suffix}{_format_labels(labels)} "
+                    f"{_format_value(series.get('value', 0.0))}"
+                )
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+class SnapshotWriter:
+    """Periodically persists a registry snapshot, atomically.
+
+    The campaign loop calls :meth:`tick` once per unit of work; at most
+    every ``interval`` seconds the writer renders the registry (JSON,
+    OpenMetrics, or both, by file extension: ``.om``/``.prom``/``.txt``
+    get OpenMetrics, everything else JSON) to a temp file and
+    ``os.replace``s it over the target, so scrapers never observe a
+    half-written snapshot.
+    """
+
+    #: extensions rendered as OpenMetrics text instead of JSON
+    OPENMETRICS_SUFFIXES = (".om", ".prom", ".txt")
+
+    def __init__(self, registry, path: str | Path, *,
+                 interval: float = 5.0, clock=time.monotonic) -> None:
+        self.registry = registry
+        self.path = Path(path)
+        self.interval = interval
+        self._clock = clock
+        self._last_write = float("-inf")
+        self.writes = 0
+
+    def _render(self) -> str:
+        if self.path.suffix in self.OPENMETRICS_SUFFIXES:
+            return to_openmetrics(self.registry.snapshot())
+        return self.registry.to_json()
+
+    def tick(self) -> bool:
+        """Write if the interval elapsed; returns whether it wrote."""
+        now = self._clock()
+        if now - self._last_write < self.interval:
+            return False
+        self._last_write = now
+        self.write_now()
+        return True
+
+    def write_now(self) -> None:
+        """Unconditional atomic snapshot write."""
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(self._render(), encoding="utf-8")
+        os.replace(tmp, self.path)
+        self.writes += 1
+
+
+class ProgressLine:
+    """A live single-line progress renderer for interactive scans.
+
+    Renders ``prefix done/total (pct) ok N err N | rate/s`` onto one
+    ``\\r``-rewritten line, throttled to ``min_interval`` seconds so a
+    tight scan loop doesn't spend its time in terminal IO.  Inactive
+    (every call a no-op) unless ``stream`` is a TTY or ``force`` is
+    set — output redirected to a file stays clean.
+    """
+
+    def __init__(self, total: int, *, prefix: str = "scan",
+                 stream=None, force: bool = False,
+                 min_interval: float = 0.1, clock=time.monotonic) -> None:
+        self.total = total
+        self.prefix = prefix
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = force or bool(
+            getattr(self.stream, "isatty", lambda: False)()
+        )
+        self.min_interval = min_interval
+        self._clock = clock
+        self._started = clock()
+        self._last_render = float("-inf")
+        self._last_width = 0
+        self.done = 0
+        self.ok = 0
+        self.errors = 0
+
+    def update(self, *, ok: bool = True, advance: int = 1) -> None:
+        """Count one unit of work and maybe repaint the line."""
+        self.done += advance
+        if ok:
+            self.ok += advance
+        else:
+            self.errors += advance
+        if not self.enabled:
+            return
+        now = self._clock()
+        if now - self._last_render < self.min_interval and (
+            self.done < self.total
+        ):
+            return
+        self._last_render = now
+        self._paint(now)
+
+    def _paint(self, now: float) -> None:
+        elapsed = max(now - self._started, 1e-9)
+        rate = self.done / elapsed
+        pct = 100.0 * self.done / self.total if self.total else 100.0
+        line = (
+            f"{self.prefix} {self.done:,}/{self.total:,} ({pct:5.1f}%)  "
+            f"ok {self.ok:,}  err {self.errors:,}  | {rate:,.0f}/s"
+        )
+        padding = " " * max(0, self._last_width - len(line))
+        self._last_width = len(line)
+        self.stream.write("\r" + line + padding)
+        self.stream.flush()
+
+    def finish(self) -> None:
+        """Final repaint plus a newline so later output starts clean."""
+        if not self.enabled:
+            return
+        self._paint(self._clock())
+        self.stream.write("\n")
+        self.stream.flush()

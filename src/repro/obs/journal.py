@@ -1,0 +1,296 @@
+"""Append-only JSONL run journals for measurement campaigns.
+
+A long campaign over millions of domains must survive crashes and
+remain auditable afterwards.  The journal is the campaign's durable
+spine: line 1 is a **run manifest** (config, seed, root-store digest),
+every further line is one event — a scan result, a per-domain
+compliance verdict with its evidence records, a differential outcome —
+appended and flushed as it happens.
+
+Crash safety is structural, not transactional: because records are
+newline-delimited JSON appended in order, the only damage a crash can
+inflict is a truncated final line, and :func:`read_journal` silently
+drops it.  Resuming is then: reload the journal, verify the manifest
+matches the run you are about to repeat (same config, same seed, same
+trust anchors), index the verdicts already recorded, and skip that
+work.  ``repro.measurement.campaign`` threads this through
+``Campaign.analyze`` so an interrupted campaign finishes with final
+tables byte-identical to an uninterrupted one.
+
+The journal layer knows nothing about certificates — events are plain
+dicts, and the verdict payloads are
+:meth:`repro.core.compliance.ChainComplianceReport.to_dict` output.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.errors import JournalError
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "RunJournal",
+    "manifest_identity",
+    "read_journal",
+]
+
+#: Bump when the event schema changes incompatibly.
+JOURNAL_VERSION = 1
+
+#: Manifest fields that must match for a journal to be resumable.
+_IDENTITY_FIELDS = ("config", "seed", "root_store_digest")
+
+
+def manifest_identity(manifest: dict[str, Any]) -> dict[str, Any]:
+    """The subset of a manifest that defines run identity.
+
+    ``run_id`` and timestamps may differ between the original run and
+    its resumption; config, seed, and the trust-anchor digest may not.
+    """
+    return {key: manifest.get(key) for key in _IDENTITY_FIELDS}
+
+
+def read_journal(path: str | Path) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Read ``(manifest, events)`` from a journal file.
+
+    Tolerates a truncated final line (the crash case) by dropping it.
+    Raises :class:`JournalError` if the file is empty, its first line is
+    not a manifest, or an *interior* line is malformed — interior damage
+    means the file is not an append-only journal and resuming from it
+    would silently drop verdicts.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise JournalError(f"cannot read journal {path}: {exc}") from exc
+    lines = raw.split("\n")
+    # A well-formed journal ends with "\n", so the final split element
+    # is empty; anything else is a partial record from a crash.
+    truncated_tail = lines.pop() if lines else ""
+    records: list[dict[str, Any]] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise JournalError(
+                f"{path}:{number}: malformed journal line: {exc}"
+            ) from exc
+        if not isinstance(record, dict) or "type" not in record:
+            raise JournalError(
+                f"{path}:{number}: journal records must be objects "
+                f"with a 'type'"
+            )
+        records.append(record)
+    del truncated_tail  # crash mid-write: the partial record never happened
+    if not records:
+        raise JournalError(f"{path}: empty journal (no manifest line)")
+    manifest = records[0]
+    if manifest.get("type") != "manifest":
+        raise JournalError(
+            f"{path}: first journal line must be the manifest, "
+            f"got type {manifest.get('type')!r}"
+        )
+    if manifest.get("journal_version") != JOURNAL_VERSION:
+        raise JournalError(
+            f"{path}: unsupported journal version "
+            f"{manifest.get('journal_version')!r}"
+        )
+    return manifest, records[1:]
+
+
+class RunJournal:
+    """One campaign's append-only event log.
+
+    Create a fresh journal with :meth:`create`, or pick up where a
+    crashed run stopped with :meth:`open` (which creates when the file
+    does not exist, and otherwise resumes after verifying the manifest
+    identity).  Events append with :meth:`record`; per-domain verdicts
+    get the dedicated :meth:`record_verdict` / :meth:`verdict_for` pair
+    that powers resume.
+
+    Parameters
+    ----------
+    fsync:
+        When True, ``os.fsync`` after every event — maximum durability,
+        measurable cost.  Default is flush-only: the OS may lose the
+        final events on power loss, but the file never corrupts past a
+        truncated tail, which resume already tolerates.
+    """
+
+    def __init__(self, path: str | Path, manifest: dict[str, Any], *,
+                 fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.manifest = manifest
+        self.fsync = fsync
+        self.resumed_events: list[dict[str, Any]] = []
+        self._verdicts: dict[tuple[str, tuple[str, ...]], dict[str, Any]] = {}
+        self._events_written = 0
+        self._handle: io.TextIOBase | None = None
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str | Path, manifest: dict[str, Any], *,
+               fsync: bool = False) -> "RunJournal":
+        """Start a fresh journal, truncating anything already at ``path``."""
+        journal = cls(path, cls._stamp(manifest), fsync=fsync)
+        journal._handle = open(journal.path, "w", encoding="utf-8")
+        journal._append(journal.manifest)
+        return journal
+
+    @classmethod
+    def open(cls, path: str | Path, manifest: dict[str, Any], *,
+             fsync: bool = False) -> "RunJournal":
+        """Create at ``path``, or resume the journal already there.
+
+        Resuming verifies :func:`manifest_identity` equality and raises
+        :class:`JournalError` on mismatch — a journal from a different
+        config/seed/root store must not silently absorb this run.
+        """
+        path = Path(path)
+        if not path.exists() or path.stat().st_size == 0:
+            return cls.create(path, manifest, fsync=fsync)
+        recorded, events = read_journal(path)
+        stamped = cls._stamp(manifest)
+        ours, theirs = manifest_identity(stamped), manifest_identity(recorded)
+        if ours != theirs:
+            raise JournalError(
+                f"{path}: manifest mismatch — journal was recorded with "
+                f"{theirs}, this run is {ours}"
+            )
+        journal = cls(path, recorded, fsync=fsync)
+        journal.resumed_events = events
+        for event in events:
+            if event.get("type") == "verdict":
+                journal._index_verdict(event)
+        # Re-open in append mode, discarding any truncated tail first.
+        journal._rewrite_clean(recorded, events)
+        return journal
+
+    @staticmethod
+    def _stamp(manifest: dict[str, Any]) -> dict[str, Any]:
+        stamped = {"type": "manifest", "journal_version": JOURNAL_VERSION}
+        stamped.update(manifest)
+        return stamped
+
+    def _rewrite_clean(self, manifest: dict[str, Any],
+                       events: list[dict[str, Any]]) -> None:
+        """Drop a truncated tail by rewriting the parsed records.
+
+        Atomic: written to a sibling temp file and ``os.replace``d in,
+        so a crash *during resume* still leaves a valid journal.
+        """
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for record in (manifest, *events):
+                handle.write(json.dumps(record, sort_keys=True,
+                                        separators=(",", ":")))
+                handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    # -- writing -------------------------------------------------------
+
+    def _append(self, record: dict[str, Any]) -> None:
+        if self._handle is None:
+            raise JournalError(f"{self.path}: journal is closed")
+        # hot path: no sort_keys — readers never depend on key order
+        self._handle.write(json.dumps(record, separators=(",", ":")))
+        self._handle.write("\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self._events_written += 1
+        registry = _active_registry()
+        registry.counter("journal.events", type=record["type"]).inc()
+
+    def record(self, event_type: str, **fields: Any) -> None:
+        """Append one event; ``type`` is reserved for ``event_type``."""
+        record = {"type": event_type}
+        record.update(fields)
+        self._append(record)
+
+    def record_verdict(self, domain: str, chain_key: tuple[str, ...],
+                       report: dict[str, Any]) -> None:
+        """Append one per-domain compliance verdict with its evidence.
+
+        ``chain_key`` is the tuple of fingerprint hexes of the served
+        chain — the same (domain, chain) identity the union merge uses —
+        and ``report`` is ``ChainComplianceReport.to_dict()`` output.
+        """
+        event = {
+            "type": "verdict",
+            "domain": domain,
+            "chain_key": list(chain_key),
+            "report": report,
+        }
+        self._append(event)
+        self._index_verdict(event)
+
+    def _index_verdict(self, event: dict[str, Any]) -> None:
+        key = (event["domain"], tuple(event.get("chain_key", ())))
+        self._verdicts[key] = event["report"]
+
+    # -- resume reads --------------------------------------------------
+
+    def verdict_for(self, domain: str,
+                    chain_key: tuple[str, ...]) -> dict[str, Any] | None:
+        """The recorded verdict payload for one observation, if any."""
+        return self._verdicts.get((domain, chain_key))
+
+    @property
+    def verdict_count(self) -> int:
+        return len(self._verdicts)
+
+    @property
+    def events_written(self) -> int:
+        """Events appended by *this* process (excludes resumed ones)."""
+        return self._events_written
+
+    def events(self, event_type: str | None = None) -> list[dict[str, Any]]:
+        """Resumed events, optionally filtered by type.
+
+        Only what was on disk when the journal was opened — streaming
+        reads of events written by this process would require reopening
+        the file, which :func:`read_journal` does.
+        """
+        if event_type is None:
+            return list(self.resumed_events)
+        return [e for e in self.resumed_events if e.get("type") == event_type]
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+_OBS_MODULE = None
+
+
+def _active_registry():
+    """The live metrics registry (late import avoids an obs init cycle)."""
+    global _OBS_MODULE
+    if _OBS_MODULE is None:
+        from repro import obs
+
+        _OBS_MODULE = obs
+    return _OBS_MODULE.get_metrics()

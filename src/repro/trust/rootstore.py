@@ -92,6 +92,21 @@ class RootStore:
             if cert.verify_signature(anchor.public_key)
         ]
 
+    def digest(self) -> str:
+        """Order-independent SHA-256 over the anchor set, hex encoded.
+
+        Run manifests record this so a resumed campaign can prove it is
+        analysing against the same trust anchors as the original run —
+        two stores with identical anchors digest identically regardless
+        of insertion order.
+        """
+        import hashlib
+
+        acc = hashlib.sha256()
+        for fingerprint in sorted(self._by_fingerprint):
+            acc.update(fingerprint)
+        return acc.hexdigest()
+
     def union(self, *others: "RootStore", name: str = "union") -> "RootStore":
         """The union store used for the paper's lower-bound analysis."""
         merged = RootStore(name)

@@ -70,6 +70,54 @@ class TestScanRecords:
         ]
 
 
+class TestErrorMetrics:
+    """Every error counter carries the vantage that observed it."""
+
+    def test_scan_error_labeled_per_vantage(self, network):
+        from repro import obs
+
+        net, _ = network
+        net.add_vantage("au", base_rtt=0.2)
+        with obs.instrumented() as (registry, _):
+            Scanner(net, "us").scan_domain("ghost.example")
+            Scanner(net, "au").scan_domain("ghost.example")
+            Scanner(net, "au").scan_domain("modern.example")
+        obs.disable()
+        assert registry.value("scan.error", vantage="us",
+                              kind="unreachable") == 1
+        assert registry.value("scan.error", vantage="au",
+                              kind="unreachable") == 1
+        assert registry.value("scan.error", vantage="au",
+                              kind="handshake_failed") == 1
+        # per-scan failures carry the same labels
+        assert registry.value("scan.failure", vantage="au",
+                              kind="handshake_failed") == 1
+
+    def test_retried_attempts_counted_individually(self, network):
+        from repro import obs
+
+        net, _ = network
+        net.make_flaky("c.example", 1.0)  # every attempt fails
+        with obs.instrumented() as (registry, _):
+            Scanner(net, "us", retries=3).scan_domain("c.example")
+        obs.disable()
+        # four attempts (initial + 3 retries), one failed scan
+        assert registry.value("scan.error", vantage="us",
+                              kind="unreachable") == 4
+        assert registry.value("scan.failure", vantage="us",
+                              kind="unreachable") == 1
+
+    def test_wire_bytes_histogram_labeled_per_vantage(self, network):
+        from repro import obs
+
+        net, _ = network
+        with obs.instrumented() as (registry, _):
+            Scanner(net, "us").scan_domain("a.example")
+        obs.disable()
+        (series,) = registry.series("scan.wire_bytes")
+        assert series.labels == (("vantage", "us"),)
+
+
 class TestVersionComparison:
     def test_scan_both_versions(self, network):
         net, _ = network

@@ -1,0 +1,141 @@
+"""OpenMetrics export, periodic snapshots, and the progress line."""
+
+import io
+import json
+from pathlib import Path
+
+from repro.obs.export import ProgressLine, SnapshotWriter, to_openmetrics
+from repro.obs.metrics import MetricsRegistry
+
+GOLDEN = Path(__file__).parent / "golden" / "registry.om"
+
+
+def build_registry() -> MetricsRegistry:
+    """The deterministic registry behind the golden file."""
+    registry = MetricsRegistry()
+    registry.counter("scan.attempts", vantage="us").inc(3)
+    registry.counter("scan.attempts", vantage="au").inc(2)
+    registry.counter("scan.error", vantage="us", kind="unreachable").inc()
+    registry.gauge("cache.size").set(7.5)
+    hist = registry.histogram("scan.wire_bytes", buckets=(10, 100),
+                              vantage="us")
+    for value in (5, 50, 500):
+        hist.observe(value)
+    registry.counter("odd.family", path='a"b\\c\nd').inc()
+    return registry
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestOpenMetrics:
+    def test_matches_golden_file(self):
+        assert to_openmetrics(build_registry().snapshot()) == (
+            GOLDEN.read_text(encoding="utf-8")
+        )
+
+    def test_empty_snapshot_is_just_eof(self):
+        assert to_openmetrics({}) == "# EOF\n"
+
+    def test_counter_gets_total_suffix_and_type_line(self):
+        registry = MetricsRegistry()
+        registry.counter("compliance.chains").inc(4)
+        text = to_openmetrics(registry.snapshot())
+        assert "# TYPE compliance_chains counter" in text
+        assert "compliance_chains_total 4" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1, 2))
+        for value in (0.5, 1.5, 1.7, 99):
+            hist.observe(value)
+        text = to_openmetrics(registry.snapshot())
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="2"} 3' in text
+        assert 'h_bucket{le="+Inf"} 4' in text
+        assert "h_count 4" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", path='say "hi"\\').inc()
+        text = to_openmetrics(registry.snapshot())
+        assert r'c_total{path="say \"hi\"\\"} 1' in text
+
+    def test_output_ends_with_eof_newline(self):
+        text = to_openmetrics(build_registry().snapshot())
+        assert text.endswith("# EOF\n")
+
+
+class TestSnapshotWriter:
+    def test_format_follows_extension(self, tmp_path):
+        registry = build_registry()
+        om = SnapshotWriter(registry, tmp_path / "metrics.om")
+        om.write_now()
+        assert (tmp_path / "metrics.om").read_text().endswith("# EOF\n")
+        js = SnapshotWriter(registry, tmp_path / "metrics.json")
+        js.write_now()
+        payload = json.loads((tmp_path / "metrics.json").read_text())
+        assert payload == registry.snapshot()
+
+    def test_tick_respects_interval(self, tmp_path):
+        clock = FakeClock()
+        writer = SnapshotWriter(build_registry(), tmp_path / "m.om",
+                                interval=5.0, clock=clock)
+        assert writer.tick()          # first tick always writes
+        assert not writer.tick()      # same instant: throttled
+        clock.now += 4.9
+        assert not writer.tick()
+        clock.now += 0.2
+        assert writer.tick()
+        assert writer.writes == 2
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        writer = SnapshotWriter(build_registry(), tmp_path / "m.om")
+        writer.write_now()
+        assert [p.name for p in tmp_path.iterdir()] == ["m.om"]
+
+
+class TestProgressLine:
+    def test_silent_on_non_tty(self):
+        stream = io.StringIO()
+        progress = ProgressLine(10, stream=stream)
+        progress.update()
+        progress.finish()
+        assert stream.getvalue() == ""
+
+    def test_forced_rendering_counts_ok_and_errors(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        progress = ProgressLine(4, prefix="scan[us]", stream=stream,
+                                force=True, min_interval=0.0, clock=clock)
+        for ok in (True, True, False, True):
+            clock.now += 1.0
+            progress.update(ok=ok)
+        progress.finish()
+        output = stream.getvalue()
+        assert "scan[us] 4/4 (100.0%)" in output
+        assert "ok 3" in output and "err 1" in output
+        assert output.endswith("\n")
+        assert "\r" in output
+
+    def test_throttles_repaints_but_always_paints_completion(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        progress = ProgressLine(3, stream=stream, force=True,
+                                min_interval=10.0, clock=clock)
+        progress.update()  # painted (first render)
+        progress.update()  # throttled
+        assert stream.getvalue().count("\r") == 1
+        progress.update()  # done == total: painted despite throttle
+        assert stream.getvalue().count("\r") == 2
+
+    def test_zero_total_does_not_divide(self):
+        stream = io.StringIO()
+        progress = ProgressLine(0, stream=stream, force=True)
+        progress.finish()
+        assert "(100.0%)" in stream.getvalue()

@@ -81,10 +81,14 @@ class TestCampaignCounters:
 
     def test_wire_bytes_histogram_populated(self, instrumented_campaign):
         registry, _tracer, collection, *_ = instrumented_campaign
-        hist = registry.histogram("scan.wire_bytes")
+        # one labeled series per vantage; totals aggregate across them
+        series = [s for s in registry.series("scan.wire_bytes") if s.labels]
+        assert {dict(s.labels)["vantage"] for s in series} == set(
+            collection.per_vantage
+        )
         successes = sum(collection.reachable_counts.values())
-        assert hist.count == successes
-        assert hist.sum == sum(
+        assert sum(s.count for s in series) == successes
+        assert sum(s.sum for s in series) == sum(
             record.wire_bytes
             for records in collection.per_vantage.values()
             for record in records

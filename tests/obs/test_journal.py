@@ -1,0 +1,181 @@
+"""The append-only run journal: manifests, crash-safe resume."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import JournalError
+from repro.obs.journal import (
+    JOURNAL_VERSION,
+    RunJournal,
+    manifest_identity,
+    read_journal,
+)
+
+MANIFEST = {
+    "run": "campaign",
+    "config": {"n_domains": 100, "now": "2024-03-15T00:00:00+00:00"},
+    "seed": 7,
+    "root_store_digest": "ab" * 32,
+}
+
+
+def fresh(tmp_path, name="run.jsonl", manifest=MANIFEST):
+    return RunJournal.create(tmp_path / name, manifest)
+
+
+class TestManifest:
+    def test_first_line_is_stamped_manifest(self, tmp_path):
+        with fresh(tmp_path) as journal:
+            journal.record("scan", domain="a.example", success=True)
+        first = json.loads((tmp_path / "run.jsonl").read_text()
+                           .splitlines()[0])
+        assert first["type"] == "manifest"
+        assert first["journal_version"] == JOURNAL_VERSION
+        assert first["seed"] == 7
+
+    def test_identity_ignores_non_identity_fields(self):
+        other = dict(MANIFEST, run="something-else", extra=1)
+        assert manifest_identity(MANIFEST) == manifest_identity(other)
+
+    def test_identity_distinguishes_config_seed_digest(self):
+        for field, value in (("config", {"n_domains": 101}),
+                             ("seed", 8),
+                             ("root_store_digest", "cd" * 32)):
+            changed = dict(MANIFEST, **{field: value})
+            assert (manifest_identity(changed)
+                    != manifest_identity(MANIFEST))
+
+
+class TestAppendAndRead:
+    def test_events_round_trip(self, tmp_path):
+        with fresh(tmp_path) as journal:
+            journal.record("scan", domain="a.example", success=True)
+            journal.record("collection", observations=1)
+            assert journal.events_written == 3  # manifest included
+        manifest, events = read_journal(tmp_path / "run.jsonl")
+        assert manifest["type"] == "manifest"
+        assert [e["type"] for e in events] == ["scan", "collection"]
+        assert events[0]["domain"] == "a.example"
+
+    def test_verdict_indexing(self, tmp_path):
+        key = ("aa" * 32, "bb" * 32)
+        with fresh(tmp_path) as journal:
+            journal.record_verdict("a.example", key, {"domain": "a.example"})
+            assert journal.verdict_count == 1
+            assert journal.verdict_for("a.example", key) == {
+                "domain": "a.example"
+            }
+            assert journal.verdict_for("a.example", ("cc" * 32,)) is None
+            assert journal.verdict_for("b.example", key) is None
+
+    def test_write_after_close_raises(self, tmp_path):
+        journal = fresh(tmp_path)
+        journal.close()
+        with pytest.raises(JournalError, match="closed"):
+            journal.record("scan", domain="a.example")
+
+    def test_events_counter_labeled_by_type(self, tmp_path):
+        with obs.instrumented() as (registry, _):
+            with fresh(tmp_path) as journal:
+                journal.record("scan", domain="a.example")
+                journal.record("scan", domain="b.example")
+        assert registry.value("journal.events", type="manifest") == 1
+        assert registry.value("journal.events", type="scan") == 2
+
+
+class TestCrashSafety:
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with fresh(tmp_path) as journal:
+            journal.record("scan", domain="a.example", success=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type":"verdict","domain":"crash.ex')
+        _, events = read_journal(path)
+        assert [e["type"] for e in events] == ["scan"]
+
+    def test_resume_rewrites_clean_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        key = ("aa" * 32,)
+        with fresh(tmp_path) as journal:
+            journal.record_verdict("a.example", key, {"domain": "a.example"})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type":"verdict","partial":tru')
+        resumed = RunJournal.open(path, MANIFEST)
+        assert resumed.verdict_count == 1
+        assert resumed.verdict_for("a.example", key) is not None
+        resumed.record("scan", domain="b.example")
+        resumed.close()
+        # the partial record is gone and the file parses end to end
+        _, events = read_journal(path)
+        assert [e["type"] for e in events] == ["verdict", "scan"]
+
+    def test_resumed_events_accessor(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with fresh(tmp_path) as journal:
+            journal.record("scan", domain="a.example")
+            journal.record("collection", observations=1)
+        resumed = RunJournal.open(path, MANIFEST)
+        assert len(resumed.events()) == 2
+        assert [e["type"] for e in resumed.events("scan")] == ["scan"]
+        resumed.close()
+
+    def test_open_creates_when_absent_or_empty(self, tmp_path):
+        created = RunJournal.open(tmp_path / "new.jsonl", MANIFEST)
+        created.close()
+        assert read_journal(tmp_path / "new.jsonl")[0]["seed"] == 7
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        RunJournal.open(empty, MANIFEST).close()
+        assert read_journal(empty)[0]["seed"] == 7
+
+
+class TestRejection:
+    def test_manifest_mismatch_refused(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        fresh(tmp_path).close()
+        with pytest.raises(JournalError, match="manifest mismatch"):
+            RunJournal.open(path, dict(MANIFEST, seed=8))
+
+    def test_interior_damage_refused(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with fresh(tmp_path) as journal:
+            journal.record("scan", domain="a.example")
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:10]  # truncate an interior line
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="malformed"):
+            read_journal(path)
+
+    def test_non_object_record_refused(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with fresh(tmp_path) as journal:
+            journal.record("scan", domain="a.example")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("[1,2,3]\n")
+        with pytest.raises(JournalError, match="objects"):
+            read_journal(path)
+
+    def test_empty_file_refused(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n")
+        with pytest.raises(JournalError, match="empty journal"):
+            read_journal(path)
+
+    def test_missing_manifest_refused(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"scan","domain":"a.example"}\n')
+        with pytest.raises(JournalError, match="manifest"):
+            read_journal(path)
+
+    def test_unknown_version_refused(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        stamped = dict(MANIFEST, type="manifest", journal_version=99)
+        path.write_text(json.dumps(stamped) + "\n")
+        with pytest.raises(JournalError, match="version"):
+            read_journal(path)
+
+    def test_unreadable_path_refused(self, tmp_path):
+        with pytest.raises(JournalError, match="cannot read"):
+            read_journal(tmp_path / "does-not-exist.jsonl")

@@ -82,6 +82,28 @@ class TestHistogram:
         assert hist.count == 0
         assert hist.mean == 0.0
         assert hist.quantile(0.5) == 0.0
+        assert all(hist.quantile(q / 10) == 0.0 for q in range(11))
+
+    def test_single_sample_quantiles_collapse_to_it(self, registry):
+        hist = registry.histogram("h")
+        hist.observe(42.5)
+        assert all(hist.quantile(q / 10) == 42.5 for q in range(11))
+        assert hist.mean == hist.min == hist.max == 42.5
+
+    def test_all_identical_samples_collapse_to_the_value(self, registry):
+        hist = registry.histogram("h")
+        for _ in range(1_000):
+            hist.observe(7.0)
+        assert all(hist.quantile(q / 10) == 7.0 for q in range(11))
+        assert hist.sum == 7_000.0
+
+    def test_identical_samples_on_a_bucket_boundary(self, registry):
+        # a value equal to a bucket bound must not interpolate below it
+        hist = registry.histogram("h", buckets=(10.0, 100.0))
+        for _ in range(5):
+            hist.observe(10.0)
+        assert hist.quantile(0.5) == 10.0
+        assert hist.quantile(1.0) == 10.0
 
     def test_overflow_bucket(self):
         hist = Histogram("h", buckets=(10, 100))

@@ -62,6 +62,53 @@ def test_disabled_instrumentation_costs_under_5_percent(chain, store,
     )
 
 
+def test_journal_off_and_evidence_overhead_under_5_percent(chain, store,
+                                                           aia_repo):
+    """The no-journal branch of a campaign loop must be near-free.
+
+    ``Campaign.analyze`` adds two per-chain decisions when journaling
+    is off (skip the chain-key hash, skip the verdict lookup); evidence
+    attachment adds tuple/replace work inside ``analyze_chain``.  The
+    branch cost is measured directly, and the evidence builders are
+    exercised standalone — together they must stay under 5% of the
+    analysis they annotate.
+    """
+    from repro.core import ChainTopology, analyze_completeness
+    from repro.obs.evidence import completeness_evidence
+
+    assert not obs.enabled()
+    journal = None
+
+    def no_journal_branch() -> None:
+        # the exact per-chain work analyze() does when journal is None
+        key = () if journal is not None else ()
+        recorded = None if journal is None else journal.verdict_for("d", key)
+        assert recorded is None
+
+    topology = ChainTopology(chain)
+    analysis = analyze_completeness(chain, store, aia_repo,
+                                    topology=topology)
+
+    def evidence_build() -> None:
+        completeness_evidence(topology, analysis, store_name=store.name)
+
+    def hot_path():
+        analyze_chain("fixture.example", chain, store, aia_repo)
+
+    hot_path()
+    evidence_build()
+
+    analysis_seconds = _time(hot_path, ITERATIONS)
+    branch_seconds = _time(no_journal_branch, ITERATIONS)
+    evidence_seconds = _time(evidence_build, ITERATIONS)
+    added = branch_seconds + evidence_seconds
+    assert added < 0.05 * analysis_seconds, (
+        f"journal-off branch + evidence build cost {added:.6f}s for "
+        f"{ITERATIONS} chains vs {analysis_seconds:.6f}s of analysis "
+        f"({100 * added / analysis_seconds:.1f}% — budget is 5%)"
+    )
+
+
 def test_null_singletons_are_shared_not_allocated():
     """The disabled path must not allocate per call."""
     metrics = obs.get_metrics()

@@ -1,0 +1,51 @@
+"""The human-readable metrics table (``repro-chain stats``)."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.render import render_metrics_table
+
+
+class TestRenderMetricsTable:
+    def test_empty_snapshot(self):
+        assert render_metrics_table({}) == "(no metrics recorded)"
+
+    def test_empty_label_set_renders_placeholder(self):
+        registry = MetricsRegistry()
+        registry.counter("compliance.chains").inc(3)
+        table = render_metrics_table(registry.snapshot())
+        lines = table.splitlines()
+        assert lines[0].startswith("metric")
+        row = next(line for line in lines
+                   if line.startswith("compliance.chains"))
+        assert " - " in row  # no labels -> the "-" placeholder column
+        assert row.rstrip().endswith("3")
+
+    def test_unicode_label_values_align(self):
+        registry = MetricsRegistry()
+        registry.counter("scan.attempts", vantage="zürich").inc(2)
+        registry.counter("scan.attempts", vantage="東京").inc(5)
+        registry.counter("scan.attempts", vantage="us").inc(1)
+        table = render_metrics_table(registry.snapshot())
+        assert "vantage=zürich" in table
+        assert "vantage=東京" in table
+        # all three series render as separate rows
+        assert table.count("scan.attempts (counter)") == 3
+
+    def test_mixed_empty_and_unicode_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c", host="naïve.example").inc(4)
+        registry.histogram("h", vantage="ötzi").observe(2.5)
+        table = render_metrics_table(registry.snapshot())
+        assert "host=naïve.example" in table
+        assert "vantage=ötzi" in table
+        assert "count=1" in table and "mean=2.500" in table
+
+    def test_histogram_cell_contents(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("bytes")
+        for value in (100, 200, 300):
+            hist.observe(value)
+        table = render_metrics_table(registry.snapshot())
+        assert "count=3" in table
+        assert "mean=200" in table
+        assert "max=300" in table

@@ -179,6 +179,166 @@ class TestStats:
         assert "chains/s" in out
         assert "compliance.verdict (counter)" in out
 
+    def test_missing_file_exits_two_with_message(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "nope.json")])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "cannot read" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_malformed_json_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        code = main(["stats", str(path)])
+        assert code == 2
+        assert "not valid metrics JSON" in capsys.readouterr().err
+
+    def test_wrong_shape_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        code = main(["stats", str(path)])
+        assert code == 2
+        assert "expected a JSON object" in capsys.readouterr().err
+
+    def test_openmetrics_requires_file(self, capsys):
+        code = main(["stats", "--openmetrics"])
+        assert code == 2
+        assert "requires a metrics file" in capsys.readouterr().err
+
+    def test_openmetrics_conversion(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps({
+            "scan.attempts": {"type": "counter", "series": [
+                {"labels": {"vantage": "us"}, "value": 3.0},
+            ]},
+        }))
+        code = main(["stats", str(path), "--openmetrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert 'scan_attempts_total{vantage="us"} 3' in out
+        assert out.endswith("# EOF\n")
+
+
+class TestScanJournal:
+    def test_scan_writes_and_resumes_journal(self, tmp_path, capsys):
+        from repro.obs import read_journal
+
+        path = tmp_path / "run.jsonl"
+        args = ["scan", "--domains", "120", "--seed", "6",
+                "--journal", str(path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "journal events" in first
+        _, events = read_journal(path)
+        verdicts = [e for e in events if e["type"] == "verdict"]
+        assert verdicts
+
+        # same campaign: resumes; output tables stay identical
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert f"resuming {len(verdicts):,} recorded verdicts" in second
+        def tables(text: str) -> str:
+            return text[text.index("chains:"):text.index("wrote")]
+
+        assert tables(first) == tables(second)
+
+    def test_mismatched_journal_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["scan", "--domains", "120", "--seed", "6",
+                     "--journal", str(path)]) == 0
+        capsys.readouterr()
+        code = main(["scan", "--domains", "120", "--seed", "7",
+                     "--journal", str(path)])
+        assert code == 2
+        assert "manifest mismatch" in capsys.readouterr().err
+
+    def test_openmetrics_out(self, tmp_path, capsys):
+        path = tmp_path / "metrics.om"
+        assert main(["scan", "--domains", "120", "--seed", "6",
+                     "--simulate-network",
+                     "--openmetrics-out", str(path)]) == 0
+        capsys.readouterr()
+        text = path.read_text()
+        assert "# TYPE scan_attempts counter" in text
+        assert text.endswith("# EOF\n")
+
+
+class TestExplain:
+    def test_explain_from_fresh_ecosystem(self, capsys):
+        # pick a domain deterministically from the same generation
+        from repro.webpki import Ecosystem, EcosystemConfig
+
+        ecosystem = Ecosystem.generate(
+            EcosystemConfig(n_domains=120, seed=6)
+        )
+        domain = ecosystem.observations()[0][0]
+        code = main(["explain", domain, "--domains", "120", "--seed", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"domain       : {domain}" in out
+        assert "evidence:" in out
+
+    def test_explain_from_journal(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "run.jsonl"
+        assert main(["scan", "--domains", "200", "--seed", "6",
+                     "--journal", str(path)]) == 0
+        capsys.readouterr()
+        domain = None
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                event = json.loads(line)
+                if (event.get("type") == "verdict"
+                        and event["report"]["completeness"]["category"]
+                        == "incomplete"):
+                    domain = event["domain"]
+                    break
+        assert domain is not None, "corpus should contain incompleteness"
+        code = main(["explain", domain, "--journal", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[R3.incomplete] violation" in out
+        assert "chain (presented order):" in out
+
+    def test_unknown_domain_exits_two(self, tmp_path, capsys):
+        assert main(["explain", "no-such.example",
+                     "--domains", "120", "--seed", "6"]) == 2
+        assert "not in the generated ecosystem" in (
+            capsys.readouterr().err
+        )
+
+    def test_missing_journal_exits_two(self, tmp_path, capsys):
+        code = main(["explain", "x.example",
+                     "--journal", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_explain_differential_attribution(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "diff.jsonl"
+        assert main(["differential", "--domains", "200", "--seed", "6",
+                     "--journal", str(path)]) == 0
+        capsys.readouterr()
+        domain = None
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                event = json.loads(line)
+                if (event.get("type") == "differential"
+                        and event.get("attribution")):
+                    domain = event["domain"]
+                    break
+        assert domain is not None, "corpus should contain discrepancies"
+        code = main(["explain", domain, "--journal", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "differential :" in out
+        assert "attribution:" in out
+
 
 class TestCapabilitiesMatrix:
     def test_full_matrix_with_recommended(self, capsys):
