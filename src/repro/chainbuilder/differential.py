@@ -244,14 +244,27 @@ class DifferentialHarness:
         evaluating it, modelling a browsing session in corpus order.
         With a ``journal`` (:class:`repro.obs.RunJournal`), every
         outcome is appended as a ``differential`` event carrying the
-        per-client verdicts and the I-1..I-4 attribution evidence.
+        per-client verdicts, the I-1..I-4 attribution evidence, and the
+        served chain's fingerprint key; observations whose (domain,
+        chain) the journal already holds from an earlier run are not
+        re-appended, so resuming never duplicates events.
         """
+        recorded: set[tuple[str, tuple[str, ...]]] = set()
+        if journal is not None:
+            recorded = {
+                (event.get("domain"), tuple(event.get("chain_key") or ()))
+                for event in journal.events("differential")
+            }
         report = DifferentialReport()
         for domain, chain in observations:
             outcome = self.evaluate(domain, chain, at_time=at_time)
             report.outcomes.append(outcome)
             if journal is not None:
-                journal.record("differential", **outcome.to_event())
+                chain_key = tuple(c.fingerprint_hex for c in chain)
+                if (domain, chain_key) not in recorded:
+                    journal.record("differential",
+                                   chain_key=list(chain_key),
+                                   **outcome.to_event())
             if observe_into_cache:
                 self.cache.observe_chain(chain)
         return report

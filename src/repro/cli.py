@@ -381,6 +381,7 @@ def _cmd_differential(args: argparse.Namespace) -> int:
     from repro.chainbuilder import (
         DIFFERENTIAL_BROWSERS, DifferentialHarness, LIBRARIES,
     )
+    from repro.errors import JournalError
     from repro.webpki import Ecosystem, EcosystemConfig
 
     ecosystem = Ecosystem.generate(
@@ -391,15 +392,24 @@ def _cmd_differential(args: argparse.Namespace) -> int:
     )
     journal = None
     if args.journal:
-        journal = obs.RunJournal.open(args.journal, {
-            "run": "differential",
-            "config": {
-                "n_domains": args.domains,
-                "now": ecosystem.config.now.isoformat(),
-            },
-            "seed": args.seed,
-            "root_store_digest": ecosystem.registry.union().digest(),
-        })
+        try:
+            journal = obs.RunJournal.open(args.journal, {
+                "run": "differential",
+                "config": {
+                    "n_domains": args.domains,
+                    "now": ecosystem.config.now.isoformat(),
+                },
+                "seed": args.seed,
+                "root_store_digest": ecosystem.registry.union().digest(),
+            })
+        except JournalError as exc:
+            print(f"repro-chain differential: {exc}", file=sys.stderr)
+            return 2
+        resumed = len(journal.events("differential"))
+        if resumed:
+            print(f"journal: {resumed:,} differential outcomes already "
+                  f"recorded in {args.journal}; re-evaluating without "
+                  f"re-appending them")
     try:
         report = harness.run(
             ecosystem.observations(), at_time=ecosystem.config.now,

@@ -110,6 +110,10 @@ class Campaign:
         journal:
             When given, every scan outcome is appended as a ``scan``
             event and the merged totals as one ``collection`` event.
+            On a resumed run, (domain, vantage) scans the journal
+            already holds — and a ``collection`` event it already
+            holds — are not re-appended, so per-domain scan history
+            stays one record per observation.
         progress_factory:
             ``factory(vantage, total)`` returning an object with
             ``update(ok=...)`` / ``finish()`` (e.g.
@@ -118,6 +122,14 @@ class Campaign:
         tracer = obs.get_tracer()
         network = self._ensure_network()
         domains = [d.domain for d in self.ecosystem.deployments]
+        journaled_scans: set[tuple[str, str]] = set()
+        collection_journaled = False
+        if journal is not None:
+            journaled_scans = {
+                (event.get("domain"), event.get("vantage"))
+                for event in journal.events("scan")
+            }
+            collection_journaled = bool(journal.events("collection"))
         per_vantage: dict[str, list[ScanRecord]] = {}
         with tracer.span("campaign.collect", domains=len(domains),
                          vantages=len(vantages)):
@@ -131,7 +143,10 @@ class Campaign:
 
                     def observe(record: ScanRecord,
                                 progress=progress) -> None:
-                        if journal is not None:
+                        if journal is not None and (
+                            (record.domain, record.vantage)
+                            not in journaled_scans
+                        ):
                             journal.record(
                                 "scan",
                                 domain=record.domain,
@@ -172,7 +187,7 @@ class Campaign:
         _log.info("campaign.collected", domains=len(domains),
                   observations=len(observations),
                   unique_chains=len(seen))
-        if journal is not None:
+        if journal is not None and not collection_journaled:
             journal.record(
                 "collection",
                 domains=len(domains),

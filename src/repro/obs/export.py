@@ -70,6 +70,18 @@ def _bucket_bound(label: str) -> str:
     return _format_value(float(label))
 
 
+def _bucket_sort_key(item: tuple[str, int]) -> float:
+    """Numeric ordering for bucket keys, ``+Inf`` last.
+
+    Snapshots that round-trip through JSON with ``sort_keys=True``
+    (``MetricsRegistry.to_json``) arrive with bucket keys in lexical
+    order (``1, 10, 100, ..., 2, ..., +Inf`` first); cumulative counts
+    must accumulate in numeric bound order regardless.
+    """
+    label = item[0]
+    return float("inf") if label == "+Inf" else float(label)
+
+
 def to_openmetrics(snapshot: Mapping[str, Mapping]) -> str:
     """Render a registry snapshot in OpenMetrics text format.
 
@@ -90,7 +102,8 @@ def to_openmetrics(snapshot: Mapping[str, Mapping]) -> str:
             if kind == "histogram":
                 cumulative = 0
                 buckets = series.get("buckets", {})
-                for bound_label, count in buckets.items():
+                for bound_label, count in sorted(buckets.items(),
+                                                 key=_bucket_sort_key):
                     cumulative += count
                     le = (("le", _bucket_bound(bound_label)),)
                     lines.append(

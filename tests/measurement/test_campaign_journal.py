@@ -121,6 +121,68 @@ class TestJournaledCollection:
         (summary,) = [e for e in events if e["type"] == "collection"]
         assert summary["observations"] == result.total_observations
 
+    def test_resumed_collect_does_not_duplicate_events(
+        self, campaign, tmp_path
+    ):
+        path = tmp_path / "collect.jsonl"
+        with RunJournal.create(path, campaign.manifest()) as journal:
+            campaign.collect(journal=journal)
+        _, first = read_journal(path)
+
+        with RunJournal.open(path, campaign.manifest()) as journal:
+            campaign.collect(journal=journal)
+        _, second = read_journal(path)
+        assert second == first
+        scans = [e for e in second if e["type"] == "scan"]
+        assert len(scans) == len({
+            (e["domain"], e["vantage"]) for e in scans
+        })
+        assert len([e for e in second if e["type"] == "collection"]) == 1
+
+    def test_interrupted_collect_resumes_without_rescan_events(
+        self, campaign, tmp_path
+    ):
+        """Crash mid-collect: already-journaled scans are not re-appended."""
+        path = tmp_path / "collect.jsonl"
+
+        class Abort(RuntimeError):
+            pass
+
+        class AbortingProgress:
+            """Dies after 60 updates, simulating a mid-scan crash."""
+
+            def __init__(self):
+                self.updates = 0
+
+            def update(self, *, ok):
+                self.updates += 1
+                if self.updates >= 60:
+                    raise Abort
+
+            def finish(self):
+                pass
+
+        journal = RunJournal.create(path, campaign.manifest())
+        with pytest.raises(Abort):
+            campaign.collect(
+                journal=journal,
+                progress_factory=lambda vantage, total: AbortingProgress(),
+            )
+        journal.close()
+        _, partial = read_journal(path)
+        partial_scans = [e for e in partial if e["type"] == "scan"]
+        assert partial_scans
+
+        with RunJournal.open(path, campaign.manifest()) as journal:
+            campaign.collect(journal=journal)
+        _, events = read_journal(path)
+        scans = [e for e in events if e["type"] == "scan"]
+        assert len(scans) == 2 * len(campaign.ecosystem.deployments)
+        assert len(scans) == len({
+            (e["domain"], e["vantage"]) for e in scans
+        })
+        assert len([e for e in events if e["type"] == "collection"]) == 1
+
     def test_progress_factory_sees_every_domain(self, campaign):
         class Recorder:
             def __init__(self, vantage, total):

@@ -60,6 +60,28 @@ class TestOpenMetrics:
         assert 'h_bucket{le="+Inf"} 4' in text
         assert "h_count 4" in text
 
+    def test_bucket_order_survives_json_sort_keys_round_trip(self):
+        """to_json sorts bucket keys lexically; export must re-sort.
+
+        With bounds spanning an order of magnitude, lexical order is
+        ("+Inf", "1", "10", "100", "1000", "2"): accumulating in that
+        order emits +Inf first and non-monotonic cumulative counts.
+        """
+        registry = MetricsRegistry()
+        hist = registry.histogram("wire", buckets=(1, 2, 10, 100, 1000))
+        for value in (0.5, 1.5, 5, 50, 500, 5000):
+            hist.observe(value)
+        round_tripped = json.loads(registry.to_json())
+        assert to_openmetrics(round_tripped) == (
+            to_openmetrics(registry.snapshot())
+        )
+        lines = [line for line in to_openmetrics(round_tripped).splitlines()
+                 if line.startswith("wire_bucket")]
+        bounds = [line.split('le="')[1].split('"')[0] for line in lines]
+        assert bounds == ["1", "2", "10", "100", "1000", "+Inf"]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in lines]
+        assert counts == sorted(counts) == [1, 2, 3, 4, 5, 6]
+
     def test_label_values_escaped(self):
         registry = MetricsRegistry()
         registry.counter("c", path='say "hi"\\').inc()

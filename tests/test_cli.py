@@ -221,6 +221,36 @@ class TestStats:
         assert 'scan_attempts_total{vantage="us"} 3' in out
         assert out.endswith("# EOF\n")
 
+    def test_openmetrics_histogram_from_sorted_json(self, tmp_path, capsys):
+        """Histogram buckets stay in numeric order through the JSON file.
+
+        'scan --metrics-out' writes with sort_keys=True, which orders
+        bucket keys lexically (+Inf, 1, 10, 100, ..., 2); the exporter
+        must still emit monotonic cumulative buckets ending at +Inf.
+        """
+        import json
+
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("scan.wire_bytes",
+                                  buckets=(1, 2, 10, 100, 1000))
+        for value in (0.5, 1.5, 5, 50, 500, 5000):
+            hist.observe(value)
+        path = tmp_path / "metrics.json"
+        path.write_text(registry.to_json())
+        assert json.loads(path.read_text())  # sanity: valid snapshot JSON
+        code = main(["stats", str(path), "--openmetrics"])
+        assert code == 0
+        out = capsys.readouterr().out
+        buckets = [line for line in out.splitlines()
+                   if line.startswith("scan_wire_bytes_bucket")]
+        bounds = [line.split('le="')[1].split('"')[0] for line in buckets]
+        assert bounds == ["1", "2", "10", "100", "1000", "+Inf"]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == [1, 2, 3, 4, 5, 6]
+        assert "scan_wire_bytes_count 6" in out
+
 
 class TestScanJournal:
     def test_scan_writes_and_resumes_journal(self, tmp_path, capsys):
@@ -264,6 +294,39 @@ class TestScanJournal:
         text = path.read_text()
         assert "# TYPE scan_attempts counter" in text
         assert text.endswith("# EOF\n")
+
+
+class TestDifferentialJournal:
+    def test_rerun_does_not_duplicate_events(self, tmp_path, capsys):
+        from repro.obs import read_journal
+
+        path = tmp_path / "diff.jsonl"
+        args = ["differential", "--domains", "120", "--seed", "6",
+                "--journal", str(path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        _, events = read_journal(path)
+        first = [e for e in events if e["type"] == "differential"]
+        assert first and all(e.get("chain_key") for e in first)
+
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "already recorded" in out
+        _, events = read_journal(path)
+        second = [e for e in events if e["type"] == "differential"]
+        assert second == first
+
+    def test_mismatched_journal_exits_two(self, tmp_path, capsys):
+        path = tmp_path / "diff.jsonl"
+        assert main(["differential", "--domains", "120", "--seed", "6",
+                     "--journal", str(path)]) == 0
+        capsys.readouterr()
+        code = main(["differential", "--domains", "120", "--seed", "7",
+                     "--journal", str(path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "manifest mismatch" in err
+        assert "Traceback" not in err
 
 
 class TestExplain:
