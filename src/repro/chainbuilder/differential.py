@@ -187,6 +187,33 @@ def attribute_with_evidence(outcome: ChainOutcome) -> tuple[Evidence, ...]:
     return tuple(records)
 
 
+#: Placeholder marking a (domain, chain) pair whose evaluation is
+#: scheduled but not yet resolved during a deduplicated run.
+_PENDING = object()
+
+#: Inputs for the current differential pool phase (parent sets this
+#: immediately before forking; workers inherit it copy-on-write).
+_POOL_STATE: tuple | None = None
+
+
+def _evaluate_span(indices: list[int]):
+    """Worker: evaluate one span of observation indices."""
+    from repro import obs
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import NULL_TRACER
+
+    harness, observations, at_time, live = _POOL_STATE
+    if live:
+        obs.enable(metrics=MetricsRegistry(), tracer=NULL_TRACER)
+    outcomes = [
+        harness.evaluate(observations[i][0], observations[i][1],
+                         at_time=at_time)
+        for i in indices
+    ]
+    snapshot = obs.get_metrics().snapshot() if live else None
+    return outcomes, snapshot
+
+
 class DifferentialHarness:
     """Runs a set of client models over (domain, chain) observations.
 
@@ -237,6 +264,9 @@ class DifferentialHarness:
         at_time: datetime,
         observe_into_cache: bool = False,
         journal=None,
+        cache=None,
+        workers: int = 1,
+        oversubscribe: bool = False,
     ) -> DifferentialReport:
         """Evaluate a corpus; optionally let Firefox learn as it goes.
 
@@ -248,6 +278,20 @@ class DifferentialHarness:
         served chain's fingerprint key; observations whose (domain,
         chain) the journal already holds from an earlier run are not
         re-appended, so resuming never duplicates events.
+
+        ``cache`` (a :class:`repro.measurement.parallel.VerdictCache`)
+        reuses client outcomes for repeated (domain, chain)
+        observations — unlike compliance verdicts they are keyed on the
+        domain too, because client validation is name-sensitive end to
+        end.  ``workers`` shards evaluation across forked processes
+        (same sizing rules as the analysis pipeline) with an ordered
+        merge, so reports and journal events are byte-identical to a
+        sequential run.
+
+        Both short-cuts are disabled while ``observe_into_cache`` is
+        set: a learning intermediate cache makes each verdict depend on
+        every chain Firefox saw before it, so evaluation must stay
+        strictly sequential and un-reused to mean anything.
         """
         recorded: set[tuple[str, tuple[str, ...]]] = set()
         if journal is not None:
@@ -255,19 +299,111 @@ class DifferentialHarness:
                 (event.get("domain"), tuple(event.get("chain_key") or ()))
                 for event in journal.events("differential")
             }
+
         report = DifferentialReport()
-        for domain, chain in observations:
-            outcome = self.evaluate(domain, chain, at_time=at_time)
-            report.outcomes.append(outcome)
-            if journal is not None:
-                chain_key = tuple(c.fingerprint_hex for c in chain)
-                if (domain, chain_key) not in recorded:
-                    journal.record("differential",
-                                   chain_key=list(chain_key),
-                                   **outcome.to_event())
-            if observe_into_cache:
+        if observe_into_cache:
+            for domain, chain in observations:
+                outcome = self.evaluate(domain, chain, at_time=at_time)
+                report.outcomes.append(outcome)
+                self._journal_outcome(journal, recorded, domain, chain,
+                                      outcome)
                 self.cache.observe_chain(chain)
+            return report
+
+        from repro.measurement.parallel import resolve_workers
+
+        keys = [tuple(c.fingerprint for c in chain)
+                for _, chain in observations]
+        results: list[ChainOutcome | None] = [None] * len(observations)
+        local: dict[tuple[str, tuple[bytes, ...]], ChainOutcome] = {}
+        pending: list[int] = []
+        for index, (domain, chain) in enumerate(observations):
+            pair = (domain, keys[index])
+            outcome = local.get(pair)
+            if outcome is None and cache is not None:
+                outcome = cache.outcome_for(domain, keys[index])
+            if outcome is not None:
+                results[index] = outcome
+                continue
+            local[pair] = _PENDING
+            pending.append(index)
+
+        effective, mode = resolve_workers(workers,
+                                          oversubscribe=oversubscribe)
+        if mode == "fork-pool" and len(pending) > 1:
+            evaluated = self._evaluate_pool(
+                observations, pending, at_time=at_time, workers=effective
+            )
+        else:
+            evaluated = [
+                self.evaluate(observations[i][0], observations[i][1],
+                              at_time=at_time)
+                for i in pending
+            ]
+        for index, outcome in zip(pending, evaluated):
+            domain = observations[index][0]
+            results[index] = outcome
+            local[(domain, keys[index])] = outcome
+            if cache is not None:
+                cache.store_outcome(domain, keys[index], outcome)
+
+        for index, (domain, chain) in enumerate(observations):
+            outcome = results[index]
+            if outcome is _PENDING or outcome is None:
+                # a duplicate whose first occurrence was evaluated above
+                outcome = local[(domain, keys[index])]
+                results[index] = outcome
+            report.outcomes.append(outcome)
+            self._journal_outcome(journal, recorded, domain, chain, outcome)
         return report
+
+    @staticmethod
+    def _journal_outcome(journal, recorded, domain, chain, outcome) -> None:
+        if journal is None:
+            return
+        chain_key = tuple(c.fingerprint_hex for c in chain)
+        if (domain, chain_key) not in recorded:
+            journal.record("differential", chain_key=list(chain_key),
+                           **outcome.to_event())
+
+    def _evaluate_pool(self, observations, pending, *, at_time,
+                       workers) -> list[ChainOutcome]:
+        """Fork-pool evaluation of ``pending`` observation indices.
+
+        Spans are submitted and merged in index order; workers inherit
+        the harness via fork and run under a fresh metrics registry
+        whose snapshot the parent merges (same model as
+        :mod:`repro.measurement.parallel`).
+        """
+        import math
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro import obs
+        from repro.obs.metrics import NullMetricsRegistry
+
+        metrics = obs.get_metrics()
+        live = not isinstance(metrics, NullMetricsRegistry)
+        span = max(1, min(256, math.ceil(len(pending) / workers)))
+        spans = [pending[start:start + span]
+                 for start in range(0, len(pending), span)]
+        global _POOL_STATE
+        _POOL_STATE = (self, observations, at_time, live)
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(max_workers=workers,
+                                     mp_context=context) as pool:
+                futures = [pool.submit(_evaluate_span, chunk)
+                           for chunk in spans]
+                evaluated: list[ChainOutcome] = []
+                for future in futures:
+                    outcomes, snapshot = future.result()
+                    evaluated.extend(outcomes)
+                    if snapshot:
+                        metrics.merge_snapshot(snapshot)
+        finally:
+            _POOL_STATE = None
+        return evaluated
 
 
 __all__ = [

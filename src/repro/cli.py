@@ -71,7 +71,8 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         if args.journal:
             try:
                 journal = obs.RunJournal.open(
-                    args.journal, campaign.manifest()
+                    args.journal, campaign.manifest(),
+                    flush_every=args.journal_flush_every,
                 )
             except JournalError as exc:
                 print(f"repro-chain scan: {exc}", file=sys.stderr)
@@ -101,13 +102,23 @@ def _cmd_scan(args: argparse.Namespace) -> int:
                     print(line)
             else:
                 observations = ecosystem.observations()
+            cache = None
+            if args.workers:
+                from repro.measurement import VerdictCache
+
+                cache = VerdictCache()
             report, _ = campaign.analyze(
                 observations, journal=journal,
                 snapshot_writer=snapshot_writer,
+                workers=args.workers, cache=cache,
             )
         finally:
             if journal is not None:
                 journal.close()
+        if cache is not None and (cache.hits + cache.misses):
+            print(f"verdict cache: {cache.hits:,} hits / "
+                  f"{cache.misses:,} misses "
+                  f"({100.0 * cache.hit_rate:.1f}% hit rate)")
         print(f"chains: {report.total:,}  "
               f"non-compliant: {report.noncompliant:,} "
               f"({report.noncompliance_rate:.2f}%)")
@@ -308,7 +319,7 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     if args.journal:
         return _explain_from_journal(args)
 
-    from repro.core import analyze_chain
+    from repro.measurement import VerdictCache, analyze_observations
     from repro.webpki import Ecosystem, EcosystemConfig
 
     ecosystem = Ecosystem.generate(
@@ -323,10 +334,15 @@ def _cmd_explain(args: argparse.Namespace) -> int:
               f"--seed {args.seed})", file=sys.stderr)
         return 2
     store = ecosystem.registry.union()
-    for index, (domain, chain) in enumerate(matches):
+    # One verdict-cache-backed pipeline pass: observations serving the
+    # identical chain are analysed once and fanned back out.
+    reports, _ = analyze_observations(
+        matches, store=store, fetcher=ecosystem.aia_repo,
+        cache=VerdictCache(),
+    )
+    for index, ((domain, chain), report) in enumerate(zip(matches, reports)):
         if index:
             print()
-        report = analyze_chain(domain, chain, store, ecosystem.aia_repo)
         _print_explanation(domain, len(chain), report)
     return 0
 
@@ -401,7 +417,7 @@ def _cmd_differential(args: argparse.Namespace) -> int:
                 },
                 "seed": args.seed,
                 "root_store_digest": ecosystem.registry.union().digest(),
-            })
+            }, flush_every=args.journal_flush_every)
         except JournalError as exc:
             print(f"repro-chain differential: {exc}", file=sys.stderr)
             return 2
@@ -410,10 +426,22 @@ def _cmd_differential(args: argparse.Namespace) -> int:
             print(f"journal: {resumed:,} differential outcomes already "
                   f"recorded in {args.journal}; re-evaluating without "
                   f"re-appending them")
+    # Parallel evaluation is order-independent, which a learning
+    # Firefox intermediate cache is not: with --workers the harness
+    # evaluates against the cold-cache model instead (the difference is
+    # documented in docs/PERFORMANCE.md).
+    learning = args.workers <= 1
+    if not learning:
+        print(f"workers: {args.workers} requested; evaluating with a "
+              f"cold (non-learning) intermediate cache")
+    from repro.measurement import VerdictCache
+
+    cache = VerdictCache()
     try:
         report = harness.run(
             ecosystem.observations(), at_time=ecosystem.config.now,
-            observe_into_cache=True, journal=journal,
+            observe_into_cache=learning, journal=journal,
+            cache=cache, workers=args.workers,
         )
     finally:
         if journal is not None:
@@ -460,6 +488,13 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--progress", action="store_true",
                       help="render a live single-line progress bar "
                            "per vantage (requires --simulate-network)")
+    scan.add_argument("--workers", type=int, default=0,
+                      help="analyse through the deduplicating pipeline "
+                           "with this many workers (capped at the core "
+                           "count; 0: plain sequential loop)")
+    scan.add_argument("--journal-flush-every", type=int, default=64,
+                      help="buffer this many journal records between "
+                           "flushes (1: flush per record; default: 64)")
     scan.set_defaults(func=_cmd_scan)
 
     stats = sub.add_parser(
@@ -523,6 +558,15 @@ def build_parser() -> argparse.ArgumentParser:
                               help="append per-chain outcomes (with "
                                    "I-1..I-4 attribution evidence) to "
                                    "a JSONL run journal")
+    differential.add_argument("--workers", type=int, default=1,
+                              help="evaluate clients across this many "
+                                   "workers (capped at the core count; "
+                                   "disables the learning intermediate "
+                                   "cache, see docs/PERFORMANCE.md)")
+    differential.add_argument("--journal-flush-every", type=int, default=64,
+                              help="buffer this many journal records "
+                                   "between flushes (1: flush per "
+                                   "record; default: 64)")
     differential.set_defaults(func=_cmd_differential)
 
     return parser

@@ -9,7 +9,8 @@ and rolls them into a :class:`ChainComplianceReport`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+from dataclasses import dataclass, replace
 
 from repro import obs
 from repro.core.completeness import (
@@ -26,9 +27,106 @@ from repro.core.order import OrderAnalysis, analyze_order
 from repro.core.relation import DEFAULT_POLICY, RelationPolicy
 from repro.core.topology import ChainTopology
 from repro.obs.evidence import Evidence, evidence_from_dict
+from repro.obs.metrics import NullMetricsRegistry
 from repro.trust.aia import AIAFetcher
 from repro.trust.rootstore import RootStore
 from repro.x509 import Certificate
+
+#: Compact separators matching the journal's on-disk record encoding.
+_encode_compact = json.JSONEncoder(
+    separators=(",", ":"), check_circular=False
+).encode
+
+
+def _plain(value) -> bool:
+    """True when ``value`` JSON-encodes as ``"value"`` verbatim."""
+    return (type(value) is str and value.isascii() and value.isprintable()
+            and '"' not in value and "\\" not in value)
+
+
+def _json_str(value: str) -> str:
+    """``json.dumps(value)`` with a fast path for plain ASCII text."""
+    if _plain(value):
+        return f'"{value}"'
+    return _encode_compact(value)
+
+
+#: Encodings of the fixed-vocabulary strings (enum values, rule IDs,
+#: taxonomy verdicts) that appear in every report; bounded so hostile
+#: input cannot grow it without limit.
+_COMMON_JSON: dict[str, str] = {}
+
+
+def _json_common(value: str) -> str:
+    """:func:`_json_str` memoised for small fixed vocabularies."""
+    cached = _COMMON_JSON.get(value)
+    if cached is None:
+        cached = _json_str(value)
+        if len(_COMMON_JSON) < 1024:
+            _COMMON_JSON[value] = cached
+    return cached
+
+
+def _json_int(value: int | None) -> str:
+    return "null" if value is None else str(value)
+
+
+def _json_str_array(values) -> str:
+    """Compact JSON array of strings, assembled without the encoder."""
+    if not values:
+        return "[]"
+    if all(map(_plain, values)):
+        return '["' + '","'.join(values) + '"]'
+    return "[" + ",".join(_json_value(v) for v in values) + "]"
+
+
+def _json_value(value) -> str:
+    kind = type(value)
+    if kind is str:
+        return _json_str(value)
+    if kind is bool:
+        return "true" if value else "false"
+    if kind is int:
+        return str(value)
+    if value is None:
+        return "null"
+    return _encode_compact(value)
+
+
+def _json_details(details) -> str:
+    if not details:
+        return "{}"
+    parts = []
+    for key, value in details.items():
+        if not _plain(key):
+            # the generic encoder coerces/escapes exotic keys; match it
+            return _encode_compact(dict(details))
+        parts.append('"' + key + '":' + _json_value(value))
+    return "{" + ",".join(parts) + "}"
+
+
+def _json_evidence(evidence) -> str:
+    if not evidence:
+        return "[]"
+    parts: list[str] = []
+    append = parts.append
+    for e in evidence:
+        append(',{"rule_id":' if parts else '{"rule_id":')
+        append(_json_common(e.rule_id))
+        append(',"verdict":')
+        append(_json_common(e.verdict))
+        append(',"summary":')
+        append(_json_str(e.summary))
+        append(',"certs":')
+        append(_json_str_array(e.certs))
+        edges = e.edges
+        append(',"edges":')
+        append("[]" if not edges
+               else _encode_compact([list(edge) for edge in edges]))
+        append(',"details":')
+        append(_json_details(e.details))
+        append("}")
+    return "[" + "".join(parts) + "]"
 
 
 @dataclass(frozen=True)
@@ -115,6 +213,46 @@ class ChainComplianceReport:
             },
         }
 
+    def to_json(self) -> str:
+        """The compact JSON encoding of :meth:`to_dict`, byte for byte.
+
+        Hand-assembled rather than routed through the generic encoder
+        because verdict serialisation dominates the journal append cost
+        at corpus scale — the encoder only ever sees the (usually lone)
+        evidence list; everything else is direct string assembly.  The
+        equivalence is pinned by tests: for every report ``to_json()``
+        equals the compact ``json`` encoding of ``to_dict()``, so
+        journal lines are identical whichever path produced them.
+        """
+        leaf, order, comp = self.leaf, self.order, self.completeness
+        return "".join((
+            '{"domain":', _json_str(self.domain),
+            ',"chain_length":', str(self.chain_length),
+            ',"leaf":{"placement":', _json_common(leaf.placement.value),
+            ',"deciding_index":', _json_int(leaf.deciding_index),
+            ',"evidence":', _json_evidence(leaf.evidence),
+            '},"order":{"defects":',
+            _json_str_array(sorted(d.value for d in order.defects)),
+            ',"duplicate_roles":',
+            _json_str_array(sorted(order.duplicate_roles)),
+            ',"max_duplicate_count":', _json_int(order.max_duplicate_count),
+            ',"irrelevant_count":', _json_int(order.irrelevant_count),
+            ',"path_count":', _json_int(order.path_count),
+            ',"reversed_any":', "true" if order.reversed_any else "false",
+            ',"reversed_all":', "true" if order.reversed_all else "false",
+            ',"path_structures":', _json_str_array(order.path_structures),
+            ',"compliant":', "true" if order.compliant else "false",
+            ',"evidence":', _json_evidence(order.evidence),
+            '},"completeness":{"category":',
+            _json_common(comp.category.value),
+            ',"missing_count":', _json_int(comp.missing_count),
+            ',"aia_outcome":',
+            ("null" if comp.aia_outcome is None
+             else _json_common(comp.aia_outcome)),
+            ',"evidence":', _json_evidence(comp.evidence),
+            "}}",
+        ))
+
     @classmethod
     def from_dict(cls, payload: dict) -> "ChainComplianceReport":
         """Inverse of :meth:`to_dict` (used by journal resume)."""
@@ -181,18 +319,44 @@ def analyze_chain(
             chain, store, fetcher, policy=policy, topology=topology
         ),
     )
-    _record_outcome(report)
+    record_outcome(report)
     return report
 
 
-def _record_outcome(report: ChainComplianceReport) -> None:
+def rebind_for_domain(report: ChainComplianceReport, domain: str,
+                      chain: list[Certificate]) -> ChainComplianceReport:
+    """Re-bind a cached verdict to another observation of the same chain.
+
+    Of the three Section 3.1 analyses only R1 (leaf placement) depends
+    on the queried domain — order and completeness are pure functions of
+    (chain, store, fetcher) — so a report computed for one observation
+    of a byte-identical chain transfers to any other observation by
+    recomputing the leaf classification alone.  This is what lets the
+    parallel pipeline's verdict cache key on the chain fingerprints
+    rather than on (domain, chain).
+    """
+    if report.domain == domain:
+        return report
+    return replace(
+        report,
+        domain=domain,
+        leaf=classify_leaf_placement(domain, chain),
+    )
+
+
+def record_outcome(report: ChainComplianceReport) -> None:
     """Mirror the Tables 3/5/7 classifications into the metrics registry.
 
     A handful of no-op calls when instrumentation is disabled; with a
     live registry these counters reproduce the paper's headline
-    breakdowns directly from a campaign run.
+    breakdowns directly from a campaign run.  :func:`analyze_chain`
+    calls this once per analysis; cache-hit fan-out in the parallel
+    pipeline calls it once per resolved observation so the counters
+    match a run that analysed every observation from scratch.
     """
     metrics = obs.get_metrics()
+    if isinstance(metrics, NullMetricsRegistry):
+        return
     metrics.counter("compliance.chains").inc()
     metrics.counter("compliance.leaf_placement",
                     placement=report.leaf.placement.value).inc()

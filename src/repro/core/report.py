@@ -63,6 +63,41 @@ class DatasetReport:
             self.noncompliant_domains.append(report.domain)
 
     # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready dict of every counter, deterministically ordered.
+
+        Two runs over the same observations — sequential or parallel,
+        fresh or resumed — must serialise to byte-identical JSON, which
+        is what the pipeline determinism tests compare.  Enum keys
+        flatten to their values; counter mappings are sorted by key;
+        ``noncompliant_domains`` keeps observation order.
+        """
+        def _counts(counter: Counter, key=lambda k: k) -> dict[str, int]:
+            return {
+                str(key(k)): v
+                for k, v in sorted(counter.items(), key=lambda kv: str(kv[0]))
+            }
+
+        enum_value = (lambda k: k.value)
+        return {
+            "total": self.total,
+            "noncompliant": self.noncompliant,
+            "noncompliance_rate": self.noncompliance_rate,
+            "leaf_placements": _counts(self.leaf_placements, enum_value),
+            "order_noncompliant": self.order_noncompliant,
+            "order_defects": _counts(self.order_defects, enum_value),
+            "duplicate_roles": _counts(self.duplicate_roles),
+            "reversed_all_paths": self.reversed_all_paths,
+            "completeness": _counts(self.completeness, enum_value),
+            "incomplete_aia_outcomes": _counts(self.incomplete_aia_outcomes),
+            "missing_one_intermediate": self.missing_one_intermediate,
+            "noncompliant_domains": list(self.noncompliant_domains),
+        }
+
+    # ------------------------------------------------------------------
     # Derived figures
     # ------------------------------------------------------------------
 

@@ -52,6 +52,23 @@ class CollectionResult:
     def total_observations(self) -> int:
         return len(self.observations)
 
+    def raw_observations(self) -> list[tuple[str, list[Certificate]]]:
+        """The undeduplicated scan stream: every successful (domain,
+        chain) observation, vantage by vantage.
+
+        Most domains appear once per vantage serving the identical
+        chain, so this stream is what the chain-dedup verdict cache in
+        :mod:`repro.measurement.parallel` is built for; the union
+        :attr:`observations` list has that redundancy already merged
+        away.
+        """
+        stream: list[tuple[str, list[Certificate]]] = []
+        for records in self.per_vantage.values():
+            for record in records:
+                if record.success and record.chain:
+                    stream.append((record.domain, list(record.chain)))
+        return stream
+
 
 @dataclass
 class Campaign:
@@ -241,6 +258,9 @@ class Campaign:
         fetcher: AIAFetcher | None = None,
         journal: RunJournal | None = None,
         snapshot_writer=None,
+        workers: int = 0,
+        cache=None,
+        oversubscribe: bool = False,
     ) -> tuple[DatasetReport, list[ChainComplianceReport]]:
         """Run the Section 3.1 compliance analysis over a collection.
 
@@ -254,11 +274,37 @@ class Campaign:
         the reconstruction is lossless, so the final tables match an
         uninterrupted run byte for byte.  ``snapshot_writer`` (a
         :class:`repro.obs.SnapshotWriter`) is ticked once per chain.
+
+        ``workers``/``cache`` switch the analyse phase onto the
+        deduplicating pipeline in :mod:`repro.measurement.parallel`:
+        ``workers=1`` dedups in-process, ``workers=N`` shards unique
+        chains across forked workers (capped at the machine's core
+        count unless ``oversubscribe``), and a shared
+        :class:`~repro.measurement.parallel.VerdictCache` carries
+        verdicts across phases.  Output is byte-identical to the
+        default sequential loop either way.
         """
         if observations is None:
             observations = self.ecosystem.observations()
         store = store or self.ecosystem.registry.union()
         fetcher = fetcher if fetcher is not None else self.ecosystem.aia_repo
+        if workers or cache is not None:
+            from repro.measurement.parallel import analyze_observations
+
+            with obs.get_tracer().span("campaign.analyze",
+                                       chains=len(observations),
+                                       workers=workers):
+                reports, stats = analyze_observations(
+                    observations, store=store, fetcher=fetcher,
+                    workers=workers or 1, cache=cache, journal=journal,
+                    snapshot_writer=snapshot_writer,
+                    oversubscribe=oversubscribe,
+                )
+            if snapshot_writer is not None:
+                snapshot_writer.write_now()
+            _log.info("campaign.analyzed", chains=len(reports),
+                      resumed=stats.resumed)
+            return aggregate(reports), reports
         resumed = 0
         with obs.get_tracer().span("campaign.analyze",
                                    chains=len(observations)):
@@ -277,9 +323,7 @@ class Campaign:
                 else:
                     report = analyze_chain(domain, chain, store, fetcher)
                     if journal is not None:
-                        journal.record_verdict(
-                            domain, key, report.to_dict()
-                        )
+                        journal.record_verdict(domain, key, report)
                 reports.append(report)
                 throughput.inc()
                 if snapshot_writer is not None:

@@ -1,0 +1,511 @@
+"""Deduplicating, parallel execution of the compliance analyse phase.
+
+The paper's corpus has far fewer *unique* chains than observations —
+every domain reachable from both vantage points appears twice in the
+raw scan stream, almost always serving the byte-identical chain — yet
+the sequential ``Campaign.analyze`` loop re-ran the full Section 3.1
+analysis per observation.  This module is the corpus-scale execution
+layer:
+
+1. **Chain dedup.**  Observations are keyed by the tuple of certificate
+   fingerprints; one :class:`~repro.core.compliance.ChainComplianceReport`
+   is computed per unique chain and fanned back out to every
+   observation.  The cache key includes the root-store digest because
+   R3 completeness depends on the trust anchors; only R1 leaf placement
+   depends on the queried domain, and
+   :func:`~repro.core.compliance.rebind_for_domain` recomputes exactly
+   that on a cross-domain hit.
+2. **Worker pool.**  Unique chains are sharded in contiguous spans
+   across fork-started ``ProcessPoolExecutor`` workers.  Spans are
+   submitted and merged in order, so results — and therefore the
+   aggregated :class:`~repro.core.report.DatasetReport` and every
+   journal line — are byte-identical to a sequential run.  The pool is
+   capped at ``os.cpu_count()``: oversubscribing cores pays fork + IPC
+   for no parallelism (measured ~1.6x *slower* on one core), so
+   ``workers=4`` on a single-core container degrades gracefully to the
+   in-process fast path.  ``oversubscribe=True`` (or the
+   ``REPRO_PIPELINE_OVERSUBSCRIBE`` environment variable) removes the
+   cap so tests can exercise the true multi-process path anywhere.
+3. **Metrics merge.**  Each worker span runs under a fresh
+   :class:`~repro.obs.MetricsRegistry` (when the parent's is live) and
+   ships its snapshot back with the results;
+   ``MetricsRegistry.merge_snapshot`` folds them into the parent so
+   ``stats`` / OpenMetrics output is identical to a sequential run.
+4. **Journal parity.**  Verdicts append in first-occurrence order with
+   the same (domain, chain_key, report) payloads a sequential run
+   writes; observations whose verdict the journal already holds resume
+   exactly as before.  Workers pre-encode their journal lines
+   (:func:`repro.obs.journal.encode_verdict_event`) so the parent's
+   append path is a buffered write, not a re-serialisation.
+
+The relation predicate memo (:func:`repro.core.relation.memoized`) is
+enabled for the duration of the pipeline — topology construction is
+quadratic in issuance-relation checks and shared intermediates make the
+memo hit rate high — and within each worker process.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import obs
+from repro.core import relation
+from repro.core.compliance import (
+    ChainComplianceReport,
+    analyze_chain,
+    rebind_for_domain,
+    record_outcome,
+)
+from repro.obs.journal import RunJournal, encode_verdict_event
+from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.trace import NULL_TRACER
+from repro.trust.aia import AIAFetcher
+from repro.trust.rootstore import RootStore
+from repro.x509 import Certificate
+
+__all__ = [
+    "PipelineStats",
+    "VerdictCache",
+    "analyze_observations",
+    "chain_key",
+    "chain_key_hex",
+    "resolve_workers",
+]
+
+_log = obs.get_logger("measurement.parallel")
+
+#: A chain's identity: the ordered tuple of certificate fingerprints.
+ChainKey = tuple[bytes, ...]
+
+#: Span size cap: big enough to amortise IPC, small enough to balance
+#: load across workers on mid-sized corpora.
+DEFAULT_SPAN = 256
+
+#: Environment escape hatch for the cpu_count cap (tests use this to
+#: exercise the real pool on single-core machines).
+OVERSUBSCRIBE_ENV = "REPRO_PIPELINE_OVERSUBSCRIBE"
+
+
+def chain_key(chain: list[Certificate]) -> ChainKey:
+    """The dedup identity of a served chain (order-sensitive)."""
+    return tuple(cert.fingerprint for cert in chain)
+
+
+def chain_key_hex(chain: list[Certificate]) -> tuple[str, ...]:
+    """The journal form of a chain identity: fingerprint hexes."""
+    return tuple(cert.fingerprint_hex for cert in chain)
+
+
+# ----------------------------------------------------------------------
+# Verdict cache
+# ----------------------------------------------------------------------
+
+@dataclass
+class VerdictCache:
+    """Cross-phase cache of per-chain analysis results.
+
+    Compliance reports are keyed on ``(chain_key, root_store_digest)``:
+    the same byte-identical chain evaluated against the same trust
+    anchors always yields the same R2 order and R3 completeness
+    verdicts, and a cross-domain hit only needs the R1 leaf
+    classification recomputed (``rebind_for_domain``).  Differential
+    client outcomes are keyed on ``(domain, chain_key)`` instead —
+    client validation is name-sensitive end to end.
+
+    One cache instance can serve a whole CLI invocation (analyse, then
+    ``differential``, then ``explain``), which is what the
+    ``--workers``/cache plumbing in ``repro.cli`` does.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    outcome_hits: int = 0
+    outcome_misses: int = 0
+    _reports: dict[tuple[ChainKey, str], ChainComplianceReport] = field(
+        default_factory=dict, repr=False
+    )
+    _outcomes: dict[tuple[str, ChainKey], Any] = field(
+        default_factory=dict, repr=False
+    )
+
+    # -- compliance reports (keyed on chain + trust anchors) -----------
+
+    def report_for(self, key: ChainKey,
+                   store_digest: str) -> ChainComplianceReport | None:
+        report = self._reports.get((key, store_digest))
+        if report is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return report
+
+    def store_report(self, key: ChainKey, store_digest: str,
+                     report: ChainComplianceReport) -> None:
+        self._reports[(key, store_digest)] = report
+
+    def has_report(self, key: ChainKey, store_digest: str) -> bool:
+        """Membership probe that does not touch the hit/miss counters."""
+        return (key, store_digest) in self._reports
+
+    # -- differential outcomes (keyed on domain + chain) ---------------
+
+    def outcome_for(self, domain: str, key: ChainKey) -> Any | None:
+        outcome = self._outcomes.get((domain, key))
+        if outcome is None:
+            self.outcome_misses += 1
+        else:
+            self.outcome_hits += 1
+        return outcome
+
+    def store_outcome(self, domain: str, key: ChainKey,
+                      outcome: Any) -> None:
+        self._outcomes[(domain, key)] = outcome
+
+    # -- stats ---------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        """Report-cache hit share of all lookups (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._reports) + len(self._outcomes)
+
+
+@dataclass(frozen=True)
+class PipelineStats:
+    """What one :func:`analyze_observations` run did, for logs/benches."""
+
+    observations: int
+    unique_chains: int
+    analyzed: int
+    resumed: int
+    cache_hits: int
+    requested_workers: int
+    effective_workers: int
+    mode: str  # "in-process" | "fork-pool"
+
+    @property
+    def hit_rate(self) -> float:
+        """Share of observations resolved without a fresh analysis."""
+        if not self.observations:
+            return 0.0
+        return (self.cache_hits + self.resumed) / self.observations
+
+
+# ----------------------------------------------------------------------
+# Worker sizing
+# ----------------------------------------------------------------------
+
+def resolve_workers(requested: int, *,
+                    oversubscribe: bool = False) -> tuple[int, str]:
+    """Map a requested worker count to ``(effective, mode)``.
+
+    The effective pool never exceeds ``os.cpu_count()`` unless
+    oversubscription is forced: extra processes on a saturated CPU only
+    add fork/pickle overhead.  An effective pool of one runs in-process
+    (no fork at all), and platforms without the ``fork`` start method
+    fall back to in-process too — the pipeline inherits its inputs via
+    copy-on-write rather than pickling certificates to spawn-started
+    workers.
+    """
+    if requested <= 1:
+        return 1, "in-process"
+    oversubscribe = oversubscribe or bool(os.environ.get(OVERSUBSCRIBE_ENV))
+    effective = requested
+    if not oversubscribe:
+        effective = min(requested, os.cpu_count() or 1)
+    if effective <= 1:
+        return 1, "in-process"
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return 1, "in-process"
+    return effective, "fork-pool"
+
+
+# ----------------------------------------------------------------------
+# Pool workers
+# ----------------------------------------------------------------------
+
+#: Inputs for the current pool phase, installed in the parent
+#: immediately before the executor forks so workers inherit them via
+#: copy-on-write instead of per-task pickling.
+_WORKER_STATE: tuple | None = None
+
+
+def _analyze_span(start: int, end: int) -> tuple[list, dict | None]:
+    """Worker: analyse one contiguous span of the pending list.
+
+    Returns ``(results, metrics_snapshot)`` where each result is
+    ``(report, encoded_line)`` — the line ``None`` when the run is not
+    journaled.  The span runs under a fresh metrics registry (when the
+    parent's was live at fork) so its snapshot is exactly this span's
+    delta; the parent merges the deltas.
+    """
+    pending, store, fetcher, journaled, live_metrics = _WORKER_STATE
+    if live_metrics:
+        obs.enable(metrics=MetricsRegistry(), tracer=NULL_TRACER)
+    relation.enable_memo()
+    results = []
+    for domain, chain, hexkey in pending[start:end]:
+        report = analyze_chain(domain, chain, store, fetcher)
+        line = (encode_verdict_event(domain, hexkey, report)
+                if journaled else None)
+        results.append((report, line))
+    snapshot = obs.get_metrics().snapshot() if live_metrics else None
+    return results, snapshot
+
+
+# ----------------------------------------------------------------------
+# The pipeline
+# ----------------------------------------------------------------------
+
+def analyze_observations(
+    observations: list[tuple[str, list[Certificate]]],
+    *,
+    store: RootStore,
+    fetcher: AIAFetcher | None = None,
+    workers: int = 1,
+    cache: VerdictCache | None = None,
+    journal: RunJournal | None = None,
+    snapshot_writer=None,
+    oversubscribe: bool = False,
+) -> tuple[list[ChainComplianceReport], PipelineStats]:
+    """Analyse a corpus with chain dedup and an optional worker pool.
+
+    Semantics match ``Campaign.analyze``'s sequential loop observation
+    for observation: the returned report list is index-aligned with
+    ``observations``; journaled runs append one verdict event per new
+    (domain, chain_key) pair in the same order a sequential run would,
+    resume observations the journal already covers, and count them in
+    ``campaign.chains_resumed``; ``campaign.chains_analyzed`` ticks once
+    per observation; compliance counters record once per observation
+    that a sequential run would have analysed.
+    """
+    cache = cache if cache is not None else VerdictCache()
+    digest = store.digest()
+    journaled = journal is not None
+    metrics = obs.get_metrics()
+    throughput = metrics.counter("campaign.chains_analyzed")
+    effective, mode = resolve_workers(workers, oversubscribe=oversubscribe)
+
+    with relation.memoized():
+        if mode == "in-process":
+            reports, stats = _run_in_process(
+                observations, store=store, fetcher=fetcher, cache=cache,
+                digest=digest, journal=journal,
+                snapshot_writer=snapshot_writer, throughput=throughput,
+                requested=workers,
+            )
+        else:
+            reports, stats = _run_pool(
+                observations, store=store, fetcher=fetcher, cache=cache,
+                digest=digest, journal=journal,
+                snapshot_writer=snapshot_writer, throughput=throughput,
+                requested=workers, effective=effective,
+            )
+
+    if stats.resumed:
+        metrics.counter("campaign.chains_resumed").inc(stats.resumed)
+    if stats.cache_hits:
+        metrics.counter("campaign.cache_hits").inc(stats.cache_hits)
+    if journaled:
+        journal.flush()
+    _log.info(
+        "pipeline.analyzed", observations=stats.observations,
+        unique_chains=stats.unique_chains, analyzed=stats.analyzed,
+        resumed=stats.resumed, cache_hits=stats.cache_hits,
+        workers=stats.effective_workers, mode=stats.mode,
+    )
+    return reports, stats
+
+
+def _run_in_process(
+    observations, *, store, fetcher, cache, digest, journal,
+    snapshot_writer, throughput, requested,
+):
+    """Single-pass dedup + analysis in the calling process."""
+    journaled = journal is not None
+    reports: list[ChainComplianceReport] = []
+    run_reports: dict[tuple[str, ChainKey], ChainComplianceReport] = {}
+    unique: set[ChainKey] = set()
+    analyzed = resumed = cache_hits = 0
+
+    for domain, chain in observations:
+        key = chain_key(chain)
+        unique.add(key)
+        report = None
+        hexkey = None
+        if journaled:
+            report = run_reports.get((domain, key))
+            if report is not None:
+                # A sequential run reads the verdict it just recorded
+                # back out of the journal index; reusing the run-local
+                # object is the same report without the round-trip.
+                resumed += 1
+            else:
+                hexkey = chain_key_hex(chain)
+                recorded = journal.verdict_for(domain, hexkey)
+                if recorded is not None:
+                    report = ChainComplianceReport.from_dict(recorded)
+                    resumed += 1
+                    run_reports[(domain, key)] = report
+                    cache.store_report(key, digest, report)
+        if report is None:
+            cached = cache.report_for(key, digest)
+            if cached is not None:
+                report = rebind_for_domain(cached, domain, chain)
+                cache_hits += 1
+                record_outcome(report)
+            else:
+                report = analyze_chain(domain, chain, store, fetcher)
+                analyzed += 1
+                cache.store_report(key, digest, report)
+            if journaled:
+                journal.record_verdict(domain, hexkey, report)
+                run_reports[(domain, key)] = report
+        reports.append(report)
+        throughput.inc()
+        if snapshot_writer is not None:
+            snapshot_writer.tick()
+
+    stats = PipelineStats(
+        observations=len(reports), unique_chains=len(unique),
+        analyzed=analyzed, resumed=resumed, cache_hits=cache_hits,
+        requested_workers=requested, effective_workers=1,
+        mode="in-process",
+    )
+    return reports, stats
+
+
+def _run_pool(
+    observations, *, store, fetcher, cache, digest, journal,
+    snapshot_writer, throughput, requested, effective,
+):
+    """Plan → shard unique chains across forked workers → ordered merge.
+
+    Pass 1 classifies every observation (resumed from the journal,
+    resolvable from the cache, or a fresh unique chain) and collects the
+    fresh chains in first-occurrence order.  The pool analyses
+    contiguous spans of that list; results come back in submission
+    order.  Pass 2 walks the observations in order again, so journal
+    appends, metric ticks, and the report list are sequenced exactly as
+    the in-process path sequences them.
+    """
+    journaled = journal is not None
+    metrics = obs.get_metrics()
+    live_metrics = not isinstance(metrics, NullMetricsRegistry)
+
+    # -- pass 1: plan ---------------------------------------------------
+    RESUMED, PAIR_DUP, HIT, FRESH = range(4)
+    plan: list[tuple] = []
+    pending: list[tuple[str, list[Certificate], tuple[str, ...]]] = []
+    pending_keys: set[ChainKey] = set()
+    seen_pairs: set[tuple[str, ChainKey]] = set()
+    unique: set[ChainKey] = set()
+    resumed = 0
+
+    for domain, chain in observations:
+        key = chain_key(chain)
+        unique.add(key)
+        pair = (domain, key)
+        if journaled:
+            if pair in seen_pairs:
+                plan.append((PAIR_DUP, domain, chain, key))
+                resumed += 1
+                continue
+            hexkey = chain_key_hex(chain)
+            recorded = journal.verdict_for(domain, hexkey)
+            if recorded is not None:
+                seen_pairs.add(pair)
+                plan.append((RESUMED, domain, chain, key, recorded))
+                resumed += 1
+                continue
+            seen_pairs.add(pair)
+        else:
+            hexkey = ()
+        if key in pending_keys or cache.has_report(key, digest):
+            plan.append((HIT, domain, chain, key))
+        else:
+            pending_keys.add(key)
+            if journaled:
+                pending.append((domain, chain, hexkey))
+            else:
+                pending.append((domain, chain, ()))
+            plan.append((FRESH, domain, chain, key))
+
+    # -- pool phase: analyse fresh unique chains ------------------------
+    fresh: dict[ChainKey, tuple] = {}
+    if pending:
+        span = max(1, min(DEFAULT_SPAN, math.ceil(len(pending) / effective)))
+        spans = [(start, min(start + span, len(pending)))
+                 for start in range(0, len(pending), span)]
+        global _WORKER_STATE
+        _WORKER_STATE = (pending, store, fetcher, journaled, live_metrics)
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(max_workers=effective,
+                                     mp_context=context) as pool:
+                futures = [pool.submit(_analyze_span, start, end)
+                           for start, end in spans]
+                index = 0
+                for future in futures:  # submission order: deterministic
+                    results, snapshot = future.result()
+                    for report, line in results:
+                        domain, chain, _ = pending[index]
+                        fresh[chain_key(chain)] = (report, line)
+                        index += 1
+                    if snapshot:
+                        metrics.merge_snapshot(snapshot)
+        finally:
+            _WORKER_STATE = None
+
+    # -- pass 2: fan out in observation order ---------------------------
+    reports: list[ChainComplianceReport] = []
+    run_reports: dict[tuple[str, ChainKey], ChainComplianceReport] = {}
+    analyzed = cache_hits = 0
+
+    for entry in plan:
+        kind, domain, chain, key = entry[0], entry[1], entry[2], entry[3]
+        if kind == RESUMED:
+            report = ChainComplianceReport.from_dict(entry[4])
+            run_reports[(domain, key)] = report
+            cache.store_report(key, digest, report)
+        elif kind == PAIR_DUP:
+            report = run_reports[(domain, key)]
+        elif kind == FRESH:
+            report, line = fresh[key]
+            analyzed += 1
+            cache.store_report(key, digest, report)
+            if journaled:
+                journal.record_verdict(domain, chain_key_hex(chain),
+                                       report, encoded=line)
+                run_reports[(domain, key)] = report
+        else:  # HIT
+            cached = cache.report_for(key, digest)
+            if cached is None:  # first occurrence was itself analysed
+                cached = fresh[key][0]
+            report = rebind_for_domain(cached, domain, chain)
+            cache_hits += 1
+            record_outcome(report)
+            if journaled:
+                journal.record_verdict(domain, chain_key_hex(chain),
+                                       report)
+                run_reports[(domain, key)] = report
+        reports.append(report)
+        throughput.inc()
+        if snapshot_writer is not None:
+            snapshot_writer.tick()
+
+    stats = PipelineStats(
+        observations=len(reports), unique_chains=len(unique),
+        analyzed=analyzed, resumed=resumed, cache_hits=cache_hits,
+        requested_workers=requested, effective_workers=effective,
+        mode="fork-pool",
+    )
+    return reports, stats

@@ -17,6 +17,19 @@ work.  ``repro.measurement.campaign`` threads this through
 ``Campaign.analyze`` so an interrupted campaign finishes with final
 tables byte-identical to an uninterrupted one.
 
+Appends are buffered: ``flush_every`` controls how many records may
+accumulate in the userspace buffer before a ``flush()`` pushes them to
+the OS (default 1 — flush per record, the maximally durable PR 2
+behaviour; campaign-scale runs pass a larger window via the CLI's
+``--journal-flush-every``).  Batching changes *when* bytes reach the
+file, never *what* reaches it: a crash can lose at most the last
+``flush_every - 1`` complete records plus one truncated line, and a
+resumed run simply re-derives the lost verdicts — the no-duplicate
+guarantee holds because unflushed records were never on disk to
+duplicate.  Use the journal as a context manager (or call
+:meth:`RunJournal.close`) so the tail is flushed on normal and
+exceptional exits alike.
+
 The journal layer knows nothing about certificates — events are plain
 dicts, and the verdict payloads are
 :meth:`repro.core.compliance.ChainComplianceReport.to_dict` output.
@@ -35,6 +48,7 @@ from repro.errors import JournalError
 __all__ = [
     "JOURNAL_VERSION",
     "RunJournal",
+    "encode_verdict_event",
     "manifest_identity",
     "read_journal",
 ]
@@ -44,6 +58,50 @@ JOURNAL_VERSION = 1
 
 #: Manifest fields that must match for a journal to be resumable.
 _IDENTITY_FIELDS = ("config", "seed", "root_store_digest")
+
+#: One reused compact encoder for the append hot path: skipping the
+#: per-call ``json.dumps`` argument plumbing and the circular-reference
+#: scan measurably cuts per-record serialisation cost, and journal
+#: payloads are trees by construction.
+_encode_record = json.JSONEncoder(
+    separators=(",", ":"), check_circular=False
+).encode
+
+
+def _plain(value) -> bool:
+    """True when ``value`` JSON-encodes as ``"value"`` verbatim."""
+    return (type(value) is str and value.isascii() and value.isprintable()
+            and '"' not in value and "\\" not in value)
+
+
+def encode_verdict_event(domain: str, chain_key: tuple[str, ...],
+                         report: Any) -> str:
+    """The exact journal line (sans newline) for one verdict event.
+
+    ``report`` is either the ``ChainComplianceReport.to_dict()`` payload
+    or the report object itself — anything exposing ``to_json()`` (the
+    compact encoding of its ``to_dict()``) takes the fast path, which is
+    what keeps verdict appends off the campaign's critical path.  The
+    two spellings produce byte-identical lines.
+
+    Exposed so pool workers can serialise verdicts in parallel and hand
+    the parent process finished lines to append
+    (:meth:`RunJournal.record_verdict` ``encoded=``).
+    """
+    to_json = getattr(report, "to_json", None)
+    report_json = to_json() if to_json is not None else _encode_record(report)
+    domain_json = f'"{domain}"' if _plain(domain) else _encode_record(domain)
+    if not chain_key:
+        key_json = "[]"
+    elif all(map(_plain, chain_key)):
+        key_json = '["' + '","'.join(chain_key) + '"]'
+    else:
+        key_json = _encode_record(list(chain_key))
+    return "".join((
+        '{"type":"verdict","domain":', domain_json,
+        ',"chain_key":', key_json,
+        ',"report":', report_json, "}",
+    ))
 
 
 def manifest_identity(manifest: dict[str, Any]) -> dict[str, Any]:
@@ -119,36 +177,53 @@ class RunJournal:
     Parameters
     ----------
     fsync:
-        When True, ``os.fsync`` after every event — maximum durability,
+        When True, ``os.fsync`` on every flush — maximum durability,
         measurable cost.  Default is flush-only: the OS may lose the
         final events on power loss, but the file never corrupts past a
         truncated tail, which resume already tolerates.
+    flush_every:
+        Flush after this many buffered records (default 1: every
+        record, the most durable setting).  Larger windows amortise
+        flush cost across records on campaign-scale runs; at most
+        ``flush_every - 1`` complete records (plus one truncated line)
+        can be lost to a crash, and resume re-derives them.
     """
 
     def __init__(self, path: str | Path, manifest: dict[str, Any], *,
-                 fsync: bool = False) -> None:
+                 fsync: bool = False, flush_every: int = 1) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
         self.path = Path(path)
         self.manifest = manifest
         self.fsync = fsync
+        self.flush_every = flush_every
         self.resumed_events: list[dict[str, Any]] = []
         self._verdicts: dict[tuple[str, tuple[str, ...]], dict[str, Any]] = {}
         self._events_written = 0
+        self._pending = 0
         self._handle: io.TextIOBase | None = None
+        #: per-event-type ``journal.events`` counters, revalidated
+        #: against the live registry (obs.enable can swap it mid-run)
+        self._counters: dict[str, tuple[Any, Any]] = {}
 
     # -- construction --------------------------------------------------
 
     @classmethod
     def create(cls, path: str | Path, manifest: dict[str, Any], *,
-               fsync: bool = False) -> "RunJournal":
+               fsync: bool = False, flush_every: int = 1) -> "RunJournal":
         """Start a fresh journal, truncating anything already at ``path``."""
-        journal = cls(path, cls._stamp(manifest), fsync=fsync)
+        journal = cls(path, cls._stamp(manifest), fsync=fsync,
+                      flush_every=flush_every)
         journal._handle = open(journal.path, "w", encoding="utf-8")
         journal._append(journal.manifest)
+        # The manifest always hits the disk immediately: the journal's
+        # identity must exist before any buffered event can be lost.
+        journal.flush()
         return journal
 
     @classmethod
     def open(cls, path: str | Path, manifest: dict[str, Any], *,
-             fsync: bool = False) -> "RunJournal":
+             fsync: bool = False, flush_every: int = 1) -> "RunJournal":
         """Create at ``path``, or resume the journal already there.
 
         Resuming verifies :func:`manifest_identity` equality and raises
@@ -157,7 +232,8 @@ class RunJournal:
         """
         path = Path(path)
         if not path.exists() or path.stat().st_size == 0:
-            return cls.create(path, manifest, fsync=fsync)
+            return cls.create(path, manifest, fsync=fsync,
+                              flush_every=flush_every)
         recorded, events = read_journal(path)
         stamped = cls._stamp(manifest)
         ours, theirs = manifest_identity(stamped), manifest_identity(recorded)
@@ -166,7 +242,7 @@ class RunJournal:
                 f"{path}: manifest mismatch — journal was recorded with "
                 f"{theirs}, this run is {ours}"
             )
-        journal = cls(path, recorded, fsync=fsync)
+        journal = cls(path, recorded, fsync=fsync, flush_every=flush_every)
         journal.resumed_events = events
         for event in events:
             if event.get("type") == "verdict":
@@ -191,8 +267,9 @@ class RunJournal:
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         with open(tmp, "w", encoding="utf-8") as handle:
             for record in (manifest, *events):
-                handle.write(json.dumps(record, sort_keys=True,
-                                        separators=(",", ":")))
+                # parsed dicts preserve document key order, so this
+                # round-trips the surviving lines byte-identically
+                handle.write(_encode_record(record))
                 handle.write("\n")
             handle.flush()
             os.fsync(handle.fileno())
@@ -202,17 +279,38 @@ class RunJournal:
     # -- writing -------------------------------------------------------
 
     def _append(self, record: dict[str, Any]) -> None:
+        # hot path: no sort_keys — readers never depend on key order
+        self._append_line(_encode_record(record), record["type"])
+
+    def _append_line(self, line: str, event_type: str) -> None:
+        """Write one already-encoded record (no trailing newline)."""
         if self._handle is None:
             raise JournalError(f"{self.path}: journal is closed")
-        # hot path: no sort_keys — readers never depend on key order
-        self._handle.write(json.dumps(record, separators=(",", ":")))
-        self._handle.write("\n")
+        self._handle.write(line + "\n")
+        self._pending += 1
+        if self._pending >= self.flush_every:
+            self.flush()
+        self._events_written += 1
+        registry = _active_registry()
+        cached = self._counters.get(event_type)
+        if cached is not None and cached[0] is registry:
+            counter = cached[1]
+        else:
+            counter = registry.counter("journal.events", type=event_type)
+            if isinstance(registry, _OBS_MODULE.NullMetricsRegistry):
+                counter = None  # metrics off: skip the no-op inc entirely
+            self._counters[event_type] = (registry, counter)
+        if counter is not None:
+            counter.inc()
+
+    def flush(self) -> None:
+        """Push buffered records to the OS (and disk, with ``fsync``)."""
+        if self._handle is None or not self._pending:
+            return
         self._handle.flush()
         if self.fsync:
             os.fsync(self._handle.fileno())
-        self._events_written += 1
-        registry = _active_registry()
-        registry.counter("journal.events", type=record["type"]).inc()
+        self._pending = 0
 
     def record(self, event_type: str, **fields: Any) -> None:
         """Append one event; ``type`` is reserved for ``event_type``."""
@@ -221,21 +319,35 @@ class RunJournal:
         self._append(record)
 
     def record_verdict(self, domain: str, chain_key: tuple[str, ...],
-                       report: dict[str, Any]) -> None:
+                       report: Any, *,
+                       encoded: str | None = None) -> None:
         """Append one per-domain compliance verdict with its evidence.
 
         ``chain_key`` is the tuple of fingerprint hexes of the served
         chain — the same (domain, chain) identity the union merge uses —
-        and ``report`` is ``ChainComplianceReport.to_dict()`` output.
+        and ``report`` is ``ChainComplianceReport.to_dict()`` output, or
+        the report object itself (anything with ``to_json()``), which
+        skips the dict build entirely; :meth:`verdict_for` re-derives
+        the payload lazily from the appended line if it is ever read
+        back within the same run.
+
+        ``encoded`` optionally supplies the full event line already
+        serialised (``encode_verdict_event`` output): pool workers in
+        ``repro.measurement.parallel`` serialise verdicts off the main
+        process, and re-encoding them here would pay the dominant cost
+        of the append path a second time.  The caller owns the line's
+        correctness; it must be the compact encoding of exactly the
+        event ``(domain, chain_key, report)`` describes.
         """
-        event = {
-            "type": "verdict",
-            "domain": domain,
-            "chain_key": list(chain_key),
-            "report": report,
-        }
-        self._append(event)
-        self._index_verdict(event)
+        if encoded is None:
+            encoded = encode_verdict_event(domain, chain_key, report)
+        self._append_line(encoded, "verdict")
+        key = (domain, tuple(chain_key))
+        if isinstance(report, dict):
+            self._verdicts[key] = report
+        else:
+            # lazily parsed by verdict_for; the line *is* the payload
+            self._verdicts[key] = encoded
 
     def _index_verdict(self, event: dict[str, Any]) -> None:
         key = (event["domain"], tuple(event.get("chain_key", ())))
@@ -246,7 +358,14 @@ class RunJournal:
     def verdict_for(self, domain: str,
                     chain_key: tuple[str, ...]) -> dict[str, Any] | None:
         """The recorded verdict payload for one observation, if any."""
-        return self._verdicts.get((domain, chain_key))
+        key = (domain, chain_key)
+        value = self._verdicts.get(key)
+        if isinstance(value, str):
+            # recorded via the fast object path this run: the encoded
+            # journal line stands in for the payload until first read
+            value = json.loads(value)["report"]
+            self._verdicts[key] = value
+        return value
 
     @property
     def verdict_count(self) -> int:
@@ -272,7 +391,7 @@ class RunJournal:
 
     def close(self) -> None:
         if self._handle is not None:
-            self._handle.flush()
+            self.flush()
             self._handle.close()
             self._handle = None
 

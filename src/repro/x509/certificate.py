@@ -69,7 +69,7 @@ class Certificate:
         """SHA-256 over TBS bytes plus signature: bit-for-bit identity."""
         return hashlib.sha256(self.tbs_bytes + b"||" + self.signature).digest()
 
-    @property
+    @cached_property
     def fingerprint_hex(self) -> str:
         return self.fingerprint.hex()
 

@@ -130,3 +130,67 @@ class TestAggregation:
         ds = DatasetReport()
         assert ds.noncompliance_rate == 0.0
         assert ds.pct(0) == 0.0
+
+
+class TestJsonSerialization:
+    """``to_json`` is a hand-rolled fast path; it must stay
+    byte-identical to the generic compact encoding of ``to_dict`` —
+    the journal's byte-parity guarantee depends on it."""
+
+    def compact(self, report) -> str:
+        import json
+
+        return json.dumps(report.to_dict(), separators=(",", ":"))
+
+    def test_matches_generic_encoder(self, world):
+        h, leaf, store, repo = world
+        chains = [
+            h.chain_for(leaf),
+            h.chain_for(leaf, include_root=True),
+            malform.reverse_intermediates(h.chain_for(leaf,
+                                                      include_root=True)),
+            malform.duplicate_leaf(h.chain_for(leaf)),
+            [leaf],
+        ]
+        for chain in chains:
+            report = analyze_chain("compr.example", chain, store, repo)
+            assert report.to_json() == self.compact(report)
+
+    def test_exotic_evidence_still_matches(self, world):
+        """Evidence the fast path cannot shortcut: escapes, unicode,
+        non-string detail values."""
+        import dataclasses
+
+        from repro.obs.evidence import Evidence
+
+        h, leaf, store, repo = world
+        report = analyze_chain("compr.example", h.chain_for(leaf), store,
+                               repo)
+        exotic = Evidence(
+            rule_id='R"2.weird\\rule',
+            verdict="info",
+            summary="ünïcode summary with \"quotes\" and \ttabs",
+            certs=("aa" * 32, 'odd"cert'),
+            edges=((0, 1), (1, 2)),
+            details={
+                "int": 3,
+                "bool": True,
+                "none": None,
+                "float": 1.5,
+                "nested": {"list": [1, "two", None]},
+                "escaped": 'va"lue\\',
+            },
+        )
+        order = dataclasses.replace(
+            report.order, evidence=report.order.evidence + (exotic,)
+        )
+        weird = dataclasses.replace(
+            report, domain="dömaïn.example", order=order
+        )
+        assert weird.to_json() == self.compact(weird)
+
+    def test_ensure_ascii_escapes_match(self, world):
+        h, leaf, store, repo = world
+        report = analyze_chain("ünïcode.example", h.chain_for(leaf), store,
+                               repo)
+        assert report.to_json() == self.compact(report)

@@ -1,0 +1,287 @@
+"""The deduplicating pipeline: byte-parity with the sequential loop.
+
+Every test here checks the same contract from a different angle: with
+or without workers, with or without a journal, interrupted or not, the
+pipeline's outputs — report list, aggregate tables, journal bytes,
+metrics — are indistinguishable from the plain sequential
+``Campaign.analyze`` loop.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.core import aggregate, analyze_chain
+from repro.core.compliance import rebind_for_domain
+from repro.measurement import Campaign
+from repro.measurement.parallel import (
+    OVERSUBSCRIBE_ENV,
+    VerdictCache,
+    analyze_observations,
+    chain_key,
+    resolve_workers,
+)
+from repro.obs import RunJournal
+from repro.webpki import Ecosystem, EcosystemConfig
+
+
+@pytest.fixture(scope="module")
+def ecosystem():
+    return Ecosystem.generate(EcosystemConfig(n_domains=140, seed=7))
+
+
+@pytest.fixture(scope="module")
+def union(ecosystem):
+    return ecosystem.registry.union()
+
+
+@pytest.fixture(scope="module")
+def stream(ecosystem):
+    """A scan-like stream with real redundancy.
+
+    The union observations, then the first 60 again (the "both
+    vantages, identical chain" pattern), then ten cross-domain repeats
+    (another domain serving a chain already seen) to force the
+    ``rebind_for_domain`` path.
+    """
+    base = ecosystem.observations()
+    doubled = base + [(d, list(c)) for d, c in base[:60]]
+    crossed = [
+        (base[(i + 1) % len(base)][0], list(base[i][1]))
+        for i in range(0, 30, 3)
+    ]
+    return doubled + crossed
+
+
+@pytest.fixture(scope="module")
+def sequential_reports(ecosystem, union, stream):
+    return [
+        analyze_chain(domain, chain, union, ecosystem.aia_repo)
+        for domain, chain in stream
+    ]
+
+
+def aggregate_json(reports) -> str:
+    return json.dumps(aggregate(reports).to_dict(), sort_keys=True)
+
+
+class TestVerdictCache:
+    def test_report_keyed_on_chain_and_store(self, ecosystem, union, stream):
+        cache = VerdictCache()
+        domain, chain = stream[0]
+        key = chain_key(chain)
+        report = analyze_chain(domain, chain, union, ecosystem.aia_repo)
+        cache.store_report(key, union.digest(), report)
+        assert cache.report_for(key, union.digest()) is report
+        # same chain, different trust anchors: not the same verdict
+        assert cache.report_for(key, "0" * 64) is None
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_has_report_does_not_count(self, union, stream):
+        cache = VerdictCache()
+        key = chain_key(stream[0][1])
+        assert not cache.has_report(key, union.digest())
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_outcome_cache_is_domain_sensitive(self, stream):
+        cache = VerdictCache()
+        key = chain_key(stream[0][1])
+        cache.store_outcome("a.example", key, "outcome-a")
+        assert cache.outcome_for("a.example", key) == "outcome-a"
+        assert cache.outcome_for("b.example", key) is None
+        assert (cache.outcome_hits, cache.outcome_misses) == (1, 1)
+        assert len(cache) == 1
+
+    def test_hit_rate(self):
+        cache = VerdictCache()
+        assert cache.hit_rate == 0.0
+        cache.hits, cache.misses = 3, 1
+        assert cache.hit_rate == pytest.approx(0.75)
+
+
+class TestResolveWorkers:
+    def test_one_worker_is_in_process(self):
+        assert resolve_workers(0) == (1, "in-process")
+        assert resolve_workers(1) == (1, "in-process")
+
+    def test_capped_at_core_count(self):
+        effective, _ = resolve_workers(4096)
+        assert effective <= (os.cpu_count() or 1)
+
+    def test_oversubscribe_flag_lifts_the_cap(self):
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("no fork start method on this platform")
+        assert resolve_workers(3, oversubscribe=True) == (3, "fork-pool")
+
+    def test_oversubscribe_env(self, monkeypatch):
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("no fork start method on this platform")
+        monkeypatch.setenv(OVERSUBSCRIBE_ENV, "1")
+        effective, mode = resolve_workers(3)
+        assert (effective, mode) == (3, "fork-pool")
+
+
+class TestPipelineParity:
+    def test_in_process_matches_sequential(
+        self, ecosystem, union, stream, sequential_reports
+    ):
+        reports, stats = analyze_observations(
+            stream, store=union, fetcher=ecosystem.aia_repo, workers=1,
+        )
+        assert reports == sequential_reports
+        assert aggregate_json(reports) == aggregate_json(sequential_reports)
+        assert stats.mode == "in-process"
+        assert stats.observations == len(stream)
+        assert stats.analyzed + stats.cache_hits == len(stream)
+        assert stats.cache_hits > 0 and stats.hit_rate > 0.0
+
+    def test_fork_pool_matches_sequential(
+        self, ecosystem, union, stream, sequential_reports
+    ):
+        reports, stats = analyze_observations(
+            stream, store=union, fetcher=ecosystem.aia_repo, workers=2,
+            oversubscribe=True,
+        )
+        assert reports == sequential_reports
+        assert aggregate_json(reports) == aggregate_json(sequential_reports)
+        assert stats.mode == "fork-pool"
+        assert stats.effective_workers == 2
+        assert stats.analyzed == stats.unique_chains
+
+    def test_cache_carries_across_calls(self, ecosystem, union, stream):
+        cache = VerdictCache()
+        analyze_observations(
+            stream, store=union, fetcher=ecosystem.aia_repo, cache=cache,
+        )
+        reports, stats = analyze_observations(
+            stream, store=union, fetcher=ecosystem.aia_repo, cache=cache,
+        )
+        assert stats.analyzed == 0
+        assert stats.cache_hits == len(stream)
+
+    def test_campaign_analyze_delegates(self, ecosystem, stream):
+        campaign = Campaign(ecosystem)
+        baseline, seq_reports = campaign.analyze(stream)
+        report, reports = campaign.analyze(
+            stream, workers=2, cache=VerdictCache(), oversubscribe=True,
+        )
+        assert report == baseline
+        assert reports == seq_reports
+
+
+class TestCrossDomainRebind:
+    def test_rebind_equals_fresh_analysis(self, ecosystem, union, stream):
+        base = ecosystem.observations()
+        domain_a, chain = base[0]
+        domain_b = base[1][0]
+        cached = analyze_chain(domain_a, chain, union, ecosystem.aia_repo)
+        rebound = rebind_for_domain(cached, domain_b, chain)
+        fresh = analyze_chain(domain_b, chain, union, ecosystem.aia_repo)
+        assert rebound == fresh
+        assert rebound.to_json() == fresh.to_json()
+
+    def test_same_domain_rebind_is_identity(self, ecosystem, union, stream):
+        domain, chain = stream[0]
+        report = analyze_chain(domain, chain, union, ecosystem.aia_repo)
+        assert rebind_for_domain(report, domain, chain) is report
+
+
+class TestJournalParity:
+    def run_journaled(self, campaign, stream, path, **kwargs):
+        with RunJournal.create(path, campaign.manifest()) as journal:
+            report, reports = campaign.analyze(
+                stream, journal=journal, **kwargs
+            )
+        return report, reports, path.read_bytes()
+
+    def test_all_modes_write_identical_journals(
+        self, ecosystem, stream, tmp_path
+    ):
+        campaign = Campaign(ecosystem)
+        _, seq_reports, seq_bytes = self.run_journaled(
+            campaign, stream, tmp_path / "seq.jsonl"
+        )
+        _, in_reports, in_bytes = self.run_journaled(
+            campaign, stream, tmp_path / "inproc.jsonl",
+            workers=1, cache=VerdictCache(),
+        )
+        _, pool_reports, pool_bytes = self.run_journaled(
+            campaign, stream, tmp_path / "pool.jsonl",
+            workers=2, cache=VerdictCache(), oversubscribe=True,
+        )
+        assert in_bytes == seq_bytes
+        assert pool_bytes == seq_bytes
+        assert in_reports == seq_reports
+        assert pool_reports == seq_reports
+
+    def test_crash_resume_is_byte_identical(
+        self, ecosystem, stream, tmp_path
+    ):
+        campaign = Campaign(ecosystem)
+        _, seq_reports, seq_bytes = self.run_journaled(
+            campaign, stream, tmp_path / "uninterrupted.jsonl",
+            workers=2, cache=VerdictCache(), oversubscribe=True,
+        )
+
+        path = tmp_path / "crashed.jsonl"
+        with RunJournal.create(path, campaign.manifest()) as journal:
+            campaign.analyze(
+                stream[:80], journal=journal,
+                workers=2, cache=VerdictCache(), oversubscribe=True,
+            )
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"type":"verdict","domain":"crash.ex')
+
+        with RunJournal.open(path, campaign.manifest()) as journal:
+            _, reports = campaign.analyze(
+                stream, journal=journal,
+                workers=2, cache=VerdictCache(), oversubscribe=True,
+            )
+        assert reports == seq_reports
+        assert path.read_bytes() == seq_bytes
+
+    def test_rerun_appends_nothing(self, ecosystem, stream, tmp_path):
+        campaign = Campaign(ecosystem)
+        path = tmp_path / "run.jsonl"
+        self.run_journaled(
+            campaign, stream, path, workers=1, cache=VerdictCache()
+        )
+        before = path.read_bytes()
+        with RunJournal.open(path, campaign.manifest()) as journal:
+            _, stats = analyze_observations(
+                stream, store=ecosystem.registry.union(),
+                fetcher=ecosystem.aia_repo, journal=journal,
+            )
+        assert path.read_bytes() == before
+        assert stats.analyzed == 0
+        assert stats.resumed == len(stream)
+
+
+class TestMetricsMerge:
+    def totals(self, registry) -> dict[str, float]:
+        snapshot = registry.snapshot()
+        return {
+            name: registry.total(name)
+            for name, family in snapshot.items()
+            if family["type"] == "counter"
+            and name.split(".")[0] in ("campaign", "compliance")
+        }
+
+    def test_pool_counters_match_in_process(self, ecosystem, union, stream):
+        obs.disable()
+        with obs.instrumented() as (registry, _):
+            analyze_observations(
+                stream, store=union, fetcher=ecosystem.aia_repo, workers=1,
+            )
+            in_process = self.totals(registry)
+        with obs.instrumented() as (registry, _):
+            analyze_observations(
+                stream, store=union, fetcher=ecosystem.aia_repo, workers=2,
+                oversubscribe=True,
+            )
+            pooled = self.totals(registry)
+        obs.disable()
+        assert pooled == in_process
+        assert in_process["campaign.chains_analyzed"] == len(stream)

@@ -179,3 +179,116 @@ class TestRejection:
     def test_unreadable_path_refused(self, tmp_path):
         with pytest.raises(JournalError, match="cannot read"):
             read_journal(tmp_path / "does-not-exist.jsonl")
+
+
+class TestBatchedFlush:
+    def test_records_buffer_until_the_threshold(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal.create(path, MANIFEST, flush_every=16)
+        for i in range(5):
+            journal.record("scan", domain=f"d{i}.example")
+        # the manifest flushed at create; the five events are buffered
+        assert len(path.read_text().splitlines()) == 1
+        journal.flush()
+        assert len(path.read_text().splitlines()) == 6
+        for i in range(16):
+            journal.record("scan", domain=f"x{i}.example")
+        # threshold reached: the batch flushed itself
+        assert len(path.read_text().splitlines()) == 22
+        journal.record("scan", domain="tail.example")
+        journal.close()
+        assert len(path.read_text().splitlines()) == 23
+
+    def test_flush_every_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="flush_every"):
+            RunJournal(tmp_path / "run.jsonl", MANIFEST, flush_every=0)
+
+    def test_crash_loses_at_most_the_buffered_tail(self, tmp_path):
+        """A hard crash drops only unflushed records; resume stays clean."""
+        import os
+        import subprocess
+        import sys
+
+        path = tmp_path / "run.jsonl"
+        code = (
+            "import os, sys\n"
+            "sys.path.insert(0, os.environ['REPRO_SRC'])\n"
+            "from repro.obs.journal import RunJournal\n"
+            f"manifest = {MANIFEST!r}\n"
+            f"journal = RunJournal.create({str(path)!r}, manifest,"
+            " flush_every=100)\n"
+            "for i in range(3):\n"
+            "    journal.record('scan', domain=f'd{i}.example')\n"
+            "journal.flush()\n"
+            "journal.record('scan', domain='lost.example')\n"
+            "os._exit(1)  # crash: no close, no flush\n"
+        )
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        subprocess.run([sys.executable, "-c", code],
+                       env={**os.environ, "REPRO_SRC": src}, check=False)
+        resumed = RunJournal.open(path, MANIFEST)
+        domains = [e["domain"] for e in resumed.events("scan")]
+        assert domains == ["d0.example", "d1.example", "d2.example"]
+        resumed.close()
+
+
+class TestVerdictEncoding:
+    def report(self):
+        from repro.ca import build_hierarchy
+        from repro.core import analyze_chain
+        from repro.trust import RootStore, StaticAIARepository
+
+        h = build_hierarchy("Journal", depth=1, key_seed_prefix="journal",
+                            aia_base="http://aia.journal.example")
+        leaf = h.issue_leaf("journal.example")
+        repo = StaticAIARepository()
+        for authority in h.authorities:
+            repo.publish(authority.aia_uri, authority.certificate)
+        store = RootStore("journal", [h.root.certificate])
+        return analyze_chain("journal.example", h.chain_for(leaf), store,
+                             repo)
+
+    def test_encoder_matches_generic_json(self):
+        from repro.obs.journal import encode_verdict_event
+
+        for domain, key, report in (
+            ("a.example", ("aa" * 32,), {"domain": "a.example", "n": 1}),
+            ("ünïcode.example", ("bb" * 32, "cc" * 32),
+             {"domain": 'quote"back\\slash', "nested": {"k": [1, None]}}),
+            ("tab\there.example", (), {}),
+        ):
+            line = encode_verdict_event(domain, key, report)
+            expected = json.dumps(
+                {"type": "verdict", "domain": domain,
+                 "chain_key": list(key), "report": report},
+                separators=(",", ":"),
+            )
+            assert line == expected
+
+    def test_report_objects_use_their_own_serializer(self, tmp_path):
+        from repro.obs.journal import encode_verdict_event
+
+        report = self.report()
+        key = ("aa" * 32,)
+        line = encode_verdict_event("journal.example", key, report)
+        assert json.loads(line)["report"] == report.to_dict()
+        assert report.to_json() in line
+
+        with fresh(tmp_path) as journal:
+            journal.record_verdict("journal.example", key, report)
+            # the index parses the stored line lazily, on first lookup
+            recalled = journal.verdict_for("journal.example", key)
+        assert recalled == report.to_dict()
+        _, events = read_journal(tmp_path / "run.jsonl")
+        assert events == [json.loads(line)]
+
+    def test_pre_encoded_lines_are_written_verbatim(self, tmp_path):
+        from repro.obs.journal import encode_verdict_event
+
+        key = ("dd" * 32,)
+        line = encode_verdict_event("pre.example", key, {"domain": "pre"})
+        with fresh(tmp_path) as journal:
+            journal.record_verdict("pre.example", key, {"domain": "pre"},
+                                   encoded=line)
+        text = (tmp_path / "run.jsonl").read_text().splitlines()
+        assert text[1] == line

@@ -410,3 +410,39 @@ class TestCapabilitiesMatrix:
         out = capsys.readouterr().out
         assert "Recommended" in out
         assert "MbedTLS" in out
+
+
+class TestScanWorkers:
+    def test_workers_tables_match_sequential(self, capsys):
+        base = ["scan", "--domains", "120", "--seed", "6"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main(base + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert "verdict cache:" in parallel
+        assert "hit rate" in parallel
+
+        def tables(text: str) -> str:
+            return text[text.index("chains:"):]
+
+        assert tables(parallel) == tables(plain)
+
+    def test_workers_journal_is_byte_identical(self, tmp_path, capsys):
+        seq = tmp_path / "seq.jsonl"
+        par = tmp_path / "par.jsonl"
+        assert main(["scan", "--domains", "120", "--seed", "6",
+                     "--journal", str(seq)]) == 0
+        assert main(["scan", "--domains", "120", "--seed", "6",
+                     "--journal", str(par), "--workers", "2",
+                     "--journal-flush-every", "8"]) == 0
+        capsys.readouterr()
+        assert par.read_bytes() == seq.read_bytes()
+
+
+class TestDifferentialWorkers:
+    def test_workers_use_cold_cache_model(self, capsys):
+        assert main(["differential", "--domains", "120", "--seed", "6",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cold (non-learning) intermediate cache" in out
+        assert "attribution" in out
