@@ -27,23 +27,27 @@ from repro.x509 import load_pem_bundle, to_pem_bundle
 
 
 def _render_reachability(snapshot: dict) -> list[str]:
-    """Per-vantage ``attempted/reachable`` lines from a metrics snapshot."""
-    attempts = {
-        tuple(sorted(series["labels"].items())): series["value"]
-        for series in snapshot.get("scan.attempts", {}).get("series", [])
-        if "vantage" in series["labels"]
-    }
-    successes = {
-        tuple(sorted(series["labels"].items())): series["value"]
-        for series in snapshot.get("scan.success", {}).get("series", [])
-        if "vantage" in series["labels"]
-    }
+    """Per-vantage ``reachable/attempted`` lines from a metrics snapshot.
+
+    ``attempted`` counts finished *scans* — successes plus failed scans
+    (summed across failure kinds) — not ``scan.attempts``, which counts
+    every handshake attempt and so over-counts whenever retries fire.
+    """
+    def by_vantage(family: str) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for series in snapshot.get(family, {}).get("series", []):
+            vantage = series["labels"].get("vantage")
+            if vantage is not None:
+                totals[vantage] = totals.get(vantage, 0.0) + series["value"]
+        return totals
+
+    successes = by_vantage("scan.success")
+    failures = by_vantage("scan.failure")
     lines = []
-    for key in sorted(attempts):
-        attempted = attempts[key]
-        reached = successes.get(key, 0.0)
+    for vantage in sorted(set(successes) | set(failures)):
+        reached = successes.get(vantage, 0.0)
+        attempted = reached + failures.get(vantage, 0.0)
         share = 100.0 * reached / attempted if attempted else 0.0
-        vantage = dict(key).get("vantage", "?")
         lines.append(
             f"vantage {vantage:<4} reachable {int(reached):,}/"
             f"{int(attempted):,} ({share:.1f}%)"
@@ -92,14 +96,29 @@ def _cmd_scan(args: argparse.Namespace) -> int:
                 return obs.ProgressLine(
                     total, prefix=f"scan[{vantage}]", force=True
                 )
+        retry_policy = None
+        if args.retries:
+            from repro.net import RetryPolicy
+
+            retry_policy = RetryPolicy(
+                retries=args.retries, base_delay=args.backoff
+            )
         try:
             if args.simulate_network:
                 collection = campaign.collect(
-                    journal=journal, progress_factory=progress_factory
+                    journal=journal, progress_factory=progress_factory,
+                    retry_policy=retry_policy,
+                    breaker_threshold=args.breaker_threshold or None,
                 )
                 observations = collection.observations
                 for line in _render_reachability(registry.snapshot()):
                     print(line)
+                for vantage, reason in sorted(
+                    collection.degraded_vantages.items()
+                ):
+                    print(f"warning: vantage {vantage} degraded "
+                          f"({reason}); union dataset is partial",
+                          file=sys.stderr)
             else:
                 observations = ecosystem.observations()
             cache = None
@@ -488,6 +507,17 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--progress", action="store_true",
                       help="render a live single-line progress bar "
                            "per vantage (requires --simulate-network)")
+    scan.add_argument("--retries", type=int, default=0,
+                      help="retry transient scan failures up to this "
+                           "many times with exponential backoff "
+                           "(requires --simulate-network; default: 0)")
+    scan.add_argument("--backoff", type=float, default=5.0,
+                      help="base backoff delay in simulated seconds "
+                           "before the first retry (default: 5)")
+    scan.add_argument("--breaker-threshold", type=int, default=0,
+                      help="trip a per-vantage circuit breaker after "
+                           "this many consecutive unreachable scans "
+                           "(0: disabled)")
     scan.add_argument("--workers", type=int, default=0,
                       help="analyse through the deduplicating pipeline "
                            "with this many workers (capped at the core "

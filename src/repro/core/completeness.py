@@ -52,9 +52,9 @@ class CompletenessAnalysis:
     aia_outcome:
         The :func:`repro.trust.aia.complete_via_aia` outcome for
         incomplete chains (``"completed"``, ``"missing_aia"``,
-        ``"unreachable"``, ``"wrong_certificate"``, ``"depth_exceeded"``)
-        or ``"unsupported"`` when analysed without an AIA fetcher;
-        None for complete chains.
+        ``"unreachable"``, ``"not_found"``, ``"wrong_certificate"``,
+        ``"depth_exceeded"``) or ``"unsupported"`` when analysed
+        without an AIA fetcher; None for complete chains.
     """
 
     category: CompletenessClass

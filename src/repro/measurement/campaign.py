@@ -14,7 +14,12 @@ from dataclasses import dataclass, field
 from repro import obs
 from repro.core.compliance import ChainComplianceReport, analyze_chain
 from repro.core.report import DatasetReport, aggregate
-from repro.net.scanner import ScanRecord, Scanner
+from repro.net.scanner import (
+    CircuitBreaker,
+    RetryPolicy,
+    ScanRecord,
+    Scanner,
+)
 from repro.net.simnet import SimulatedNetwork
 from repro.net.tls import TLS12, TLS13
 from repro.obs.journal import RunJournal
@@ -47,6 +52,16 @@ class CollectionResult:
     #: unique chains / unique certificates across the union
     unique_chains: int
     unique_certificates: int
+    #: vantages that could not deliver a full scan sweep, mapped to a
+    #: reason (``"breaker_open"`` / ``"no_successful_scans"``); the
+    #: union above is then a *partial* dataset and downstream reports
+    #: must say so instead of presenting a silently smaller union
+    degraded_vantages: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any vantage failed to contribute fully."""
+        return bool(self.degraded_vantages)
 
     @property
     def total_observations(self) -> int:
@@ -119,7 +134,10 @@ class Campaign:
 
     def collect(self, *, vantages: tuple[str, ...] = (VANTAGE_US, VANTAGE_AU),
                 journal: RunJournal | None = None,
-                progress_factory=None) -> CollectionResult:
+                progress_factory=None,
+                retry_policy: RetryPolicy | None = None,
+                breaker_threshold: int | None = None,
+                breaker_probe_interval: float = 300.0) -> CollectionResult:
         """Scan every domain from each vantage and merge (union rule).
 
         Parameters
@@ -130,29 +148,63 @@ class Campaign:
             On a resumed run, (domain, vantage) scans the journal
             already holds — and a ``collection`` event it already
             holds — are not re-appended, so per-domain scan history
-            stays one record per observation.
+            stays one record per observation.  Vantage degradation is
+            recorded as one ``degradation`` event per vantage (same
+            dedup rule).
         progress_factory:
             ``factory(vantage, total)`` returning an object with
             ``update(ok=...)`` / ``finish()`` (e.g.
             :class:`repro.obs.ProgressLine`) to render live progress.
+        retry_policy:
+            Backoff policy for transient scan failures; None (default)
+            scans each domain exactly once, the PR-1 behaviour.
+        breaker_threshold:
+            When set, each vantage gets a
+            :class:`~repro.net.scanner.CircuitBreaker` tripping after
+            this many consecutive unreachable scans; a vantage whose
+            breaker is still open when its sweep ends is marked
+            *degraded* rather than merged as if complete.
+
+        A vantage that finishes its sweep with zero successful scans
+        (over a non-empty domain list) is always marked degraded, with
+        or without a breaker: the union of the remaining vantages is a
+        partial dataset, and the ``degraded`` flags on the result and
+        the journal's ``collection`` event say so explicitly.
         """
         tracer = obs.get_tracer()
         network = self._ensure_network()
         domains = [d.domain for d in self.ecosystem.deployments]
         journaled_scans: set[tuple[str, str]] = set()
+        journaled_degradations: set[str] = set()
         collection_journaled = False
         if journal is not None:
             journaled_scans = {
                 (event.get("domain"), event.get("vantage"))
                 for event in journal.events("scan")
             }
+            journaled_degradations = {
+                event.get("vantage")
+                for event in journal.events("degradation")
+            }
             collection_journaled = bool(journal.events("collection"))
         per_vantage: dict[str, list[ScanRecord]] = {}
+        degraded_vantages: dict[str, str] = {}
         with tracer.span("campaign.collect", domains=len(domains),
                          vantages=len(vantages)):
             for vantage in vantages:
                 with tracer.span("campaign.scan", vantage=vantage):
-                    scanner = Scanner(network, vantage)
+                    breaker = (
+                        CircuitBreaker(
+                            network.clock, vantage,
+                            threshold=breaker_threshold,
+                            probe_interval=breaker_probe_interval,
+                        )
+                        if breaker_threshold else None
+                    )
+                    scanner = Scanner(
+                        network, vantage,
+                        retry_policy=retry_policy, breaker=breaker,
+                    )
                     progress = (
                         progress_factory(vantage, len(domains))
                         if progress_factory is not None else None
@@ -173,15 +225,28 @@ class Campaign:
                                 error=(str(record.error)
                                        if record.error else None),
                                 wire_bytes=record.wire_bytes,
+                                attempts=record.attempts,
                             )
                         if progress is not None:
                             progress.update(ok=record.success)
 
-                    per_vantage[vantage] = scanner.scan(
+                    records = scanner.scan(
                         domains, versions=(TLS12,), progress=observe
                     )
+                    per_vantage[vantage] = records
                     if progress is not None:
                         progress.finish()
+                    reason = self._degradation_reason(records, breaker)
+                    if reason is not None:
+                        degraded_vantages[vantage] = reason
+                        _log.warning("campaign.vantage_degraded",
+                                     vantage=vantage, reason=reason)
+                        obs.get_metrics().counter(
+                            "campaign.vantage_degraded", vantage=vantage
+                        ).inc()
+                        if (journal is not None
+                                and vantage not in journaled_degradations):
+                            journal.record_degradation(vantage, reason)
 
             seen: set[tuple[str, tuple[bytes, ...]]] = set()
             observations: list[tuple[str, list[Certificate]]] = []
@@ -203,7 +268,8 @@ class Campaign:
                         )
         _log.info("campaign.collected", domains=len(domains),
                   observations=len(observations),
-                  unique_chains=len(seen))
+                  unique_chains=len(seen),
+                  degraded=bool(degraded_vantages))
         if journal is not None and not collection_journaled:
             journal.record(
                 "collection",
@@ -211,6 +277,8 @@ class Campaign:
                 observations=len(observations),
                 unique_chains=len(seen),
                 unique_certificates=len(all_certs),
+                degraded=bool(degraded_vantages),
+                degraded_vantages=degraded_vantages,
             )
         return CollectionResult(
             per_vantage=per_vantage,
@@ -221,7 +289,18 @@ class Campaign:
             },
             unique_chains=len(seen),
             unique_certificates=len(all_certs),
+            degraded_vantages=degraded_vantages,
         )
+
+    @staticmethod
+    def _degradation_reason(records: list[ScanRecord],
+                            breaker: CircuitBreaker | None) -> str | None:
+        """Why a finished vantage sweep counts as degraded, if it does."""
+        if breaker is not None and breaker.tripped:
+            return "breaker_open"
+        if records and not any(r.success for r in records):
+            return "no_successful_scans"
+        return None
 
     def compare_tls_versions(self, *, vantage: str = VANTAGE_US,
                              sample: int | None = None) -> float:

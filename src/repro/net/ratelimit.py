@@ -26,7 +26,8 @@ class TokenBucket:
         self.rate = rate
         self.burst = burst
         self._tokens = burst
-        self._last_refill = clock.now()
+        self._created = clock.now()
+        self._last_refill = self._created
         self.total_consumed = 0.0
         self.total_wait = 0.0
 
@@ -71,6 +72,12 @@ class TokenBucket:
         return waited
 
     def observed_rate(self) -> float:
-        """Average consumption rate since creation (tokens/second)."""
-        elapsed = self.clock.now()
+        """Average consumption rate since creation (tokens/second).
+
+        Measured against time elapsed *since this bucket was created*,
+        not since the clock's epoch — a bucket built mid-campaign
+        (e.g. the second vantage's scanner) would otherwise divide by
+        the whole campaign's runtime and under-report its rate.
+        """
+        elapsed = self.clock.now() - self._created
         return self.total_consumed / elapsed if elapsed > 0 else 0.0

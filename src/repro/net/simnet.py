@@ -7,15 +7,25 @@ reachability (the paper's US and Australia VPSs saw different subsets
 of Tranco and occasionally different certificates), a simulated clock,
 and seeded latency.  Everything above this layer — TLS handshakes, HTTP
 fetches, the scanner — goes through :meth:`SimulatedNetwork.connect`.
+
+Fault injection is scripted through a :class:`FaultPlan` attached to
+the network: per-host transient flakiness, deterministic
+fail-the-next-N connects, vantage outage windows on the simulated
+clock, latency spikes, and mid-handshake truncation.  The plan carries
+its own seeded RNG, so enabling faults never perturbs the latency
+stream a fault-free run would have drawn — the property the chaos
+parity tests (``tests/net/test_chaos.py``) depend on.
 """
 
 from __future__ import annotations
 
+import math
 import random
+from collections import Counter
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.errors import HostUnreachableError, NetworkError
+from repro.errors import ConnectionResetError_, HostUnreachableError, NetworkError
 
 #: A port handler: request bytes in, response object out.  The "wire
 #: format" is Python objects; serialisation fidelity is not the point.
@@ -35,6 +45,204 @@ class SimClock:
         if seconds < 0:
             raise ValueError("time cannot go backwards")
         self._now += seconds
+
+
+@dataclass(frozen=True, slots=True)
+class Window:
+    """A half-open ``[start, end)`` interval on the simulated clock."""
+
+    start: float
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("window must not end before it starts")
+
+    def covers(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+class FaultPlan:
+    """A scriptable, seeded fault-injection plan for one network.
+
+    The plan is declarative: script the faults up front, attach the plan
+    to a :class:`SimulatedNetwork` (constructor argument or
+    :meth:`SimulatedNetwork.set_fault_plan`), and the network consults
+    it on every connect.  Two fault families exist:
+
+    * **Deterministic** — :meth:`fail_next_connects`,
+      :meth:`truncate_next_handshakes`, :meth:`fail_next_aia_fetches`,
+      and the clock-window faults (:meth:`vantage_outage`,
+      :meth:`host_outage`, :meth:`latency_spike`, :meth:`aia_brownout`).
+      These fire at exactly the scripted attempt or instant, so a
+      campaign with enough retries provably recovers — the chaos parity
+      guarantee.
+    * **Probabilistic** — :meth:`flaky_host`,
+      :meth:`truncate_handshakes`, :meth:`flaky_aia`.  These draw from
+      the plan's own seeded RNG, reproducible per seed but independent
+      of the network's latency RNG.
+
+    ``injected`` counts every fault actually fired, by kind; the same
+    counts are mirrored into the ``faults.injected`` metric family.
+    """
+
+    def __init__(self, *, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._flaky_hosts: dict[str, float] = {}
+        self._fail_next: dict[str, int] = {}
+        self._truncate_hosts: dict[str, float] = {}
+        self._truncate_next: dict[str, int] = {}
+        self._vantage_outages: dict[str, list[Window]] = {}
+        self._host_outages: dict[str, list[Window]] = {}
+        self._latency_spikes: dict[str, list[tuple[Window, float]]] = {}
+        self._aia_brownouts: list[Window] = []
+        self._aia_fail_next = 0
+        self._aia_flakiness = 0.0
+        #: fault kind -> number of times it actually fired
+        self.injected: Counter[str] = Counter()
+
+    # -- scripting -----------------------------------------------------
+
+    @staticmethod
+    def _check_probability(probability: float) -> None:
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+
+    def flaky_host(self, host: str, probability: float) -> "FaultPlan":
+        """Each connect to ``host`` fails with ``probability`` (transient)."""
+        self._check_probability(probability)
+        self._flaky_hosts[host] = probability
+        return self
+
+    def fail_next_connects(self, host: str, count: int) -> "FaultPlan":
+        """The next ``count`` connects to ``host`` fail, then recover.
+
+        The deterministic transient fault: a scanner retrying more than
+        ``count`` times is *guaranteed* to get through.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._fail_next[host] = count
+        return self
+
+    def truncate_handshakes(self, host: str, probability: float) -> "FaultPlan":
+        """Connects to ``host`` succeed but the exchange is cut with
+        ``probability`` — the peer resets mid-handshake."""
+        self._check_probability(probability)
+        self._truncate_hosts[host] = probability
+        return self
+
+    def truncate_next_handshakes(self, host: str, count: int) -> "FaultPlan":
+        """Deterministically truncate the next ``count`` exchanges."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._truncate_next[host] = count
+        return self
+
+    def vantage_outage(self, vantage: str, start: float,
+                       end: float = math.inf) -> "FaultPlan":
+        """All connects from ``vantage`` fail while the clock is in
+        ``[start, end)`` — the hard single-VPS outage of §3.1."""
+        self._vantage_outages.setdefault(vantage, []).append(Window(start, end))
+        return self
+
+    def host_outage(self, host: str, start: float,
+                    end: float = math.inf) -> "FaultPlan":
+        """``host`` is down (from every vantage) during ``[start, end)``."""
+        self._host_outages.setdefault(host, []).append(Window(start, end))
+        return self
+
+    def latency_spike(self, vantage: str, start: float, end: float,
+                      multiplier: float) -> "FaultPlan":
+        """Scale ``vantage``'s RTTs by ``multiplier`` during the window."""
+        if multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        self._latency_spikes.setdefault(vantage, []).append(
+            (Window(start, end), multiplier)
+        )
+        return self
+
+    def aia_brownout(self, start: float,
+                     end: float = math.inf) -> "FaultPlan":
+        """AIA repository fetches fail transiently during ``[start, end)``
+        (consulted by repositories attached via
+        :meth:`repro.trust.aia.StaticAIARepository.inject_faults`)."""
+        self._aia_brownouts.append(Window(start, end))
+        return self
+
+    def fail_next_aia_fetches(self, count: int) -> "FaultPlan":
+        """The next ``count`` AIA fetches fail transiently, then recover."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._aia_fail_next = count
+        return self
+
+    def flaky_aia(self, probability: float) -> "FaultPlan":
+        """Each AIA fetch fails transiently with ``probability``."""
+        self._check_probability(probability)
+        self._aia_flakiness = probability
+        return self
+
+    # -- evaluation (called by the network / AIA repository) -----------
+
+    def _fire(self, kind: str) -> str:
+        self.injected[kind] += 1
+        from repro import obs  # late import avoids a package cycle
+
+        obs.get_metrics().counter("faults.injected", kind=kind).inc()
+        return kind
+
+    def connect_fault(self, vantage: str, host: str,
+                      now: float) -> str | None:
+        """The fault kind afflicting this connect, or None to let it by."""
+        if any(w.covers(now) for w in self._vantage_outages.get(vantage, ())):
+            return self._fire("vantage_outage")
+        if any(w.covers(now) for w in self._host_outages.get(host, ())):
+            return self._fire("host_outage")
+        remaining = self._fail_next.get(host, 0)
+        if remaining > 0:
+            self._fail_next[host] = remaining - 1
+            return self._fire("fail_next")
+        probability = self._flaky_hosts.get(host, 0.0)
+        if probability and self._rng.random() < probability:
+            return self._fire("flaky")
+        return None
+
+    def latency_multiplier(self, vantage: str, now: float) -> float:
+        """Product of every spike window covering ``now``."""
+        factor = 1.0
+        for window, multiplier in self._latency_spikes.get(vantage, ()):
+            if window.covers(now):
+                factor *= multiplier
+                self._fire("latency_spike")
+        return factor
+
+    def should_truncate(self, host: str) -> bool:
+        remaining = self._truncate_next.get(host, 0)
+        if remaining > 0:
+            self._truncate_next[host] = remaining - 1
+            self._fire("truncate_next")
+            return True
+        probability = self._truncate_hosts.get(host, 0.0)
+        if probability and self._rng.random() < probability:
+            self._fire("truncate")
+            return True
+        return False
+
+    def aia_fault(self, now: float | None) -> str | None:
+        """The fault afflicting this AIA fetch, or None.
+
+        ``now`` is the attached clock's time, or None when the
+        repository has no clock (brown-out windows then never fire).
+        """
+        if now is not None and any(w.covers(now) for w in self._aia_brownouts):
+            return self._fire("aia_brownout")
+        if self._aia_fail_next > 0:
+            self._aia_fail_next -= 1
+            return self._fire("aia_fail_next")
+        if self._aia_flakiness and self._rng.random() < self._aia_flakiness:
+            return self._fire("aia_flaky")
+        return None
 
 
 @dataclass
@@ -58,8 +266,15 @@ class Connection:
     port: int
     vantage: str
     rtt: float
+    #: set by an active FaultPlan: the peer resets mid-exchange
+    truncated: bool = False
 
     def request(self, payload: object) -> object:
+        if self.truncated:
+            raise ConnectionResetError_(
+                f"{self.host.name}:{self.port} connection reset "
+                f"mid-handshake"
+            )
         handler = self.host.handlers.get(self.port)
         if handler is None:
             raise NetworkError(f"{self.host.name}:{self.port} refused connection")
@@ -78,9 +293,14 @@ class SimulatedNetwork:
     seed:
         Drives latency sampling and any stochastic reachability, making
         whole campaigns reproducible.
+    fault_plan:
+        An optional :class:`FaultPlan` consulted on every connect.  The
+        plan draws from its own RNG, so attaching one leaves the
+        latency stream untouched.
     """
 
-    def __init__(self, *, seed: int = 0) -> None:
+    def __init__(self, *, seed: int = 0,
+                 fault_plan: FaultPlan | None = None) -> None:
         self._rng = random.Random(seed)
         self.clock = SimClock()
         self.hosts: dict[str, Host] = {}
@@ -90,6 +310,11 @@ class SimulatedNetwork:
         self._vantage_rtt: dict[str, float] = {}
         #: per-host probability that any single connect attempt fails
         self._flaky: dict[str, float] = {}
+        self.fault_plan = fault_plan
+
+    def set_fault_plan(self, plan: FaultPlan | None) -> None:
+        """Attach (or with ``None`` detach) a fault-injection plan."""
+        self.fault_plan = plan
 
     # ------------------------------------------------------------------
     # Topology management
@@ -141,12 +366,24 @@ class SimulatedNetwork:
             raise HostUnreachableError(
                 f"{host_name} unreachable from {vantage}"
             )
+        plan = self.fault_plan
         base = self._vantage_rtt[vantage]
         rtt = base * self._rng.uniform(0.8, 1.6)
+        if plan is not None:
+            rtt *= plan.latency_multiplier(vantage, self.clock.now())
         self.clock.advance(rtt)
+        if plan is not None:
+            fault = plan.connect_fault(vantage, host_name, self.clock.now())
+            if fault is not None:
+                raise HostUnreachableError(
+                    f"{host_name}: connection failed from {vantage} "
+                    f"(injected {fault})"
+                )
         flakiness = self._flaky.get(host_name, 0.0)
         if flakiness and self._rng.random() < flakiness:
             raise HostUnreachableError(
                 f"{host_name}: transient connection failure from {vantage}"
             )
-        return Connection(self.hosts[host_name], port, vantage, rtt)
+        truncated = plan is not None and plan.should_truncate(host_name)
+        return Connection(self.hosts[host_name], port, vantage, rtt,
+                          truncated=truncated)

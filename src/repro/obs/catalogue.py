@@ -20,18 +20,31 @@ __all__ = [
 
 #: Counter families (label names in comments).
 COUNTERS: tuple[str, ...] = (
-    "scan.attempts",              # vantage
+    "scan.attempts",              # vantage — one per handshake *attempt*
+                                  # (retries included), so per vantage
+                                  # scan.attempts == scan.error + scan.success
     "scan.success",               # vantage
-    "scan.failure",               # vantage, kind (ScanErrorKind)
+    "scan.failure",               # vantage, kind (ScanErrorKind, incl.
+                                  # reset | skipped) — failed *scans*
     "scan.error",                 # vantage, kind — every failed attempt,
                                   # retried ones included
+    "scan.retry.attempts",        # vantage — retries actually taken
+    "scan.retry.backoff_seconds",  # vantage — simulated time spent backing off
+    "scan.retry.budget_exhausted",  # vantage — retries abandoned on budget
     "scan.ratelimit_wait_seconds",  # vantage
+    "breaker.tripped",            # vantage — open events
+    "breaker.skipped",            # vantage — scans skipped while open
+    "breaker.probes",             # vantage — half-open probe scans
+    "breaker.closed",             # vantage — recoveries
+    "faults.injected",            # kind (FaultPlan fault classes)
     "ratelimit.throttled",
     "campaign.chains_analyzed",
     "campaign.chains_resumed",    # reconstructed from a run journal
+    "campaign.vantage_degraded",  # vantage
     "aia.fetch.attempts",
     "aia.fetch.success",
     "aia.fetch.failure",          # reason (unreachable | not_found)
+    "aia.fetch.retries",          # transient-failure retries taken
     "cache.hits",
     "cache.misses",
     "chainbuilder.builds",        # client, outcome (anchored | failed)

@@ -318,6 +318,24 @@ class RunJournal:
         record.update(fields)
         self._append(record)
 
+    def record_degradation(self, vantage: str, reason: str,
+                           **fields: Any) -> None:
+        """Append one ``degradation`` event: a vantage that could not
+        deliver a full sweep (circuit breaker still open at the end,
+        or zero successful scans).  The campaign dedupes these on
+        resume the same way it dedupes scans, so each vantage is
+        recorded at most once per run."""
+        self.record("degradation", vantage=vantage, reason=reason, **fields)
+
+    def degraded_vantages(self) -> dict[str, str]:
+        """Vantage → reason for the ``degradation`` events already on
+        disk when this journal was opened (resume view)."""
+        return {
+            event["vantage"]: event.get("reason", "unknown")
+            for event in self.events("degradation")
+            if "vantage" in event
+        }
+
     def record_verdict(self, domain: str, chain_key: tuple[str, ...],
                        report: Any, *,
                        encoded: str | None = None) -> None:

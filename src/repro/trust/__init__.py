@@ -5,7 +5,9 @@ from repro.trust.aia import (
     AIAFetcher,
     FetchStats,
     MAX_AIA_DEPTH,
+    RetryingAIAFetcher,
     StaticAIARepository,
+    TRANSIENT_FETCH_REASONS,
     complete_via_aia,
 )
 from repro.trust.cache import IntermediateCache
@@ -28,10 +30,12 @@ __all__ = [
     "MAX_AIA_DEPTH",
     "RevocationEntry",
     "RevocationRegistry",
+    "RetryingAIAFetcher",
     "RevocationStatus",
     "RootStore",
     "RootStoreRegistry",
     "STORE_NAMES",
     "StaticAIARepository",
+    "TRANSIENT_FETCH_REASONS",
     "complete_via_aia",
 ]

@@ -22,6 +22,11 @@ from repro.x509 import Certificate
 #: Safety bound on recursive AIA chasing; real clients cap similarly.
 MAX_AIA_DEPTH = 16
 
+#: Fetch-failure reasons worth retrying: the server may come back.  A
+#: ``not_found`` is a definitive answer (the URI resolved, no
+#: certificate lives there) and retrying cannot change it.
+TRANSIENT_FETCH_REASONS = frozenset({"unreachable"})
+
 
 class AIAFetcher(Protocol):
     """Anything that can resolve a caIssuers URI to a certificate."""
@@ -55,6 +60,9 @@ class StaticAIARepository:
     def __init__(self) -> None:
         self._entries: dict[str, Certificate] = {}
         self._unreachable: set[str] = set()
+        self._transient_failures: dict[str, int] = {}
+        self._fault_plan = None
+        self._fault_clock = None
         self.stats = FetchStats()
 
     def publish(self, uri: str, cert: Certificate) -> None:
@@ -68,10 +76,45 @@ class StaticAIARepository:
     def mark_unreachable(self, uri: str) -> None:
         self._unreachable.add(uri)
 
+    def fail_transiently(self, uri: str, count: int) -> None:
+        """The next ``count`` fetches of ``uri`` fail as unreachable,
+        then the URI recovers — the deterministic brown-out used by the
+        retry tests."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._transient_failures[uri] = count
+
+    def inject_faults(self, plan, clock=None) -> None:
+        """Attach a :class:`repro.net.simnet.FaultPlan` (and optionally
+        the network clock, which arms the plan's ``aia_brownout``
+        windows); pass ``None`` to detach."""
+        self._fault_plan = plan
+        self._fault_clock = clock
+
+    def _injected_fault(self) -> str | None:
+        if self._fault_plan is None:
+            return None
+        now = self._fault_clock.now() if self._fault_clock is not None else None
+        return self._fault_plan.aia_fault(now)
+
     def fetch(self, uri: str) -> Certificate:
         self.stats.attempts += 1
         metrics = obs.get_metrics()
         metrics.counter("aia.fetch.attempts").inc()
+        remaining = self._transient_failures.get(uri, 0)
+        if remaining > 0:
+            self._transient_failures[uri] = remaining - 1
+            self.stats.failures += 1
+            metrics.counter("aia.fetch.failure", reason="unreachable").inc()
+            raise AIAFetchError(
+                f"URI transiently unreachable: {uri}", uri, "unreachable"
+            )
+        if self._injected_fault() is not None:
+            self.stats.failures += 1
+            metrics.counter("aia.fetch.failure", reason="unreachable").inc()
+            raise AIAFetchError(
+                f"repository brown-out: {uri}", uri, "unreachable"
+            )
         if uri in self._unreachable:
             self.stats.failures += 1
             metrics.counter("aia.fetch.failure", reason="unreachable").inc()
@@ -94,6 +137,33 @@ class StaticAIARepository:
         return list(self._entries.items())
 
 
+class RetryingAIAFetcher:
+    """Wrap any :class:`AIAFetcher` with bounded transient-failure retries.
+
+    Only failures whose reason is in :data:`TRANSIENT_FETCH_REASONS`
+    are retried (at most ``retries`` extra attempts per fetch);
+    definitive failures — ``not_found``, ``wrong_certificate`` — pass
+    straight through.  Each retry increments ``aia.fetch.retries``.
+    """
+
+    def __init__(self, fetcher: AIAFetcher, *, retries: int = 2) -> None:
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.fetcher = fetcher
+        self.retries = retries
+
+    def fetch(self, uri: str) -> Certificate:
+        for attempt in range(self.retries + 1):
+            try:
+                return self.fetcher.fetch(uri)
+            except AIAFetchError as exc:
+                if (exc.reason not in TRANSIENT_FETCH_REASONS
+                        or attempt == self.retries):
+                    raise
+                obs.get_metrics().counter("aia.fetch.retries").inc()
+        raise AssertionError("unreachable: loop returns or raises")
+
+
 @dataclass(frozen=True, slots=True)
 class AIACompletionResult:
     """Outcome of recursively chasing AIA from one certificate.
@@ -103,7 +173,11 @@ class AIACompletionResult:
 
     * ``"completed"`` — reached a self-signed certificate;
     * ``"missing_aia"`` — some certificate on the way lacks the field;
-    * ``"unreachable"`` — a URI could not be fetched;
+    * ``"unreachable"`` — a URI's server could not be reached (the
+      paper's "dead URI" class);
+    * ``"not_found"`` — the server answered but no certificate lives at
+      the URI (a distinct failure class: the repository is alive, the
+      published path is wrong);
     * ``"wrong_certificate"`` — a URI served a non-issuer
       (detected when the fetched certificate does not certify the one
       being completed, or is the same certificate);
@@ -119,16 +193,21 @@ class AIACompletionResult:
 
 
 def complete_via_aia(cert: Certificate, fetcher: AIAFetcher,
-                     *, max_depth: int = MAX_AIA_DEPTH) -> AIACompletionResult:
+                     *, max_depth: int = MAX_AIA_DEPTH,
+                     retries: int = 0) -> AIACompletionResult:
     """Recursively fetch issuers for ``cert`` until a self-signed cert.
 
     Mirrors the paper's completeness recovery: download via the
     caIssuers URI, check the result actually issued the requester, and
     iterate.  Already self-signed input completes immediately with no
-    fetches.
+    fetches.  ``retries`` bounds extra attempts per URI for *transient*
+    failures (:data:`TRANSIENT_FETCH_REASONS`); a ``not_found`` is
+    definitive and never retried.
     """
     from repro.core.relation import issued  # local import avoids a cycle
 
+    if retries:
+        fetcher = RetryingAIAFetcher(fetcher, retries=retries)
     fetched: list[Certificate] = []
     current = cert
     for _ in range(max_depth):
@@ -146,8 +225,11 @@ def complete_via_aia(cert: Certificate, fetcher: AIAFetcher,
             except AIAFetchError as exc:
                 last_error = exc.reason
         if candidate is None:
+            # "not_found" (the URI resolved; nothing is published
+            # there) is a distinct failure class from a dead server.
+            # This branch used to return "unreachable" on both sides.
             return AIACompletionResult(
-                "unreachable" if last_error != "not_found" else "unreachable",
+                "not_found" if last_error == "not_found" else "unreachable",
                 tuple(fetched),
             )
         if candidate.fingerprint == current.fingerprint or not issued(

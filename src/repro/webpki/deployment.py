@@ -107,6 +107,10 @@ class ChainMaterializer:
         self.wrong_aia_paths: dict[str, Certificate] = (
             wrong_aia_paths if wrong_aia_paths is not None else {}
         )
+        #: URIs minted for the "dead URI" failure class: the host must
+        #: exist but refuse the fetch (repository marks them
+        #: unreachable), so the class is a dead *server*, not a 404.
+        self.dead_aia_uris: set[str] = set()
         self._junk_root = self._mint_junk_root()
 
     def _key_seed(self) -> bytes:
@@ -237,11 +241,12 @@ class ChainMaterializer:
                 )
             elif plan.incomplete_aia_failure == "dead":
                 base = instance.aia_base or "http://aia.dead.example"
+                uri = f"{base}/missing/{leaf_domain(leaf)}.crt"
                 bad_leaf = issuing.issue_leaf(
                     leaf_domain(leaf), not_before=not_before, days=180,
-                    aia_uri=f"{base}/missing/{leaf_domain(leaf)}.crt",
-                    key_seed=self._key_seed(),
+                    aia_uri=uri, key_seed=self._key_seed(),
                 )
+                self.dead_aia_uris.add(uri)
             else:  # "wrong": the URI serves the certificate itself
                 base = instance.aia_base or "http://aia.dead.example"
                 uri = f"{base}/wrong/{leaf_domain(leaf)}.crt"

@@ -161,6 +161,10 @@ class Ecosystem:
         # Per-domain wrong-AIA endpoints surfaced during materialisation.
         for uri, cert in materializer.wrong_aia_paths.items():
             aia_repo.publish(uri, cert)
+        # Dead-URI endpoints: the repository refuses the fetch (a dead
+        # *server*), keeping the class distinct from a not-found path.
+        for uri in materializer.dead_aia_uris:
+            aia_repo.mark_unreachable(uri)
 
         ecosystem = cls(
             config=config,

@@ -1,0 +1,405 @@
+"""Chaos harness: fault injection, retry/backoff, circuit breakers,
+and graceful vantage degradation (docs/ROBUSTNESS.md).
+
+The two central guarantees under test:
+
+* **Chaos parity** — a campaign run under a *transient* FaultPlan with
+  enough retries produces reports and journal verdict lines
+  byte-identical to a fault-free run.
+* **Explicit degradation** — a *hard* vantage outage produces a
+  campaign explicitly marked ``degraded`` (result flag, journal
+  ``degradation`` event, ``collection`` event field) instead of a
+  silently smaller union.
+"""
+
+import pytest
+
+from repro import obs
+from repro.errors import HostUnreachableError
+from repro.measurement import Campaign
+from repro.net import (
+    CircuitBreaker,
+    FaultPlan,
+    RetryPolicy,
+    Scanner,
+    SimClock,
+    SimulatedNetwork,
+    TLSServerConfig,
+    Window,
+    install_tls_server,
+)
+from repro.obs import RunJournal, read_journal
+from repro.webpki import Ecosystem, EcosystemConfig
+from repro.webpki.ecosystem import VANTAGE_AU, VANTAGE_US
+
+#: Small but structurally complete campaign config shared by the
+#: end-to-end chaos tests; every run regenerates the identical world.
+CONFIG = EcosystemConfig(n_domains=150, seed=23)
+
+
+def make_campaign(plan=None):
+    ecosystem = Ecosystem.generate(CONFIG)
+    network = ecosystem.install()
+    if plan is not None:
+        network.set_fault_plan(plan)
+    return ecosystem, Campaign(ecosystem, network=network)
+
+
+def run_campaign(path, plan=None, **collect_kwargs):
+    """Collect + analyse one journaled campaign; return the artefacts."""
+    _, campaign = make_campaign(plan)
+    with RunJournal.create(path, campaign.manifest()) as journal:
+        collection = campaign.collect(journal=journal, **collect_kwargs)
+        report, _ = campaign.analyze(
+            collection.observations, journal=journal
+        )
+    verdict_lines = [
+        line for line in path.read_text(encoding="utf-8").splitlines()
+        if line.startswith('{"type":"verdict"')
+    ]
+    return collection, report, verdict_lines
+
+
+def observation_keys(collection):
+    return [
+        (domain, tuple(c.fingerprint for c in chain))
+        for domain, chain in collection.observations
+    ]
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """The fault-free campaign every chaos run is compared against."""
+    path = tmp_path_factory.mktemp("chaos") / "baseline.jsonl"
+    return run_campaign(path)
+
+
+class TestChaosParity:
+    """Transient plan + retries == fault-free run, byte for byte."""
+
+    def test_reports_and_verdict_lines_byte_identical(
+        self, baseline, tmp_path
+    ):
+        base_collection, base_report, base_verdicts = baseline
+        targets = [d.domain for d in Ecosystem.generate(CONFIG)
+                   .deployments[:4]]
+        plan = (
+            FaultPlan(seed=7)
+            .fail_next_connects(targets[0], 2)
+            .fail_next_connects(targets[1], 3)
+            .truncate_next_handshakes(targets[2], 2)
+            .truncate_next_handshakes(targets[3], 1)
+            .latency_spike(VANTAGE_US, 0.0, 5.0, 4.0)
+        )
+        collection, report, verdicts = run_campaign(
+            tmp_path / "chaos.jsonl", plan,
+            retry_policy=RetryPolicy(retries=3, base_delay=0.5),
+        )
+        assert plan.injected  # the faults actually fired
+        assert plan.injected["fail_next"] == 5
+        assert plan.injected["truncate_next"] == 3
+        assert not collection.degraded
+        assert observation_keys(collection) == observation_keys(
+            base_collection
+        )
+        assert report == base_report
+        assert verdicts == base_verdicts
+
+    def test_fault_plan_does_not_perturb_latency_stream(self):
+        # The plan draws from its own RNG: attaching one (even a
+        # heavily-firing probabilistic one) must leave the network's
+        # seeded latency sequence untouched.
+        def clock_after(plan):
+            network = SimulatedNetwork(seed=5, fault_plan=plan)
+            network.add_host("a.example").bind(443, lambda p: p)
+            network.add_vantage("v")
+            for _ in range(20):
+                try:
+                    network.connect("v", "a.example", 443)
+                except HostUnreachableError:
+                    pass
+            return network.clock.now()
+
+        noisy = FaultPlan(seed=9).flaky_host("a.example", 0.5)
+        assert clock_after(None) == clock_after(noisy)
+
+
+class TestGracefulDegradation:
+    def test_hard_outage_marks_vantage_degraded(self, baseline, tmp_path):
+        base_collection, _, _ = baseline
+        path = tmp_path / "outage.jsonl"
+        plan = FaultPlan().vantage_outage(VANTAGE_AU, 0.0)
+        collection, _, _ = run_campaign(
+            path, plan, breaker_threshold=5,
+        )
+        assert collection.degraded
+        assert collection.degraded_vantages == {VANTAGE_AU: "breaker_open"}
+        assert collection.reachable_counts[VANTAGE_AU] == 0
+        # The union is exactly what the surviving vantage saw: the us
+        # sweep is unaffected, au contributes nothing.
+        expected = []
+        seen = set()
+        for record in base_collection.per_vantage[VANTAGE_US]:
+            if not record.success:
+                continue
+            key = (record.domain,
+                   tuple(c.fingerprint for c in record.chain))
+            if key not in seen:
+                seen.add(key)
+                expected.append(key)
+        assert observation_keys(collection) == expected
+
+        _, events = read_journal(path)
+        (degradation,) = [e for e in events if e["type"] == "degradation"]
+        assert degradation["vantage"] == VANTAGE_AU
+        assert degradation["reason"] == "breaker_open"
+        (summary,) = [e for e in events if e["type"] == "collection"]
+        assert summary["degraded"] is True
+        assert summary["degraded_vantages"] == {VANTAGE_AU: "breaker_open"}
+
+    def test_zero_success_sweep_degrades_without_breaker(self, tmp_path):
+        plan = FaultPlan().vantage_outage(VANTAGE_AU, 0.0)
+        collection, _, _ = run_campaign(tmp_path / "nobreaker.jsonl", plan)
+        assert collection.degraded_vantages == {
+            VANTAGE_AU: "no_successful_scans"
+        }
+
+    def test_resumed_collect_does_not_duplicate_degradation(self, tmp_path):
+        path = tmp_path / "resume.jsonl"
+        plan = FaultPlan().vantage_outage(VANTAGE_AU, 0.0)
+        _, campaign = make_campaign(plan)
+        with RunJournal.create(path, campaign.manifest()) as journal:
+            campaign.collect(journal=journal, breaker_threshold=5)
+        with RunJournal.open(path, campaign.manifest()) as journal:
+            assert journal.degraded_vantages() == {
+                VANTAGE_AU: "breaker_open"
+            }
+            campaign.collect(journal=journal, breaker_threshold=5)
+        _, events = read_journal(path)
+        assert len([e for e in events if e["type"] == "degradation"]) == 1
+        assert len([e for e in events if e["type"] == "collection"]) == 1
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(SimClock(), "us", threshold=3,
+                                 probe_interval=60.0)
+        breaker.record(reachable=False)
+        breaker.record(reachable=False)
+        assert not breaker.tripped
+        breaker.record(reachable=False)
+        assert breaker.tripped
+        assert breaker.trip_count == 1
+
+    def test_contact_resets_the_failure_run(self):
+        breaker = CircuitBreaker(SimClock(), "us", threshold=3)
+        breaker.record(reachable=False)
+        breaker.record(reachable=False)
+        breaker.record(reachable=True)  # handshake_failed still = contact
+        breaker.record(reachable=False)
+        assert not breaker.tripped
+        assert breaker.consecutive_failures == 1
+
+    def test_open_breaker_skips_then_probes(self):
+        clock = SimClock()
+        breaker = CircuitBreaker(clock, "us", threshold=2,
+                                 probe_interval=60.0)
+        breaker.record(reachable=False)
+        breaker.record(reachable=False)
+        assert not breaker.allow()  # open, probe not due yet
+        assert breaker.skipped == 1
+        clock.advance(60.0)
+        assert breaker.allow()      # half-open probe
+        assert not breaker.allow()  # only one probe per interval
+        breaker.record(reachable=True)
+        assert not breaker.tripped
+        assert breaker.allow()
+
+    def test_breaker_metrics(self):
+        clock = SimClock()
+        with obs.instrumented() as (registry, _):
+            breaker = CircuitBreaker(clock, "au", threshold=1,
+                                     probe_interval=10.0)
+            breaker.record(reachable=False)
+            breaker.allow()
+            clock.advance(10.0)
+            breaker.allow()
+            breaker.record(reachable=True)
+        obs.disable()
+        assert registry.value("breaker.tripped", vantage="au") == 1
+        assert registry.value("breaker.skipped", vantage="au") == 1
+        assert registry.value("breaker.probes", vantage="au") == 1
+        assert registry.value("breaker.closed", vantage="au") == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(SimClock(), "us", threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(SimClock(), "us", probe_interval=0.0)
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_with_cap(self):
+        policy = RetryPolicy(retries=6, base_delay=5.0, multiplier=2.0,
+                             max_delay=60.0, jitter=0.0)
+        delays = [policy.delay(n, vantage="us", domain="d")
+                  for n in range(1, 7)]
+        assert delays == [5.0, 10.0, 20.0, 40.0, 60.0, 60.0]
+
+    def test_jitter_deterministic_and_bounded(self):
+        policy = RetryPolicy(retries=3, base_delay=10.0, multiplier=1.0,
+                             jitter=0.25)
+        first = policy.delay(1, vantage="us", domain="a.example")
+        again = policy.delay(1, vantage="us", domain="a.example")
+        assert first == again  # derived from (vantage, domain, attempt)
+        assert 10.0 <= first < 12.5
+        other = policy.delay(1, vantage="au", domain="a.example")
+        assert other != first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(scan_budget=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=1).delay(0, vantage="us", domain="d")
+
+    def test_scan_budget_abandons_remaining_retries(self):
+        network = SimulatedNetwork()
+        network.add_vantage("us")
+        policy = RetryPolicy(retries=5, base_delay=10.0, multiplier=1.0,
+                             jitter=0.0, scan_budget=25.0)
+        with obs.instrumented() as (registry, _):
+            scanner = Scanner(network, "us", retry_policy=policy)
+            record = scanner.scan_domain("ghost.example")
+        obs.disable()
+        assert not record.success
+        # attempts 1..3 fit; the third backoff would blow the budget
+        assert record.attempts == 3
+        assert network.clock.now() == pytest.approx(20.0)
+        assert registry.value("scan.retry.budget_exhausted",
+                              vantage="us") == 1
+        assert registry.value("scan.retry.attempts", vantage="us") == 2
+
+
+class TestFaultPlanUnits:
+    def test_window_semantics(self):
+        window = Window(2.0, 5.0)
+        assert not window.covers(1.9)
+        assert window.covers(2.0)
+        assert window.covers(4.999)
+        assert not window.covers(5.0)  # half-open
+        assert Window(1.0).covers(1e12)  # open-ended
+        with pytest.raises(ValueError):
+            Window(5.0, 2.0)
+
+    def test_scripting_validation(self):
+        plan = FaultPlan()
+        with pytest.raises(ValueError):
+            plan.flaky_host("h", 1.5)
+        with pytest.raises(ValueError):
+            plan.fail_next_connects("h", -1)
+        with pytest.raises(ValueError):
+            plan.latency_spike("v", 0.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            plan.fail_next_aia_fetches(-2)
+
+    def test_fail_next_connects_recovers(self):
+        network = SimulatedNetwork(
+            fault_plan=FaultPlan().fail_next_connects("a.example", 2)
+        )
+        network.add_host("a.example").bind(443, lambda p: p)
+        network.add_vantage("v")
+        for _ in range(2):
+            with pytest.raises(HostUnreachableError, match="injected"):
+                network.connect("v", "a.example", 443)
+        assert network.connect("v", "a.example", 443)
+        assert network.fault_plan.injected["fail_next"] == 2
+
+    def test_latency_spike_scales_rtt_inside_window(self):
+        def elapsed(plan):
+            network = SimulatedNetwork(seed=4, fault_plan=plan)
+            network.add_host("a.example").bind(443, lambda p: p)
+            network.add_vantage("v", base_rtt=0.1)
+            network.connect("v", "a.example", 443)
+            return network.clock.now()
+
+        plain = elapsed(None)
+        spiked = elapsed(FaultPlan().latency_spike("v", 0.0, 10.0, 5.0))
+        assert spiked == pytest.approx(5.0 * plain)
+        past = elapsed(FaultPlan().latency_spike("v", 50.0, 60.0, 5.0))
+        assert past == pytest.approx(plain)
+
+    def test_vantage_outage_window_opens_and_closes(self):
+        plan = FaultPlan().vantage_outage("v", 0.0, 1.0)
+        network = SimulatedNetwork(fault_plan=plan)
+        network.add_host("a.example").bind(443, lambda p: p)
+        network.add_vantage("v", base_rtt=0.01)
+        with pytest.raises(HostUnreachableError, match="vantage_outage"):
+            network.connect("v", "a.example", 443)
+        network.clock.advance(2.0)
+        assert network.connect("v", "a.example", 443)
+
+    def test_truncated_handshake_scans_as_reset(self, hierarchy, leaf):
+        plan = FaultPlan().truncate_next_handshakes("a.example", 1)
+        network = SimulatedNetwork(seed=9, fault_plan=plan)
+        network.add_vantage("us", base_rtt=0.02)
+        install_tls_server(
+            network, "a.example",
+            TLSServerConfig(default_chain=hierarchy.chain_for(leaf)),
+        )
+        record = Scanner(network, "us").scan_domain("a.example")
+        assert not record.success
+        assert record.error == "reset"
+        # one retry later the deterministic truncation is spent
+        record = Scanner(network, "us",
+                         retry_policy=RetryPolicy(retries=1, base_delay=0.1)
+                         ).scan_domain("a.example")
+        assert record.success
+
+    def test_aia_brownout_window_needs_the_clock(self, hierarchy):
+        from repro.trust import StaticAIARepository
+
+        repo = StaticAIARepository()
+        repo.publish(hierarchy.root.aia_uri, hierarchy.root.certificate)
+        clock = SimClock()
+        plan = FaultPlan().aia_brownout(0.0, 10.0)
+
+        repo.inject_faults(plan)  # no clock: windows never fire
+        assert repo.fetch(hierarchy.root.aia_uri)
+
+        repo.inject_faults(plan, clock)
+        from repro.errors import AIAFetchError
+
+        with pytest.raises(AIAFetchError) as excinfo:
+            repo.fetch(hierarchy.root.aia_uri)
+        assert excinfo.value.reason == "unreachable"
+        clock.advance(10.0)
+        assert repo.fetch(hierarchy.root.aia_uri)
+        assert plan.injected["aia_brownout"] == 1
+
+
+class TestChaosMetricsInvariant:
+    def test_attempts_equal_errors_plus_successes_under_chaos(self):
+        targets = [d.domain for d in Ecosystem.generate(CONFIG)
+                   .deployments[:6]]
+        plan = FaultPlan(seed=3)
+        for domain in targets:
+            plan.flaky_host(domain, 0.5)
+        with obs.instrumented() as (registry, _):
+            _, campaign = make_campaign(plan)
+            campaign.collect(
+                retry_policy=RetryPolicy(retries=2, base_delay=0.2),
+                breaker_threshold=10,
+            )
+            attempts = registry.total("scan.attempts")
+            errors = registry.total("scan.error")
+            successes = registry.total("scan.success")
+            retries = registry.total("scan.retry.attempts")
+        obs.disable()
+        assert retries > 0  # chaos actually exercised the retry path
+        assert attempts == errors + successes

@@ -57,6 +57,25 @@ class TestBehaviour:
         # Allow the initial burst allowance on top of the steady rate.
         assert bucket.observed_rate() <= rate + rate / clock.now()
 
+    def test_observed_rate_measured_from_creation_not_epoch(self):
+        # Regression: a bucket created after the clock has run (the
+        # second vantage's scanner, mid-campaign) used to divide by
+        # clock.now() — the whole campaign's runtime — and so
+        # under-report its own rate by orders of magnitude.
+        clock = SimClock()
+        clock.advance(100.0)  # a long first-vantage sweep already happened
+        bucket = TokenBucket(clock, rate=10, burst=10)
+        bucket.consume(10)
+        clock.advance(1.0)
+        assert bucket.observed_rate() == pytest.approx(10.0)
+
+    def test_observed_rate_zero_before_time_passes(self):
+        clock = SimClock()
+        clock.advance(50.0)
+        bucket = TokenBucket(clock, rate=10, burst=10)
+        bucket.consume(5)  # within burst: no waiting, no elapsed time
+        assert bucket.observed_rate() == 0.0
+
     def test_counters(self):
         clock = SimClock()
         bucket = TokenBucket(clock, rate=10, burst=10)

@@ -107,6 +107,28 @@ class TestErrorMetrics:
         assert registry.value("scan.failure", vantage="us",
                               kind="unreachable") == 1
 
+    def test_attempts_equal_errors_plus_successes(self, network):
+        """The registry invariant: scan.attempts counts every handshake
+        attempt, so per vantage it must equal scan.error (failed
+        attempts, retried ones included) + scan.success."""
+        from repro import obs
+
+        net, _ = network
+        net.make_flaky("b.example", 0.5)
+        with obs.instrumented() as (registry, _):
+            scanner = Scanner(net, "us", retries=2)
+            scanner.scan(
+                ["a.example", "b.example", "ghost.example",
+                 "modern.example"] * 5
+            )
+            attempts = registry.total("scan.attempts")
+            errors = registry.total("scan.error")
+            successes = registry.total("scan.success")
+        obs.disable()
+        net.make_flaky("b.example", 0.0)
+        assert attempts == errors + successes
+        assert attempts > 20  # retries fired: more attempts than scans
+
     def test_wire_bytes_histogram_labeled_per_vantage(self, network):
         from repro import obs
 
@@ -181,6 +203,20 @@ class TestFlakinessAndRetries:
         record = scanner.scan_domain("modern.example", versions=(TLS12,))
         assert record.error == "handshake_failed"
         assert net.clock.now() - before < 100.0  # no cooldown burned
+
+    def test_scan_both_versions_under_flakiness(self, network):
+        # Deterministic seed: with enough retries both version scans
+        # recover and the comparison sees the identical chain pair.
+        net, _ = network
+        net.make_flaky("a.example", 0.4)
+        scanner = Scanner(net, "us", retries=8)
+        results = scanner.scan_both_versions(["a.example"])
+        tls12, tls13 = results["a.example"]
+        assert tls12.success and tls13.success
+        assert tls12.chain == tls13.chain
+        assert tls12.tls_version == TLS12
+        assert tls13.tls_version == TLS13
+        net.make_flaky("a.example", 0.0)
 
     def test_negative_retries_rejected(self, network):
         net, _ = network

@@ -98,3 +98,36 @@ class TestLatency:
 
         assert total_time(7) == total_time(7)
         assert total_time(7) != total_time(8)
+
+
+class TestFlakiness:
+    def test_flaky_connect_raises_after_clock_advance(self):
+        # A transient failure still costs the round trip: the clock
+        # must advance by the RTT *before* the flaky check raises, or
+        # retry timing accounting would be free of charge.
+        network = SimulatedNetwork(seed=3)
+        network.add_host("a.example").bind(443, lambda p: p)
+        network.add_vantage("v", base_rtt=0.1)
+        network.make_flaky("a.example", 1.0)
+        before = network.clock.now()
+        with pytest.raises(HostUnreachableError):
+            network.connect("v", "a.example", 443)
+        assert network.clock.now() - before >= 0.08  # >= 0.1 * 0.8
+
+    def test_flaky_outcomes_deterministic_per_seed(self):
+        def outcomes(seed):
+            network = SimulatedNetwork(seed=seed)
+            network.add_host("a.example").bind(443, lambda p: p)
+            network.add_vantage("v")
+            network.make_flaky("a.example", 0.5)
+            results = []
+            for _ in range(30):
+                try:
+                    network.connect("v", "a.example", 443)
+                    results.append(True)
+                except HostUnreachableError:
+                    results.append(False)
+            return results
+
+        assert outcomes(11) == outcomes(11)
+        assert any(outcomes(11)) and not all(outcomes(11))

@@ -4,7 +4,12 @@ import pytest
 
 from repro.ca import build_hierarchy
 from repro.errors import AIAFetchError
-from repro.trust import MAX_AIA_DEPTH, StaticAIARepository, complete_via_aia
+from repro.trust import (
+    MAX_AIA_DEPTH,
+    RetryingAIAFetcher,
+    StaticAIARepository,
+    complete_via_aia,
+)
 
 
 @pytest.fixture(scope="module")
@@ -75,10 +80,22 @@ class TestCompletion:
         assert complete_via_aia(bare, repo).outcome == "missing_aia"
 
     def test_unreachable_outcome(self, world):
+        # A dead *server*: the URI is known but marked unreachable.
         h, _leaf, _repo = world
         repo = StaticAIARepository()
         leaf = h.issuing_ca.issue_leaf("dead.example")
+        for uri in leaf.aia_ca_issuer_uris:
+            repo.mark_unreachable(uri)
         assert complete_via_aia(leaf, repo).outcome == "unreachable"
+
+    def test_not_found_outcome(self, world):
+        # A live server with nothing at the path: previously this was
+        # misreported as "unreachable" (both arms of the conditional
+        # returned the same string); it must be the distinct class.
+        h, _leaf, _repo = world
+        repo = StaticAIARepository()
+        leaf = h.issuing_ca.issue_leaf("missingpath.example")
+        assert complete_via_aia(leaf, repo).outcome == "not_found"
 
     def test_wrong_certificate_outcome(self, world):
         h, _leaf, _repo = world
@@ -96,6 +113,37 @@ class TestCompletion:
         leaf = h.issuing_ca.issue_leaf("mismatch.example", aia_uri=uri)
         repo.publish(uri, other.root.certificate)
         assert complete_via_aia(leaf, repo).outcome == "wrong_certificate"
+
+    def test_transient_failure_recovers_with_retries(self, world):
+        h, _leaf, _repo = world
+        repo = StaticAIARepository()
+        for authority in h.authorities:
+            repo.publish(authority.aia_uri, authority.certificate)
+        leaf = h.issuing_ca.issue_leaf("brownout.example")
+        repo.fail_transiently(h.issuing_ca.aia_uri, 2)
+        assert complete_via_aia(leaf, repo).outcome == "unreachable"
+        repo.fail_transiently(h.issuing_ca.aia_uri, 2)
+        assert complete_via_aia(leaf, repo, retries=2).completed
+
+    def test_retries_exhausted_stays_unreachable(self, world):
+        h, _leaf, _repo = world
+        repo = StaticAIARepository()
+        for authority in h.authorities:
+            repo.publish(authority.aia_uri, authority.certificate)
+        leaf = h.issuing_ca.issue_leaf("longout.example")
+        repo.fail_transiently(h.issuing_ca.aia_uri, 10)
+        assert complete_via_aia(leaf, repo, retries=2).outcome == (
+            "unreachable"
+        )
+
+    def test_not_found_is_not_retried(self, world):
+        h, _leaf, _repo = world
+        repo = StaticAIARepository()
+        leaf = h.issuing_ca.issue_leaf("noretry.example")
+        result = complete_via_aia(leaf, repo, retries=5)
+        assert result.outcome == "not_found"
+        # definitive answer: exactly one fetch per URI, no retries spent
+        assert repo.stats.attempts == len(leaf.aia_ca_issuer_uris)
 
     def test_depth_limit(self):
         # A ladder deeper than MAX_AIA_DEPTH must stop with the guard
@@ -116,3 +164,33 @@ class TestCompletion:
             "depth_exceeded"
         )
         assert complete_via_aia(leaf, repo, max_depth=4).completed
+
+
+class TestRetryingFetcher:
+    def test_retries_transparent_on_success(self, world):
+        h, _leaf, repo = world
+        fetcher = RetryingAIAFetcher(repo, retries=3)
+        assert fetcher.fetch(h.root.aia_uri) == h.root.certificate
+
+    def test_transient_then_success(self, world):
+        h, _leaf, _repo = world
+        repo = StaticAIARepository()
+        repo.publish(h.root.aia_uri, h.root.certificate)
+        repo.fail_transiently(h.root.aia_uri, 2)
+        fetcher = RetryingAIAFetcher(repo, retries=2)
+        assert fetcher.fetch(h.root.aia_uri) == h.root.certificate
+        assert repo.stats.attempts == 3
+
+    def test_definitive_failure_passes_through(self, world):
+        _h, _leaf, _repo = world
+        repo = StaticAIARepository()
+        fetcher = RetryingAIAFetcher(repo, retries=4)
+        with pytest.raises(AIAFetchError) as excinfo:
+            fetcher.fetch("http://x/gone.crt")
+        assert excinfo.value.reason == "not_found"
+        assert repo.stats.attempts == 1
+
+    def test_negative_retries_rejected(self, world):
+        _h, _leaf, repo = world
+        with pytest.raises(ValueError):
+            RetryingAIAFetcher(repo, retries=-1)
