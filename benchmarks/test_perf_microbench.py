@@ -488,3 +488,65 @@ def test_perf_certificate_issuance(benchmark):
 
     leaf = benchmark(issue)
     assert leaf.is_valid_at(hierarchy.root.certificate.validity.not_before)
+
+
+def test_perf_report_overhead_snapshot(ecosystem, tmp_path):
+    """Report generation cost relative to the campaign it summarises;
+    writes BENCH_report.json and enforces the <5% budget.
+
+    The run report is a post-processing artifact: ``scan --report-out``
+    re-reads the finished journal, aggregates it with the metrics
+    snapshot, and renders.  That whole consume-side pass must stay
+    marginal next to the campaign that produced the journal, or the
+    "free observability" story breaks.  Same measurement strategy as
+    the journal bench: one timed campaign, then best-of-N timed report
+    builds (µs–ms scale) compared against it.
+    """
+    from repro.measurement import Campaign
+    from repro.obs import RunJournal, read_journal
+    from repro.obs.report import (
+        build_report, render_report_html, render_report_text,
+    )
+
+    campaign = Campaign(ecosystem)
+    path = tmp_path / "bench-report.jsonl"
+    with obs.instrumented() as (registry, _):
+        obs.catalogue.preregister(registry)
+        start = time.perf_counter()
+        with RunJournal.create(path, campaign.manifest(),
+                               flush_every=64) as journal:
+            collection = campaign.collect(journal=journal)
+            campaign.analyze(collection.observations, journal=journal)
+        campaign_seconds = time.perf_counter() - start
+        metrics = registry.snapshot()
+
+    def report_round() -> float:
+        start = time.perf_counter()
+        manifest, events = read_journal(path)
+        report = build_report(manifest, events, metrics=metrics)
+        render_report_text(report)
+        render_report_html(report)
+        report.to_json()
+        return time.perf_counter() - start
+
+    report_seconds = min(report_round() for _ in range(5))
+    overhead_pct = 100.0 * report_seconds / campaign_seconds
+
+    snapshot = {
+        "bench": "report_overhead",
+        "domains": len(ecosystem.deployments),
+        "campaign_seconds": round(campaign_seconds, 6),
+        "report_seconds": round(report_seconds, 6),
+        "overhead_pct": round(overhead_pct, 2),
+        "budget_pct": 5.0,
+    }
+    out_path = pathlib.Path(__file__).resolve().parent.parent / (
+        "BENCH_report.json"
+    )
+    out_path.write_text(json.dumps(snapshot, indent=2) + "\n",
+                        encoding="utf-8")
+    print(f"\n{json.dumps(snapshot, indent=2)}")
+    assert overhead_pct < 5.0, (
+        f"report generation costs {overhead_pct:.2f}% of the campaign "
+        f"(budget: 5%)"
+    )

@@ -10,11 +10,17 @@ Subcommands mirror the library's main workflows::
     repro-chain differential --domains 2000    # §5.2 summary
     repro-chain stats metrics.json             # render a metrics snapshot
     repro-chain save-corpus corpus.jsonl       # archive observations
+    repro-chain report run.jsonl               # aggregate a run report
+    repro-chain diff-runs base.json run.jsonl  # cross-run regression gate
 
 ``scan`` accepts ``--metrics-out``/``--trace-out``/``--openmetrics-out``
-to export the run's observability data, and ``--journal`` to write (or
-crash-safely resume) an append-only run journal of per-domain events
-(see docs/OBSERVABILITY.md).  Every command is also reachable as
+to export the run's observability data, ``--journal`` to write (or
+crash-safely resume) an append-only run journal of per-domain events,
+and ``--report-out`` to distil that journal into a run report artifact
+(see docs/OBSERVABILITY.md and docs/REPORTING.md).  ``diff-runs`` exits
+0 when per-domain verdicts are identical, 1 on verdict flips, 2 when a
+``--threshold`` metric gate is breached — CI wires it against a
+committed baseline report.  Every command is also reachable as
 ``python -m repro.cli ...``.
 """
 
@@ -168,7 +174,45 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             with open(args.trace_out, "w", encoding="utf-8") as handle:
                 handle.write(tracer.to_json())
             print(f"wrote Chrome trace to {args.trace_out}")
+        if args.report_out:
+            if not args.journal:
+                print("repro-chain scan: --report-out requires "
+                      "--journal (the report is built from the run "
+                      "journal)", file=sys.stderr)
+                return 2
+            run_report = obs.report_from_journal(
+                args.journal, metrics=registry.snapshot()
+            )
+            with open(args.report_out, "w", encoding="utf-8") as handle:
+                handle.write(_format_report(run_report, args.report_out))
+            print(f"wrote run report to {args.report_out}")
     return 0
+
+
+def _format_report(report, destination: str,
+                   fmt: str | None = None) -> str:
+    """Render a RunReport in the requested (or extension-implied)
+    format: ``.json`` stays machine-readable, ``.html``/``.md`` pick
+    their markup, anything else gets the console text."""
+    from repro import obs
+
+    if fmt is None:
+        lowered = destination.lower()
+        if lowered.endswith(".json"):
+            fmt = "json"
+        elif lowered.endswith((".html", ".htm")):
+            fmt = "html"
+        elif lowered.endswith((".md", ".markdown")):
+            fmt = "markdown"
+        else:
+            fmt = "text"
+    if fmt == "json":
+        return report.to_json() + "\n"
+    if fmt == "html":
+        return obs.render_report_html(report)
+    if fmt == "markdown":
+        return obs.render_report_markdown(report)
+    return obs.render_report_text(report)
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -203,7 +247,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         if args.openmetrics:
             sys.stdout.write(obs.to_openmetrics(snapshot))
         else:
-            print(obs.render_metrics_table(snapshot))
+            print(obs.render_metrics_table(snapshot, top=args.top))
         return 0
 
     from repro.measurement import Campaign
@@ -216,7 +260,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         campaign = Campaign(ecosystem)
         collection = campaign.collect()
         campaign.analyze(collection.observations)
-        print(obs.render_metrics_table(registry.snapshot()))
+        print(obs.render_metrics_table(registry.snapshot(), top=args.top))
         print()
         print("== phase timing ==")
         for name, entry in sorted(tracer.aggregate().items()):
@@ -231,6 +275,102 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 print(f"{name:<24} x{int(entry['count'])}  "
                       f"{entry['total_s'] * 1e3:,.1f} ms{rate}")
     return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Aggregate one run journal into a rendered run report."""
+    import json
+
+    from repro import obs
+    from repro.errors import JournalError
+
+    metrics = None
+    if args.metrics:
+        try:
+            with open(args.metrics, encoding="utf-8") as handle:
+                metrics = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"repro-chain report: cannot read metrics "
+                  f"{args.metrics}: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(metrics, dict):
+            print(f"repro-chain report: {args.metrics}: expected a "
+                  f"JSON object of metric families",
+                  file=sys.stderr)
+            return 2
+    try:
+        report = obs.report_from_journal(
+            args.journal, metrics=metrics, top_slowest=args.top
+        )
+    except (OSError, JournalError) as exc:
+        print(f"repro-chain report: {exc}", file=sys.stderr)
+        return 2
+    rendered = _format_report(report, args.out or "-", args.format)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote run report to {args.out}")
+    else:
+        sys.stdout.write(rendered)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"wrote machine-readable report to {args.json_out}")
+    return 0
+
+
+def _load_run_report(path: str):
+    """A RunReport from either a report JSON or a raw journal.
+
+    A file whose whole content is a JSON object carrying
+    ``report_version`` is a serialised report; anything else is treated
+    as a JSONL run journal and aggregated on the fly.
+    """
+    import json
+
+    from repro import obs
+
+    with open(path, encoding="utf-8") as handle:
+        raw = handle.read()
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and "report_version" in payload:
+        return obs.RunReport.from_dict(payload)
+    return obs.report_from_journal(path)
+
+
+def _cmd_diff_runs(args: argparse.Namespace) -> int:
+    """Structurally compare two runs; exit code is the CI verdict."""
+    from repro import obs
+    from repro.errors import JournalError
+    from repro.obs.diff import parse_threshold
+
+    thresholds: dict[str, float] = {}
+    for spec in args.threshold or ():
+        try:
+            name, pct = parse_threshold(spec)
+        except ValueError as exc:
+            print(f"repro-chain diff-runs: {exc}", file=sys.stderr)
+            return 3
+        thresholds[name] = pct
+    loaded = []
+    for path in (args.before, args.after):
+        try:
+            loaded.append(_load_run_report(path))
+        except (OSError, JournalError, ValueError) as exc:
+            print(f"repro-chain diff-runs: {path}: {exc}",
+                  file=sys.stderr)
+            return 3
+    before, after = loaded
+    diff = obs.diff_reports(before, after, thresholds=thresholds)
+    sys.stdout.write(obs.render_diff_text(diff))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(diff.to_json() + "\n")
+        print(f"wrote machine-readable diff to {args.json_out}")
+    return diff.exit_code
 
 
 def _load_chain_and_store(args: argparse.Namespace):
@@ -286,8 +426,11 @@ def _explain_from_journal(args: argparse.Namespace) -> int:
     from repro.core.compliance import ChainComplianceReport
     from repro.errors import JournalError
 
+    # Validate before reading: a corrupt journal (duplicate summaries,
+    # non-monotonic events) would otherwise produce silently wrong
+    # explanations.
     try:
-        _, events = obs.read_journal(args.journal)
+        _, events = obs.validate_journal(args.journal)
     except (OSError, JournalError) as exc:
         print(f"repro-chain explain: {exc}", file=sys.stderr)
         return 2
@@ -525,6 +668,10 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--journal-flush-every", type=int, default=64,
                       help="buffer this many journal records between "
                            "flushes (1: flush per record; default: 64)")
+    scan.add_argument("--report-out",
+                      help="aggregate the finished run into a report "
+                           "artifact (requires --journal; format from "
+                           "the extension: .json/.html/.md/text)")
     scan.set_defaults(func=_cmd_scan)
 
     stats = sub.add_parser(
@@ -538,7 +685,50 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--openmetrics", action="store_true",
                        help="emit OpenMetrics text instead of the table "
                             "(requires a metrics file)")
+    stats.add_argument("--top", type=int, default=None,
+                       help="show only the N largest series (counters/"
+                            "gauges by value, histograms by count)")
     stats.set_defaults(func=_cmd_stats)
+
+    report = sub.add_parser(
+        "report",
+        help="aggregate a run journal into a readable run report",
+    )
+    report.add_argument("journal", help="JSONL run journal to aggregate")
+    report.add_argument("--metrics",
+                        help="metrics JSON from 'scan --metrics-out'; "
+                             "adds phase resources and rollups")
+    report.add_argument("--format",
+                        choices=("text", "markdown", "html", "json"),
+                        default=None,
+                        help="output format (default: inferred from "
+                             "--out extension, else console text)")
+    report.add_argument("--out", "-o",
+                        help="write the rendered report here instead "
+                             "of stdout")
+    report.add_argument("--json-out",
+                        help="also write the machine-readable report "
+                             "JSON (diff-runs baseline input)")
+    report.add_argument("--top", type=int, default=10,
+                        help="slowest-scan rows to keep (default: 10)")
+    report.set_defaults(func=_cmd_report)
+
+    diff_runs = sub.add_parser(
+        "diff-runs",
+        help="compare two runs (reports or journals) as a CI gate",
+    )
+    diff_runs.add_argument("before",
+                           help="baseline: report JSON or run journal")
+    diff_runs.add_argument("after",
+                           help="candidate: report JSON or run journal")
+    diff_runs.add_argument("--threshold", action="append", default=[],
+                           metavar="NAME=PCT",
+                           help="max tolerated relative drift for a "
+                                "metric total (NAME may be an fnmatch "
+                                "pattern, e.g. 'scan.*=0'); repeatable")
+    diff_runs.add_argument("--json-out",
+                           help="write the machine-readable diff JSON")
+    diff_runs.set_defaults(func=_cmd_diff_runs)
 
     explain = sub.add_parser(
         "explain",

@@ -23,6 +23,7 @@ from repro.net.scanner import (
 from repro.net.simnet import SimulatedNetwork
 from repro.net.tls import TLS12, TLS13
 from repro.obs.journal import RunJournal
+from repro.obs.probe import phase_scope
 from repro.trust.aia import AIAFetcher
 from repro.trust.rootstore import RootStore
 from repro.webpki.ecosystem import Ecosystem, VANTAGE_AU, VANTAGE_US
@@ -189,10 +190,12 @@ class Campaign:
             collection_journaled = bool(journal.events("collection"))
         per_vantage: dict[str, list[ScanRecord]] = {}
         degraded_vantages: dict[str, str] = {}
-        with tracer.span("campaign.collect", domains=len(domains),
-                         vantages=len(vantages)):
+        with phase_scope("collect"), \
+                tracer.span("campaign.collect", domains=len(domains),
+                            vantages=len(vantages)):
             for vantage in vantages:
-                with tracer.span("campaign.scan", vantage=vantage):
+                with phase_scope(f"collect.scan.{vantage}"), \
+                        tracer.span("campaign.scan", vantage=vantage):
                     breaker = (
                         CircuitBreaker(
                             network.clock, vantage,
@@ -226,6 +229,7 @@ class Campaign:
                                        if record.error else None),
                                 wire_bytes=record.wire_bytes,
                                 attempts=record.attempts,
+                                duration=record.duration,
                             )
                         if progress is not None:
                             progress.update(ok=record.success)
@@ -370,9 +374,10 @@ class Campaign:
         if workers or cache is not None:
             from repro.measurement.parallel import analyze_observations
 
-            with obs.get_tracer().span("campaign.analyze",
-                                       chains=len(observations),
-                                       workers=workers):
+            with phase_scope("analyze"), \
+                    obs.get_tracer().span("campaign.analyze",
+                                          chains=len(observations),
+                                          workers=workers):
                 reports, stats = analyze_observations(
                     observations, store=store, fetcher=fetcher,
                     workers=workers or 1, cache=cache, journal=journal,
@@ -385,8 +390,9 @@ class Campaign:
                       resumed=stats.resumed)
             return aggregate(reports), reports
         resumed = 0
-        with obs.get_tracer().span("campaign.analyze",
-                                   chains=len(observations)):
+        with phase_scope("analyze"), \
+                obs.get_tracer().span("campaign.analyze",
+                                      chains=len(observations)):
             metrics = obs.get_metrics()
             throughput = metrics.counter("campaign.chains_analyzed")
             reports = []

@@ -63,6 +63,7 @@ from repro.core.compliance import (
 )
 from repro.obs.journal import RunJournal, encode_verdict_event
 from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.probe import phase_scope
 from repro.obs.trace import NULL_TRACER
 from repro.trust.aia import AIAFetcher
 from repro.trust.rootstore import RootStore
@@ -252,11 +253,17 @@ def _analyze_span(start: int, end: int) -> tuple[list, dict | None]:
         obs.enable(metrics=MetricsRegistry(), tracer=NULL_TRACER)
     relation.enable_memo()
     results = []
-    for domain, chain, hexkey in pending[start:end]:
-        report = analyze_chain(domain, chain, store, fetcher)
-        line = (encode_verdict_event(domain, hexkey, report)
-                if journaled else None)
-        results.append((report, line))
+    # Phase-scoped resource accounting: each span observes its own
+    # wall/CPU/RSS into the worker's fresh registry, and the parent's
+    # merge_snapshot folds the per-worker histograms into one
+    # ``analyze.worker`` series — the report's per-phase table then
+    # shows pool cost exactly, not just the parent's wait time.
+    with phase_scope("analyze.worker"):
+        for domain, chain, hexkey in pending[start:end]:
+            report = analyze_chain(domain, chain, store, fetcher)
+            line = (encode_verdict_event(domain, hexkey, report)
+                    if journaled else None)
+            results.append((report, line))
     snapshot = obs.get_metrics().snapshot() if live_metrics else None
     return results, snapshot
 

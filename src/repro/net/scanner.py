@@ -212,6 +212,9 @@ class ScanRecord:
     timestamp: float
     #: handshake attempts this scan made (0 when skipped by a breaker)
     attempts: int = 1
+    #: simulated seconds the whole scan took — handshake latency,
+    #: retry backoff, and rate-limit waits included (0.0 when skipped)
+    duration: float = 0.0
 
 
 class Scanner:
@@ -300,6 +303,7 @@ class Scanner:
                     return self._failure(
                         domain, ScanErrorKind.HANDSHAKE_FAILED,
                         attempts=attempts,
+                        duration=clock.now() - started,
                     )
                 except ConnectionResetError_:
                     failure_reason = ScanErrorKind.RESET
@@ -329,7 +333,8 @@ class Scanner:
                 breaker.record(
                     reachable=failure_reason is ScanErrorKind.RESET
                 )
-            return self._failure(domain, failure_reason, attempts=attempts)
+            return self._failure(domain, failure_reason, attempts=attempts,
+                                 duration=clock.now() - started)
         if breaker is not None:
             breaker.record(reachable=True)
         waited = self.bucket.consume(result.wire_bytes)
@@ -349,6 +354,7 @@ class Scanner:
             wire_bytes=result.wire_bytes,
             timestamp=self.network.clock.now(),
             attempts=attempts,
+            duration=self.network.clock.now() - started,
         )
 
     def _count_error(self, reason: ScanErrorKind) -> None:
@@ -364,7 +370,7 @@ class Scanner:
         ).inc()
 
     def _failure(self, domain: str, reason: ScanErrorKind, *,
-                 attempts: int = 1) -> ScanRecord:
+                 attempts: int = 1, duration: float = 0.0) -> ScanRecord:
         obs.get_metrics().counter(
             "scan.failure", vantage=self.vantage, kind=reason.value
         ).inc()
@@ -380,6 +386,7 @@ class Scanner:
             wire_bytes=0,
             timestamp=self.network.clock.now(),
             attempts=attempts,
+            duration=duration,
         )
 
     def scan(self, domains: Iterable[str], *,

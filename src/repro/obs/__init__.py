@@ -36,9 +36,10 @@ from __future__ import annotations
 from contextlib import contextmanager
 
 from repro.obs import catalogue
+from repro.obs.diff import RunDiff, diff_reports, render_diff_text
 from repro.obs.evidence import Evidence, evidence_from_dict, render_evidence
 from repro.obs.export import ProgressLine, SnapshotWriter, to_openmetrics
-from repro.obs.journal import RunJournal, read_journal
+from repro.obs.journal import RunJournal, read_journal, validate_journal
 from repro.obs.log import StructLogger, configure, get_logger
 from repro.obs.metrics import (
     Counter,
@@ -48,8 +49,16 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
     NullMetricsRegistry,
 )
-from repro.obs.probe import SamplingProbe
+from repro.obs.probe import SamplingProbe, phase_scope, read_rss_bytes
 from repro.obs.render import render_metrics_table
+from repro.obs.report import (
+    RunReport,
+    build_report,
+    render_report_html,
+    render_report_markdown,
+    render_report_text,
+    report_from_journal,
+)
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -62,13 +71,17 @@ __all__ = [
     "NullMetricsRegistry",
     "NullTracer",
     "ProgressLine",
+    "RunDiff",
     "RunJournal",
+    "RunReport",
     "SamplingProbe",
     "SnapshotWriter",
     "Span",
     "StructLogger",
     "Tracer",
+    "build_report",
     "configure",
+    "diff_reports",
     "disable",
     "enable",
     "enabled",
@@ -77,10 +90,18 @@ __all__ = [
     "get_metrics",
     "get_tracer",
     "instrumented",
+    "phase_scope",
     "read_journal",
+    "read_rss_bytes",
+    "render_diff_text",
     "render_evidence",
     "render_metrics_table",
+    "render_report_html",
+    "render_report_markdown",
+    "render_report_text",
+    "report_from_journal",
     "to_openmetrics",
+    "validate_journal",
 ]
 
 _metrics: MetricsRegistry | NullMetricsRegistry = NULL_REGISTRY

@@ -12,6 +12,7 @@ as a missing series.
 from __future__ import annotations
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "COUNTERS",
     "GAUGES",
     "HISTOGRAMS",
@@ -63,13 +64,39 @@ COUNTERS: tuple[str, ...] = (
 GAUGES: tuple[str, ...] = (
     "ratelimit.throttle_seconds",
     "cache.size",
+    "probe.rss",                  # bytes — last sampled process RSS
 )
 
 #: Histogram families.
 HISTOGRAMS: tuple[str, ...] = (
     "scan.wire_bytes",
     "chainbuilder.candidate_pool_size",
+    "phase.wall_seconds",         # phase — one observation per scope
+    "phase.cpu_seconds",          # phase
+    "phase.rss_peak_bytes",       # phase (absent when /proc is missing)
 )
+
+#: Sub-second to half-hour ladder for phase durations: the default
+#: buckets start at 1 (second) and would flatten every fast phase into
+#: the first bin.
+_PHASE_SECONDS_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60, 300, 1_800,
+)
+
+#: 1 MiB .. 64 GiB, doubling — process RSS at campaign scale.
+_RSS_BUCKETS: tuple[float, ...] = tuple(
+    float(2 ** exp) for exp in range(20, 37)
+)
+
+#: Histogram families with dedicated bucket ladders; everything else
+#: uses :data:`repro.obs.metrics.DEFAULT_BUCKETS`.  One table so
+#: ``preregister`` and the phase-accounting scopes bin identically —
+#: ``merge_snapshot`` refuses to fold differently-binned series.
+BUCKET_BOUNDS: dict[str, tuple[float, ...]] = {
+    "phase.wall_seconds": _PHASE_SECONDS_BUCKETS,
+    "phase.cpu_seconds": _PHASE_SECONDS_BUCKETS,
+    "phase.rss_peak_bytes": _RSS_BUCKETS,
+}
 
 
 def preregister(registry) -> None:
@@ -83,4 +110,4 @@ def preregister(registry) -> None:
     for name in GAUGES:
         registry.gauge(name)
     for name in HISTOGRAMS:
-        registry.histogram(name)
+        registry.histogram(name, buckets=BUCKET_BOUNDS.get(name))

@@ -1,0 +1,315 @@
+"""Cross-run regression diffing of :class:`~repro.obs.report.RunReport`.
+
+The report subsystem turns a journal into a structured summary; this
+module turns *two* of them into a CI verdict.  The question a chain
+measurement campaign keeps asking is "did anything change since the
+baseline?" — a root-store update flips completeness verdicts, a scanner
+regression shifts reachability, an analyzer change moves rule counts —
+and eyeballing two journals does not scale to 2 000 domains.
+
+:func:`diff_reports` compares:
+
+* **identity** — config / seed / root-store digest deltas (informational
+  context for any flips below);
+* **per-domain verdicts** — every domain whose compliance verdict or
+  violated-rule set changed, plus domains that appeared or disappeared,
+  each attributed to the rule IDs responsible;
+* **metric totals** — relative deltas over the flattened metric map,
+  gated by per-name percentage thresholds (``fnmatch`` patterns, so
+  ``scan.*=0`` freezes a family).
+
+Exit-code semantics (``RunDiff.exit_code``, surfaced by the
+``repro diff-runs`` CLI):
+
+========  ====================================================
+``0``     identical verdicts, no threshold breach
+``1``     at least one per-domain verdict flip
+``2``     at least one metric threshold breach (dominates 1)
+========  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Any
+
+from repro.obs.report import DomainVerdict, RunReport
+
+__all__ = [
+    "MetricDelta",
+    "RunDiff",
+    "VerdictFlip",
+    "diff_reports",
+    "parse_threshold",
+    "render_diff_text",
+]
+
+
+@dataclass(frozen=True)
+class VerdictFlip:
+    """One domain whose verdict changed between runs."""
+
+    domain: str
+    kind: str  # flipped | rules_changed | added | removed
+    before: str  # compliant | non-compliant | absent
+    after: str
+    rules_before: tuple[str, ...] = ()
+    rules_after: tuple[str, ...] = ()
+
+    @property
+    def rules(self) -> tuple[str, ...]:
+        """The rule IDs implicated in the flip (symmetric difference,
+        falling back to the union when the sets are equal but the
+        verdict still moved — e.g. a domain appearing with
+        violations)."""
+        changed = set(self.rules_before) ^ set(self.rules_after)
+        if changed:
+            return tuple(sorted(changed))
+        return tuple(sorted({*self.rules_before, *self.rules_after}))
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric whose total moved between runs."""
+
+    name: str
+    before: float
+    after: float
+    threshold_pct: float | None = None
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    @property
+    def relative_pct(self) -> float:
+        """Relative change in percent; an appearance/disappearance
+        against a zero baseline counts as infinite drift."""
+        if self.before == 0.0:
+            return 0.0 if self.after == 0.0 else float("inf")
+        return 100.0 * abs(self.delta) / abs(self.before)
+
+    @property
+    def breached(self) -> bool:
+        return (self.threshold_pct is not None
+                and self.relative_pct > self.threshold_pct)
+
+
+@dataclass
+class RunDiff:
+    """Structured comparison of two run reports."""
+
+    identity_changes: dict[str, tuple[Any, Any]] = field(
+        default_factory=dict
+    )
+    flips: tuple[VerdictFlip, ...] = ()
+    metric_deltas: tuple[MetricDelta, ...] = ()
+
+    @property
+    def breaches(self) -> tuple[MetricDelta, ...]:
+        return tuple(d for d in self.metric_deltas if d.breached)
+
+    @property
+    def identical_verdicts(self) -> bool:
+        return not self.flips
+
+    @property
+    def exit_code(self) -> int:
+        """CI gate semantics: 2 threshold breach > 1 verdict flips > 0."""
+        if self.breaches:
+            return 2
+        if self.flips:
+            return 1
+        return 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "exit_code": self.exit_code,
+            "identity_changes": {
+                key: {"before": before, "after": after}
+                for key, (before, after) in sorted(
+                    self.identity_changes.items()
+                )
+            },
+            "verdict_flips": [
+                {
+                    "domain": f.domain,
+                    "kind": f.kind,
+                    "before": f.before,
+                    "after": f.after,
+                    "rules": list(f.rules),
+                }
+                for f in self.flips
+            ],
+            "metric_deltas": [
+                {
+                    "name": d.name,
+                    "before": d.before,
+                    "after": d.after,
+                    "delta": d.delta,
+                    "threshold_pct": d.threshold_pct,
+                    "breached": d.breached,
+                }
+                for d in self.metric_deltas
+            ],
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def parse_threshold(spec: str) -> tuple[str, float]:
+    """Parse one ``NAME=PCT`` threshold spec (``NAME`` may be an
+    ``fnmatch`` pattern; ``PCT`` a non-negative percentage)."""
+    name, sep, raw = spec.partition("=")
+    if not sep or not name:
+        raise ValueError(
+            f"threshold {spec!r} is not of the form NAME=PCT"
+        )
+    try:
+        pct = float(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"threshold {spec!r}: {raw!r} is not a number"
+        ) from exc
+    if pct < 0:
+        raise ValueError(f"threshold {spec!r}: percentage is negative")
+    return name, pct
+
+
+def _threshold_for(name: str,
+                   thresholds: dict[str, float]) -> float | None:
+    """Most specific matching threshold: exact name beats patterns;
+    among patterns the longest (most constrained) wins."""
+    if name in thresholds:
+        return thresholds[name]
+    best: tuple[int, float] | None = None
+    for pattern, pct in thresholds.items():
+        if fnmatchcase(name, pattern):
+            candidate = (len(pattern), pct)
+            if best is None or candidate[0] > best[0]:
+                best = candidate
+    return best[1] if best else None
+
+
+def _describe(verdict: DomainVerdict | None) -> str:
+    if verdict is None:
+        return "absent"
+    return "compliant" if verdict.compliant else "non-compliant"
+
+
+def diff_reports(before: RunReport, after: RunReport, *,
+                 thresholds: dict[str, float] | None = None) -> RunDiff:
+    """Compare ``after`` against the ``before`` baseline.
+
+    ``thresholds`` maps metric names (or ``fnmatch`` patterns) to the
+    maximum tolerated relative drift in percent; only metrics matching
+    some threshold can *breach*, but every changed total is reported.
+    """
+    thresholds = thresholds or {}
+    diff = RunDiff()
+
+    diff.identity_changes = {
+        key: (before.identity.get(key), after.identity.get(key))
+        for key in sorted({*before.identity, *after.identity})
+        if before.identity.get(key) != after.identity.get(key)
+    }
+
+    flips: list[VerdictFlip] = []
+    for domain in sorted({*before.domain_verdicts,
+                          *after.domain_verdicts}):
+        old = before.domain_verdicts.get(domain)
+        new = after.domain_verdicts.get(domain)
+        if old == new:
+            continue
+        if old is None:
+            kind = "added"
+        elif new is None:
+            kind = "removed"
+        elif old.compliant != new.compliant:
+            kind = "flipped"
+        elif old.rules != new.rules:
+            kind = "rules_changed"
+        else:
+            # Only the chain count moved; not a verdict change.
+            continue
+        flips.append(VerdictFlip(
+            domain=domain,
+            kind=kind,
+            before=_describe(old),
+            after=_describe(new),
+            rules_before=old.rules if old else (),
+            rules_after=new.rules if new else (),
+        ))
+    diff.flips = tuple(flips)
+
+    deltas: list[MetricDelta] = []
+    for name in sorted({*before.metric_totals, *after.metric_totals}):
+        old_value = before.metric_totals.get(name, 0.0)
+        new_value = after.metric_totals.get(name, 0.0)
+        threshold = _threshold_for(name, thresholds)
+        if old_value == new_value and threshold is None:
+            continue
+        delta = MetricDelta(name=name, before=old_value,
+                            after=new_value, threshold_pct=threshold)
+        if delta.delta or delta.breached:
+            deltas.append(delta)
+    diff.metric_deltas = tuple(deltas)
+    return diff
+
+
+def render_diff_text(diff: RunDiff, *, max_flips: int = 50) -> str:
+    """Console rendering: identity deltas, flips (domain + rule IDs),
+    metric drift with breach markers, final gate verdict."""
+    lines = ["run diff", "========"]
+
+    if diff.identity_changes:
+        lines.append("")
+        lines.append("== Identity changes ==")
+        for key, (old, new) in sorted(diff.identity_changes.items()):
+            lines.append(f"  {key}: {old!r} -> {new!r}")
+
+    lines.append("")
+    lines.append("== Verdict flips ==")
+    if not diff.flips:
+        lines.append("  none — per-domain verdicts identical")
+    else:
+        shown = diff.flips[:max_flips]
+        for flip in shown:
+            rules = ", ".join(flip.rules) or "-"
+            lines.append(
+                f"  {flip.domain}: {flip.before} -> {flip.after} "
+                f"[{flip.kind}] rules: {rules}"
+            )
+        hidden = len(diff.flips) - len(shown)
+        if hidden:
+            lines.append(f"  ... and {hidden:,} more flip(s)")
+        lines.append(f"  total: {len(diff.flips):,} flip(s)")
+
+    if diff.metric_deltas:
+        lines.append("")
+        lines.append("== Metric drift ==")
+        for delta in diff.metric_deltas:
+            rel = delta.relative_pct
+            rel_text = "new" if rel == float("inf") else f"{rel:.2f}%"
+            gate = ""
+            if delta.threshold_pct is not None:
+                gate = (f"  BREACH (>{delta.threshold_pct:g}%)"
+                        if delta.breached
+                        else f"  ok (<= {delta.threshold_pct:g}%)")
+            lines.append(
+                f"  {delta.name}: {delta.before:g} -> {delta.after:g} "
+                f"({rel_text}){gate}"
+            )
+
+    lines.append("")
+    code = diff.exit_code
+    verdict = {
+        0: "identical verdicts, no threshold breach",
+        1: "verdict flips detected",
+        2: "metric threshold breach",
+    }[code]
+    lines.append(f"result: exit {code} — {verdict}")
+    return "\n".join(lines) + "\n"

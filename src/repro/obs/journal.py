@@ -51,6 +51,7 @@ __all__ = [
     "encode_verdict_event",
     "manifest_identity",
     "read_journal",
+    "validate_journal",
 ]
 
 #: Bump when the event schema changes incompatibly.
@@ -162,6 +163,102 @@ def read_journal(path: str | Path) -> tuple[dict[str, Any], list[dict[str, Any]]
             f"{manifest.get('journal_version')!r}"
         )
     return manifest, records[1:]
+
+
+def _event_problems(events: list[dict[str, Any]]) -> list[str]:
+    """Structural invariant violations in an ordered event list.
+
+    The append-only discipline (plus resume dedup) guarantees three
+    things about every journal this package writes; a journal breaking
+    any of them was edited, interleaved, or mis-merged, and resuming
+    from it would silently drop or duplicate observations:
+
+    * *one-summary* — at most one ``collection`` event, and at most one
+      ``degradation`` event per vantage;
+    * *monotonic sequence* — collection-phase events (``scan``,
+      ``degradation``) never appear after the ``collection`` summary
+      that closes the phase;
+    * *no duplicates* — each (domain, vantage) scan and each
+      (domain, chain_key) verdict is recorded at most once.
+    """
+    problems: list[str] = []
+    summaries = 0
+    seen_scans: set[tuple[Any, Any]] = set()
+    seen_verdicts: set[tuple[Any, tuple]] = set()
+    seen_degradations: set[Any] = set()
+    for number, event in enumerate(events, start=2):  # line 1: manifest
+        kind = event.get("type")
+        if kind == "collection":
+            summaries += 1
+            if summaries > 1:
+                problems.append(
+                    f"line {number}: second collection summary "
+                    f"(one-summary invariant)"
+                )
+        elif kind == "scan":
+            if summaries:
+                problems.append(
+                    f"line {number}: scan event after the collection "
+                    f"summary (sequence not monotonic)"
+                )
+            key = (event.get("domain"), event.get("vantage"))
+            if key in seen_scans:
+                problems.append(
+                    f"line {number}: duplicate scan event for "
+                    f"{key[0]!r} from vantage {key[1]!r}"
+                )
+            seen_scans.add(key)
+        elif kind == "degradation":
+            if summaries:
+                problems.append(
+                    f"line {number}: degradation event after the "
+                    f"collection summary (sequence not monotonic)"
+                )
+            vantage = event.get("vantage")
+            if vantage in seen_degradations:
+                problems.append(
+                    f"line {number}: duplicate degradation event for "
+                    f"vantage {vantage!r}"
+                )
+            seen_degradations.add(vantage)
+        elif kind == "verdict":
+            if "domain" not in event or "report" not in event:
+                problems.append(
+                    f"line {number}: verdict event missing "
+                    f"domain/report"
+                )
+                continue
+            key = (event["domain"], tuple(event.get("chain_key", ())))
+            if key in seen_verdicts:
+                problems.append(
+                    f"line {number}: duplicate verdict for "
+                    f"{key[0]!r} (chain already recorded)"
+                )
+            seen_verdicts.add(key)
+    return problems
+
+
+def validate_journal(path: str | Path) -> tuple[dict[str, Any],
+                                                list[dict[str, Any]]]:
+    """:func:`read_journal` plus the structural invariant checks.
+
+    The ``journal tail``-style verification consumers run before
+    trusting a journal: manifest presence and version (enforced by
+    :func:`read_journal`), the one-summary invariant, monotonic
+    phase sequencing, and no duplicate scan/verdict records.  Raises
+    :class:`JournalError` naming the first few offending lines;
+    returns ``(manifest, events)`` on success so callers do not pay a
+    second read.
+    """
+    manifest, events = read_journal(path)
+    problems = _event_problems(events)
+    if problems:
+        shown = "; ".join(problems[:3])
+        more = len(problems) - 3
+        if more > 0:
+            shown += f"; and {more} more problem(s)"
+        raise JournalError(f"{Path(path)}: corrupt journal: {shown}")
+    return manifest, events
 
 
 class RunJournal:
@@ -404,6 +501,30 @@ class RunJournal:
         if event_type is None:
             return list(self.resumed_events)
         return [e for e in self.resumed_events if e.get("type") == event_type]
+
+    def validate(self) -> None:
+        """Check the resumed event stream's structural invariants.
+
+        The instance-level spelling of :func:`validate_journal`: the
+        manifest must carry its stamp fields and the events read at
+        :meth:`open` time must satisfy the one-summary, monotonic-
+        sequence, and no-duplicate invariants.  Raises
+        :class:`JournalError` on the first violation set; a journal
+        created fresh this run trivially passes.
+        """
+        if self.manifest.get("type") != "manifest" or (
+            self.manifest.get("journal_version") != JOURNAL_VERSION
+        ):
+            raise JournalError(
+                f"{self.path}: manifest is missing its type/version stamp"
+            )
+        problems = _event_problems(self.resumed_events)
+        if problems:
+            shown = "; ".join(problems[:3])
+            more = len(problems) - 3
+            if more > 0:
+                shown += f"; and {more} more problem(s)"
+            raise JournalError(f"{self.path}: corrupt journal: {shown}")
 
     # -- lifecycle -----------------------------------------------------
 

@@ -34,9 +34,18 @@ def _histogram_cell(series: dict) -> str:
     )
 
 
-def render_metrics_table(snapshot: dict[str, dict]) -> str:
-    """Format a ``MetricsRegistry.snapshot()`` as an aligned table."""
-    rows: list[tuple[str, str, str]] = []
+def render_metrics_table(snapshot: dict[str, dict], *,
+                         top: int | None = None) -> str:
+    """Format a ``MetricsRegistry.snapshot()`` as an aligned table.
+
+    ``top`` keeps only the N largest series — counters and gauges
+    ranked by value, histograms by observation count — rendered in
+    descending order of that magnitude.  Scalar value cells are
+    right-aligned so magnitudes line up; composite histogram cells
+    stay left-aligned.
+    """
+    # (name, labels, value, magnitude, is_scalar)
+    rows: list[tuple[str, str, str, float, bool]] = []
     for name in sorted(snapshot):
         family = snapshot[name]
         kind = family.get("type", "counter")
@@ -44,21 +53,38 @@ def render_metrics_table(snapshot: dict[str, dict]) -> str:
             labels = _format_labels(series.get("labels", {}))
             if kind == "histogram":
                 value = _histogram_cell(series)
+                magnitude = float(series.get("count", 0))
+                scalar = False
             else:
-                value = _format_number(series.get("value", 0.0))
-            rows.append((f"{name} ({kind})", labels, value))
+                raw = float(series.get("value", 0.0))
+                value = _format_number(raw)
+                magnitude = abs(raw)
+                scalar = True
+            rows.append((f"{name} ({kind})", labels, value, magnitude,
+                         scalar))
+    if top is not None and top >= 0:
+        rows.sort(key=lambda row: -row[3])
+        rows = rows[:top]
     if not rows:
         return "(no metrics recorded)"
     widths = [
-        max(len(row[i]) for row in rows + [("metric", "labels", "value")])
+        max(len(row[i]) for row in
+            rows + [("metric", "labels", "value", 0.0, True)])
         for i in range(3)
     ]
+    # Scalars right-align against the widest *scalar* cell so their
+    # digits line up without being dragged across the page by long
+    # composite histogram cells sharing the column.
+    scalar_width = max(
+        [len(row[2]) for row in rows if row[4]] + [len("value")]
+    )
     header = (
         f"{'metric':<{widths[0]}}  {'labels':<{widths[1]}}  value"
     )
     lines = [header, "-" * (widths[0] + widths[1] + max(widths[2], 5) + 4)]
-    lines.extend(
-        f"{name:<{widths[0]}}  {labels:<{widths[1]}}  {value}"
-        for name, labels, value in rows
-    )
+    for name, labels, value, _, scalar in rows:
+        cell = f"{value:>{scalar_width}}" if scalar else value
+        lines.append(
+            f"{name:<{widths[0]}}  {labels:<{widths[1]}}  {cell}".rstrip()
+        )
     return "\n".join(lines)

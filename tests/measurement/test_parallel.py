@@ -285,3 +285,57 @@ class TestMetricsMerge:
         obs.disable()
         assert pooled == in_process
         assert in_process["campaign.chains_analyzed"] == len(stream)
+
+
+class TestPhaseHistogramMerge:
+    """Per-worker ``phase.*`` histograms fold losslessly back into the
+    parent registry through ``merge_snapshot``."""
+
+    def test_worker_phase_timers_merge_across_fork_pool(
+        self, ecosystem, union, stream
+    ):
+        if "fork" not in __import__("multiprocessing").get_all_start_methods():
+            pytest.skip("no fork start method on this platform")
+        with obs.instrumented() as (registry, _):
+            obs.catalogue.preregister(registry)
+            _, stats = analyze_observations(
+                stream, store=union, fetcher=ecosystem.aia_repo,
+                workers=2, oversubscribe=True,
+            )
+            snapshot = registry.snapshot()
+        assert stats.mode == "fork-pool"
+        series = [
+            s for s in snapshot["phase.wall_seconds"]["series"]
+            if s["labels"].get("phase") == "analyze.worker"
+        ]
+        # Each worker span observes the scope once; every observation
+        # survives the merge into the single parent series.
+        assert len(series) == 1
+        assert series[0]["count"] >= stats.effective_workers
+        assert series[0]["sum"] >= 0.0
+        cpu = [
+            s for s in snapshot["phase.cpu_seconds"]["series"]
+            if s["labels"].get("phase") == "analyze.worker"
+        ]
+        assert cpu[0]["count"] == series[0]["count"]
+
+    def test_merge_preserves_bucket_counts(self):
+        """Distinct registries with catalogue bounds fold exactly."""
+        from repro.obs.probe import phase_scope
+
+        parent = obs.MetricsRegistry()
+        obs.catalogue.preregister(parent)
+        totals = 0
+        for _ in range(2):  # two "workers"
+            worker = obs.MetricsRegistry()
+            for _ in range(3):
+                with phase_scope("analyze.worker", worker):
+                    pass
+            totals += 3
+            parent.merge_snapshot(worker.snapshot())
+        series = [
+            s for s in parent.snapshot()["phase.wall_seconds"]["series"]
+            if s["labels"].get("phase") == "analyze.worker"
+        ]
+        assert series[0]["count"] == totals
+        assert sum(series[0]["buckets"].values()) == totals

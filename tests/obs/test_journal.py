@@ -292,3 +292,109 @@ class TestVerdictEncoding:
                                    encoded=line)
         text = (tmp_path / "run.jsonl").read_text().splitlines()
         assert text[1] == line
+
+
+class TestValidation:
+    """``validate_journal`` / ``RunJournal.validate``: the invariants a
+    well-formed append-only journal satisfies."""
+
+    def good_journal(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal.create(path, MANIFEST) as journal:
+            journal.record("scan", domain="a.example", vantage="us",
+                           success=True)
+            journal.record("scan", domain="a.example", vantage="au",
+                           success=False)
+            journal.record("degradation", vantage="au",
+                           reason="breaker_open")
+            journal.record("collection", domains=1, observations=1)
+            journal.record_verdict("a.example", ("aa" * 32,),
+                                   {"leaf": {}})
+        return path
+
+    def test_well_formed_journal_passes(self, tmp_path):
+        from repro.obs.journal import validate_journal
+
+        path = self.good_journal(tmp_path)
+        manifest, events = validate_journal(path)
+        assert manifest["seed"] == MANIFEST["seed"]
+        assert len(events) == 5
+
+    def append_line(self, path, payload):
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload) + "\n")
+
+    def test_second_collection_summary_rejected(self, tmp_path):
+        from repro.obs.journal import validate_journal
+
+        path = self.good_journal(tmp_path)
+        self.append_line(path, {"type": "collection", "domains": 1})
+        with pytest.raises(JournalError, match="one-summary"):
+            validate_journal(path)
+
+    def test_scan_after_summary_is_non_monotonic(self, tmp_path):
+        from repro.obs.journal import validate_journal
+
+        path = self.good_journal(tmp_path)
+        self.append_line(path, {"type": "scan", "domain": "z.example",
+                                "vantage": "us", "success": True})
+        with pytest.raises(JournalError, match="not monotonic"):
+            validate_journal(path)
+
+    def test_duplicate_scan_rejected_with_line_number(self, tmp_path):
+        from repro.obs.journal import validate_journal
+
+        path = tmp_path / "run.jsonl"
+        with RunJournal.create(path, MANIFEST) as journal:
+            journal.record("scan", domain="a.example", vantage="us")
+            journal.record("scan", domain="a.example", vantage="us")
+        with pytest.raises(JournalError, match="line 3.*duplicate scan"):
+            validate_journal(path)
+
+    def test_duplicate_verdict_rejected(self, tmp_path):
+        from repro.obs.journal import validate_journal
+
+        path = tmp_path / "run.jsonl"
+        with RunJournal.create(path, MANIFEST) as journal:
+            journal.record("verdict", domain="a.example",
+                           chain_key=["aa"], report={})
+            journal.record("verdict", domain="a.example",
+                           chain_key=["aa"], report={})
+        with pytest.raises(JournalError, match="duplicate verdict"):
+            validate_journal(path)
+
+    def test_verdict_missing_fields_rejected(self, tmp_path):
+        from repro.obs.journal import validate_journal
+
+        path = tmp_path / "run.jsonl"
+        with RunJournal.create(path, MANIFEST) as journal:
+            journal.record("verdict", chain_key=["aa"])
+        with pytest.raises(JournalError, match="missing"):
+            validate_journal(path)
+
+    def test_many_problems_are_summarised(self, tmp_path):
+        from repro.obs.journal import validate_journal
+
+        path = tmp_path / "run.jsonl"
+        with RunJournal.create(path, MANIFEST) as journal:
+            for _ in range(5):
+                journal.record("collection", domains=1)
+        with pytest.raises(JournalError, match="more problem"):
+            validate_journal(path)
+
+    def test_instance_validate_checks_resumed_events(self, tmp_path):
+        path = self.good_journal(tmp_path)
+        self.append_line(path, {"type": "collection", "domains": 9})
+        journal = RunJournal.open(path, MANIFEST)
+        with journal:
+            with pytest.raises(JournalError, match="corrupt journal"):
+                journal.validate()
+
+    def test_instance_validate_passes_on_fresh_journal(self, tmp_path):
+        with fresh(tmp_path) as journal:
+            journal.validate()
+
+    def test_instance_validate_requires_stamped_manifest(self, tmp_path):
+        journal = RunJournal(tmp_path / "x.jsonl", dict(MANIFEST))
+        with pytest.raises(JournalError, match="type/version stamp"):
+            journal.validate()

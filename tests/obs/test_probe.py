@@ -1,10 +1,12 @@
-"""The timer-based sampling profiler."""
+"""The timer-based sampling profiler and phase/RSS attribution."""
 
 import time
 
 import pytest
 
-from repro.obs.probe import SamplingProbe
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probe import SamplingProbe, phase_scope, read_rss_bytes
 from repro.obs.trace import NULL_TRACER, Tracer
 
 
@@ -73,3 +75,103 @@ class TestTimerThread:
     def test_interval_validated(self):
         with pytest.raises(ValueError):
             SamplingProbe(NULL_TRACER, interval=0)
+
+
+class TestRssSampling:
+    def test_read_rss_bytes_on_linux(self):
+        rss = read_rss_bytes()
+        if rss is None:
+            pytest.skip("no /proc/self/statm on this platform")
+        assert isinstance(rss, int)
+        assert rss > 1 << 20  # a Python process is at least a MiB
+
+    def test_probe_tracks_peak_and_publishes_gauge(self):
+        if read_rss_bytes() is None:
+            pytest.skip("no /proc/self/statm on this platform")
+        with obs.instrumented() as (registry, _):
+            probe = SamplingProbe(Tracer(), sample_rss=True)
+            probe.sample_once()
+            assert probe.rss_peak > 0
+            snapshot = probe.snapshot()
+            assert snapshot["rss"]["samples"] == 1
+            assert (snapshot["rss"]["peak_bytes"]
+                    >= snapshot["rss"]["last_bytes"] > 0)
+            assert registry.total("probe.rss") > 0
+
+    def test_disabled_by_default(self):
+        probe = SamplingProbe(Tracer())
+        probe.sample_once()
+        assert probe.rss_peak == 0
+        assert "rss" not in probe.snapshot()
+
+    def test_graceful_noop_without_procfs(self, monkeypatch):
+        monkeypatch.setattr("repro.obs.probe.read_rss_bytes",
+                            lambda: None)
+        probe = SamplingProbe(Tracer(), sample_rss=True)
+        probe.sample_once()  # must not raise
+        assert probe.rss_peak == 0
+        assert "rss" not in probe.snapshot()
+
+    def test_unreadable_statm_returns_none(self, monkeypatch):
+        import builtins
+
+        real_open = builtins.open
+
+        def refusing_open(path, *args, **kwargs):
+            if path == "/proc/self/statm":
+                raise OSError("no procfs here")
+            return real_open(path, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", refusing_open)
+        assert read_rss_bytes() is None
+
+
+class TestPhaseScope:
+    def test_observes_wall_cpu_and_rss(self):
+        registry = MetricsRegistry()
+        with phase_scope("analyze", registry):
+            sum(range(10_000))
+        snapshot = registry.snapshot()
+        for family in ("phase.wall_seconds", "phase.cpu_seconds"):
+            series = snapshot[family]["series"]
+            assert len(series) == 1
+            assert series[0]["labels"] == {"phase": "analyze"}
+            assert series[0]["count"] == 1
+            assert series[0]["sum"] >= 0.0
+        if read_rss_bytes() is not None:
+            rss = snapshot["phase.rss_peak_bytes"]["series"][0]
+            assert rss["max"] > 1 << 20
+
+    def test_uses_active_registry_by_default(self):
+        with obs.instrumented() as (registry, _):
+            with phase_scope("collect"):
+                pass
+            series = registry.snapshot()["phase.wall_seconds"]["series"]
+            assert series[0]["labels"]["phase"] == "collect"
+
+    def test_noop_when_instrumentation_disabled(self):
+        # The null registry swallows the observations silently.
+        with phase_scope("collect"):
+            pass
+
+    def test_records_even_when_body_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with phase_scope("doomed", registry):
+                raise RuntimeError("boom")
+        series = registry.snapshot()["phase.wall_seconds"]["series"]
+        assert series[0]["count"] == 1
+
+    def test_buckets_match_catalogue_for_merging(self):
+        """phase_scope and catalogue.preregister must agree on bucket
+        bounds or merge_snapshot would refuse to fold them."""
+        from repro.obs import catalogue
+
+        preregistered = MetricsRegistry()
+        catalogue.preregister(preregistered)
+        scoped = MetricsRegistry()
+        with phase_scope("analyze", scoped):
+            pass
+        preregistered.merge_snapshot(scoped.snapshot())  # must not raise
+        series = preregistered.snapshot()["phase.wall_seconds"]["series"]
+        assert any(s["labels"].get("phase") == "analyze" for s in series)

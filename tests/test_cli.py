@@ -446,3 +446,252 @@ class TestDifferentialWorkers:
         out = capsys.readouterr().out
         assert "cold (non-learning) intermediate cache" in out
         assert "attribution" in out
+
+
+@pytest.fixture(scope="module")
+def journaled_scan(tmp_path_factory):
+    """One journaled reference scan shared by the report/diff tests."""
+    tmp = tmp_path_factory.mktemp("cli-report")
+    journal = tmp / "run.jsonl"
+    metrics = tmp / "metrics.json"
+    report = tmp / "report.json"
+    code = main(["scan", "--domains", "100", "--seed", "833",
+                 "--simulate-network",
+                 "--journal", str(journal),
+                 "--metrics-out", str(metrics),
+                 "--report-out", str(report)])
+    assert code == 0
+    return journal, metrics, report
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, journaled_scan, capsys):
+        journal, _, _ = journaled_scan
+        code = main(["report", str(journal)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run report — campaign" in out
+        assert "Vantage reachability" in out
+        assert "Rule breakdown" in out
+        # no metrics snapshot given: no timing-dependent sections
+        assert "Phase resources" not in out
+
+    def test_report_with_metrics_adds_phases(self, journaled_scan,
+                                             capsys):
+        journal, metrics, _ = journaled_scan
+        code = main(["report", str(journal),
+                     "--metrics", str(metrics)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Phase resources" in out
+        assert "collect" in out and "analyze" in out
+
+    def test_report_formats(self, journaled_scan, tmp_path, capsys):
+        journal, _, _ = journaled_scan
+        html = tmp_path / "report.html"
+        code = main(["report", str(journal), "--out", str(html)])
+        assert code == 0
+        text = html.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<style>" in text
+        code = main(["report", str(journal), "--format", "markdown"])
+        assert code == 0
+        assert "| rule |" in capsys.readouterr().out
+
+    def test_report_json_out_roundtrips(self, journaled_scan,
+                                        tmp_path, capsys):
+        import json
+
+        from repro.obs import RunReport
+
+        journal, _, _ = journaled_scan
+        json_out = tmp_path / "report.json"
+        code = main(["report", str(journal),
+                     "--json-out", str(json_out)])
+        assert code == 0
+        payload = json.loads(json_out.read_text())
+        restored = RunReport.from_dict(payload)
+        assert restored.to_dict() == payload
+
+    def test_missing_journal_exits_two(self, tmp_path, capsys):
+        code = main(["report", str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        assert "report" in capsys.readouterr().err
+
+    def test_corrupt_journal_exits_two(self, journaled_scan, tmp_path,
+                                       capsys):
+        journal, _, _ = journaled_scan
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text(journal.read_text()
+                           + '{"type":"collection","domains":1}\n')
+        code = main(["report", str(corrupt)])
+        assert code == 2
+        assert "corrupt journal" in capsys.readouterr().err
+
+
+class TestScanReportOut:
+    def test_scan_report_out_requires_journal(self, tmp_path, capsys):
+        code = main(["scan", "--domains", "60", "--seed", "5",
+                     "--report-out", str(tmp_path / "r.json")])
+        assert code == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_scan_report_out_includes_metrics(self, journaled_scan):
+        import json
+
+        _, _, report = journaled_scan
+        payload = json.loads(report.read_text())
+        assert payload["report_version"] == 1
+        assert payload["verdicts"]["total"] > 0
+        # built with the live registry snapshot: phases present
+        assert payload["phases"]
+
+
+class TestDiffRuns:
+    def test_identical_journals_exit_zero(self, journaled_scan,
+                                          tmp_path, capsys):
+        journal, _, _ = journaled_scan
+        twin = tmp_path / "twin.jsonl"
+        code = main(["scan", "--domains", "100", "--seed", "833",
+                     "--simulate-network", "--journal", str(twin)])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["diff-runs", str(journal), str(twin)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-domain verdicts identical" in out
+        assert "exit 0" in out
+
+    def test_report_inputs_and_json_out(self, journaled_scan,
+                                        tmp_path, capsys):
+        import json
+
+        _, _, report = journaled_scan
+        json_out = tmp_path / "diff.json"
+        code = main(["diff-runs", str(report), str(report),
+                     "--json-out", str(json_out)])
+        assert code == 0
+        payload = json.loads(json_out.read_text())
+        assert payload["exit_code"] == 0
+        assert payload["verdict_flips"] == []
+
+    def test_flipped_verdict_exits_one_naming_rules(
+        self, journaled_scan, tmp_path, capsys
+    ):
+        import json
+
+        _, _, report = journaled_scan
+        payload = json.loads(report.read_text())
+        flipped_domain = None
+        for domain, dv in payload["domain_verdicts"].items():
+            if dv["compliant"]:
+                dv["compliant"] = False
+                dv["rules"] = ["R3.incomplete"]
+                flipped_domain = domain
+                break
+        mutated = tmp_path / "mutated.json"
+        mutated.write_text(json.dumps(payload))
+        code = main(["diff-runs", str(report), str(mutated)])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert flipped_domain in out
+        assert "R3.incomplete" in out
+        assert "exit 1" in out
+
+    def test_threshold_breach_exits_two(self, journaled_scan, capsys):
+        import json
+
+        _, metrics, report = journaled_scan
+        # compare the metrics-bearing report against a journal-only
+        # rebuild of itself: every metric total disappears -> breach
+        payload = json.loads(report.read_text())
+        assert payload["metric_totals"]
+        code = main(["diff-runs", str(report), str(report),
+                     "--threshold", "phase.*=0",
+                     "--threshold", "scan.success=0"])
+        assert code == 0  # identical report: nothing breaches
+        capsys.readouterr()
+        mutated = dict(payload)
+        mutated["metric_totals"] = dict(payload["metric_totals"])
+        mutated["metric_totals"]["scan.success"] = (
+            payload["metric_totals"]["scan.success"] * 2
+        )
+        import pathlib
+
+        other = pathlib.Path(str(report) + ".breach.json")
+        other.write_text(json.dumps(mutated))
+        code = main(["diff-runs", str(report), str(other),
+                     "--threshold", "scan.success=10"])
+        assert code == 2
+        assert "BREACH" in capsys.readouterr().out
+
+    def test_bad_threshold_exits_three(self, journaled_scan, capsys):
+        journal, _, _ = journaled_scan
+        code = main(["diff-runs", str(journal), str(journal),
+                     "--threshold", "nonsense"])
+        assert code == 3
+        assert "NAME=PCT" in capsys.readouterr().err
+
+    def test_unreadable_input_exits_three(self, tmp_path, capsys):
+        code = main(["diff-runs", str(tmp_path / "a.jsonl"),
+                     str(tmp_path / "b.jsonl")])
+        assert code == 3
+
+
+class TestStatsTop:
+    def test_top_limits_rows(self, tmp_path, capsys):
+        import json
+
+        snapshot = {
+            "a.big": {"type": "counter",
+                      "series": [{"labels": {}, "value": 100.0}]},
+            "b.mid": {"type": "counter",
+                      "series": [{"labels": {}, "value": 50.0}]},
+            "c.small": {"type": "counter",
+                        "series": [{"labels": {}, "value": 1.0}]},
+        }
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(snapshot))
+        code = main(["stats", str(path), "--top", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "a.big" in out and "b.mid" in out
+        assert "c.small" not in out
+        # largest first
+        assert out.index("a.big") < out.index("b.mid")
+
+    def test_numeric_cells_right_aligned(self, tmp_path, capsys):
+        import json
+
+        snapshot = {
+            "wide": {"type": "counter",
+                     "series": [{"labels": {}, "value": 123456.0}]},
+            "narrow": {"type": "counter",
+                       "series": [{"labels": {}, "value": 7.0}]},
+        }
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(snapshot))
+        assert main(["stats", str(path)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        wide = next(line for line in lines if line.startswith("wide"))
+        narrow = next(line for line in lines
+                      if line.startswith("narrow"))
+        # right-aligned: both value cells end at the same column
+        assert wide.rstrip().endswith("123,456")
+        assert narrow.rstrip().endswith("7")
+        assert len(wide.rstrip()) == len(narrow.rstrip())
+
+
+class TestExplainValidatesJournal:
+    def test_corrupt_journal_exits_two_cleanly(self, journaled_scan,
+                                               tmp_path, capsys):
+        journal, _, _ = journaled_scan
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_text(journal.read_text()
+                           + '{"type":"collection","domains":2}\n')
+        code = main(["explain", "any.example",
+                     "--journal", str(corrupt)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "corrupt journal" in err
+        assert "one-summary" in err

@@ -53,6 +53,35 @@ def test_observability_snippet():
     assert not obs.enabled()
 
 
+def test_report_snippet(tmp_path):
+    from repro.cli import main
+
+    journal = tmp_path / "run.jsonl"
+    metrics = tmp_path / "m.json"
+    report = tmp_path / "report.json"
+    html = tmp_path / "report.html"
+    assert main([
+        "scan", "--domains", "60", "--seed", "833", "--simulate-network",
+        "--journal", str(journal), "--metrics-out", str(metrics),
+        "--report-out", str(report),
+    ]) == 0
+    assert main([
+        "report", str(journal), "--metrics", str(metrics),
+        "--out", str(html),
+    ]) == 0
+    assert "<html" in html.read_text()
+    # two identical seeded runs diff clean: exit 0
+    rerun = tmp_path / "rerun.jsonl"
+    assert main([
+        "scan", "--domains", "60", "--seed", "833", "--simulate-network",
+        "--journal", str(rerun),
+    ]) == 0
+    assert main([
+        "diff-runs", str(journal), str(rerun),
+        "--threshold", "compliance.*=0",
+    ]) == 0
+
+
 def test_package_docstring_snippet():
     import repro
 
