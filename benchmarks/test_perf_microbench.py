@@ -550,3 +550,146 @@ def test_perf_report_overhead_snapshot(ecosystem, tmp_path):
         f"report generation costs {overhead_pct:.2f}% of the campaign "
         f"(budget: 5%)"
     )
+
+
+def test_perf_live_overhead_snapshot(tmp_path):
+    """Telemetry-server overhead on a scraped campaign; writes
+    BENCH_live.json and gates the overhead at <5%.
+
+    The served mode is the worst reasonable case: a health monitor on
+    ``/healthz``, a ``RunStatus`` advanced per scan, and a scraper
+    thread polling ``/metrics`` + ``/healthz`` every 250 ms for the
+    whole collect (Prometheus defaults to a 15 s cadence; this is
+    sixty times hotter).  Methodology matches the robustness
+    bench: median of paired per-round ratios, alternating order,
+    ``process_time`` (so scrape-serving CPU is charged to the run),
+    garbage collector paused across each timed region, and one fresh
+    measurement pass before a failing verdict.
+    """
+    import gc
+    import os
+    import statistics
+    import threading
+    import urllib.request
+
+    from repro.cli import _StatusProgress
+    from repro.measurement import Campaign
+    from repro.webpki import Ecosystem, EcosystemConfig
+
+    config = EcosystemConfig(
+        n_domains=min(
+            int(os.environ.get("REPRO_BENCH_DOMAINS", "10000")), 2_000
+        ),
+        seed=int(os.environ.get("REPRO_BENCH_SEED", "833")),
+    )
+    plain_campaign = Campaign(Ecosystem.generate(config))
+    served_campaign = Campaign(Ecosystem.generate(config))
+
+    monitor = obs.HealthMonitor([
+        obs.parse_health_rule("scan.error_ratio<=0.5"),
+        obs.parse_health_rule("breaker.tripped=0"),
+    ])
+
+    def collect(served: bool):
+        campaign = served_campaign if served else plain_campaign
+        with obs.instrumented() as (registry, _):
+            obs.catalogue.preregister(registry)
+            server = scraper = None
+            stop = threading.Event()
+            if served:
+                status = obs.RunStatus()
+                server = obs.TelemetryServer(
+                    registry, health=monitor, status=status,
+                ).start()
+
+                def scrape():
+                    while not stop.is_set():
+                        for route in ("/metrics", "/healthz"):
+                            try:
+                                urllib.request.urlopen(
+                                    server.url + route, timeout=5
+                                ).read()
+                            except OSError:
+                                pass
+                        stop.wait(0.25)
+
+                scraper = threading.Thread(target=scrape, daemon=True)
+                scraper.start()
+
+                def progress_factory(vantage, total):
+                    status.begin_phase(f"collect[{vantage}]", total)
+                    return _StatusProgress(status)
+            else:
+                progress_factory = None
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.process_time()
+                result = campaign.collect(
+                    progress_factory=progress_factory
+                )
+                elapsed = time.process_time() - start
+            finally:
+                gc.enable()
+                stop.set()
+                if scraper is not None:
+                    scraper.join(timeout=5)
+                if server is not None:
+                    server.stop()
+        return elapsed, result
+
+    collect(False)  # warm caches before timing
+    collect(True)
+    rounds = 11
+    plain_result = served_result = None
+
+    def measure():
+        nonlocal plain_result, served_result
+        ratios = []
+        plain_times = []
+        served_times = []
+        for index in range(rounds):
+            if index % 2 == 0:
+                p, plain_result = collect(False)
+                s, served_result = collect(True)
+            else:
+                s, served_result = collect(True)
+                p, plain_result = collect(False)
+            plain_times.append(p)
+            served_times.append(s)
+            ratios.append(100.0 * (s - p) / p)
+        return (statistics.median(ratios),
+                statistics.median(plain_times),
+                statistics.median(served_times))
+
+    overhead_pct, plain, served = measure()
+    if overhead_pct >= 5.0:
+        overhead_pct, plain, served = measure()
+
+    # being watched must not change what was collected
+    assert [
+        (d, tuple(c.fingerprint for c in chain))
+        for d, chain in served_result.observations
+    ] == [
+        (d, tuple(c.fingerprint for c in chain))
+        for d, chain in plain_result.observations
+    ]
+
+    snapshot = {
+        "bench": "live",
+        "domains": config.n_domains,
+        "scrape_interval_s": 0.25,
+        "rounds": rounds,
+        "plain_seconds": round(plain, 6),
+        "served_seconds": round(served, 6),
+        "overhead_pct": round(overhead_pct, 2),
+        "observations": served_result.total_observations,
+    }
+    out_path = pathlib.Path(__file__).resolve().parent.parent / (
+        "BENCH_live.json"
+    )
+    out_path.write_text(json.dumps(snapshot, indent=2) + "\n",
+                        encoding="utf-8")
+    print(f"\n{json.dumps(snapshot, indent=2)}")
+    # the gate: serving live telemetry stays <5% of an unserved run
+    assert overhead_pct < 5.0

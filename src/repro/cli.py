@@ -12,6 +12,7 @@ Subcommands mirror the library's main workflows::
     repro-chain save-corpus corpus.jsonl       # archive observations
     repro-chain report run.jsonl               # aggregate a run report
     repro-chain diff-runs base.json run.jsonl  # cross-run regression gate
+    repro-chain watch run.jsonl                # live dashboard over a run
 
 ``scan`` accepts ``--metrics-out``/``--trace-out``/``--openmetrics-out``
 to export the run's observability data, ``--journal`` to write (or
@@ -20,8 +21,15 @@ and ``--report-out`` to distil that journal into a run report artifact
 (see docs/OBSERVABILITY.md and docs/REPORTING.md).  ``diff-runs`` exits
 0 when per-domain verdicts are identical, 1 on verdict flips, 2 when a
 ``--threshold`` metric gate is breached — CI wires it against a
-committed baseline report.  Every command is also reachable as
-``python -m repro.cli ...``.
+committed baseline report.
+
+Live telemetry: ``scan --serve [HOST:]PORT`` embeds an HTTP server
+(``/metrics``, ``/healthz``, ``/progress``, ``/report``) for the
+duration of the run, repeatable ``--health`` rules drive ``/healthz``
+and make ``scan`` exit 3 when a rule is still breached at end-of-run,
+and ``watch`` renders either a journal or such a server as a live
+dashboard (docs/OBSERVABILITY.md, "Live monitoring").  Every command
+is also reachable as ``python -m repro.cli ...``.
 """
 
 from __future__ import annotations
@@ -61,6 +69,25 @@ def _render_reachability(snapshot: dict) -> list[str]:
     return lines
 
 
+class _StatusProgress:
+    """Fans one collect progress stream into a RunStatus (for the
+    telemetry server's ``/progress``) and an optional inner renderer
+    (the ``--progress`` line)."""
+
+    def __init__(self, status, inner=None) -> None:
+        self.status = status
+        self.inner = inner
+
+    def update(self, *, ok: bool = True) -> None:
+        self.status.advance(ok=ok)
+        if self.inner is not None:
+            self.inner.update(ok=ok)
+
+    def finish(self) -> None:
+        if self.inner is not None:
+            self.inner.finish()
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
     from repro import obs
     from repro.errors import JournalError
@@ -69,6 +96,24 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         render_table_7,
     )
     from repro.webpki import Ecosystem, EcosystemConfig
+
+    health_monitor = None
+    if args.health:
+        rules = []
+        for spec in args.health:
+            try:
+                rules.append(obs.parse_health_rule(spec))
+            except ValueError as exc:
+                print(f"repro-chain scan: {exc}", file=sys.stderr)
+                return 2
+        health_monitor = obs.HealthMonitor(rules)
+    serve_address = None
+    if args.serve is not None:
+        try:
+            serve_address = obs.parse_serve_address(args.serve)
+        except ValueError as exc:
+            print(f"repro-chain scan: {exc}", file=sys.stderr)
+            return 2
 
     obs.configure()
     with obs.instrumented() as (registry, tracer):
@@ -102,6 +147,34 @@ def _cmd_scan(args: argparse.Namespace) -> int:
                 return obs.ProgressLine(
                     total, prefix=f"scan[{vantage}]", force=True
                 )
+        status = live_view = server = None
+        if serve_address is not None:
+            status = obs.RunStatus()
+            live_view = obs.LiveRegistryView(registry)
+            server = obs.TelemetryServer(
+                registry, host=serve_address[0], port=serve_address[1],
+                health=health_monitor, status=status,
+                journal_path=args.journal or None, live_view=live_view,
+            )
+            try:
+                server.start()
+            except OSError as exc:
+                print(f"repro-chain scan: cannot serve on "
+                      f"{args.serve}: {exc}", file=sys.stderr)
+                if journal is not None:
+                    journal.close()
+                return 2
+            # flushed eagerly so a parallel scraper (CI, `repro-chain
+            # watch`) can read the ephemeral port before the scan ends
+            print(f"serving telemetry on {server.url}", flush=True)
+            inner_factory = progress_factory
+
+            def progress_factory(vantage: str, total: int,
+                                 _inner=inner_factory):
+                status.begin_phase(f"collect[{vantage}]", total)
+                inner = (_inner(vantage, total)
+                         if _inner is not None else None)
+                return _StatusProgress(status, inner)
         retry_policy = None
         if args.retries:
             from repro.net import RetryPolicy
@@ -122,6 +195,8 @@ def _cmd_scan(args: argparse.Namespace) -> int:
                 for vantage, reason in sorted(
                     collection.degraded_vantages.items()
                 ):
+                    if status is not None:
+                        status.mark_degraded(vantage, reason)
                     print(f"warning: vantage {vantage} degraded "
                           f"({reason}); union dataset is partial",
                           file=sys.stderr)
@@ -132,14 +207,21 @@ def _cmd_scan(args: argparse.Namespace) -> int:
                 from repro.measurement import VerdictCache
 
                 cache = VerdictCache()
+            if status is not None:
+                status.begin_phase("analyze", len(observations))
             report, _ = campaign.analyze(
                 observations, journal=journal,
                 snapshot_writer=snapshot_writer,
                 workers=args.workers, cache=cache,
+                status=status, live_view=live_view,
             )
+            if status is not None:
+                status.finish()
         finally:
             if journal is not None:
                 journal.close()
+            if server is not None:
+                server.stop()
         if cache is not None and (cache.hits + cache.misses):
             print(f"verdict cache: {cache.hits:,} hits / "
                   f"{cache.misses:,} misses "
@@ -186,6 +268,21 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             with open(args.report_out, "w", encoding="utf-8") as handle:
                 handle.write(_format_report(run_report, args.report_out))
             print(f"wrote run report to {args.report_out}")
+        if health_monitor is not None:
+            # End-of-run SLO gate over the final registry state; the
+            # same monitor served /healthz live.  Exit 3 keeps the
+            # journal/input error code (2) unambiguous for CI.
+            verdict = health_monitor.evaluate(registry.snapshot())
+            for spec in verdict.unmatched:
+                print(f"health: rule {spec!r} matched no metric",
+                      file=sys.stderr)
+            if not verdict.ok:
+                for failure in verdict.failures:
+                    print(f"health: FAIL {failure.metric} = "
+                          f"{failure.value:g} "
+                          f"(rule {failure.rule.spec})", file=sys.stderr)
+                return 3
+            print(f"health: ok ({len(verdict.results)} checks)")
     return 0
 
 
@@ -618,6 +715,21 @@ def _cmd_differential(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Live dashboard over a run journal or a ``--serve`` endpoint."""
+    from repro.obs.watch import HttpSource, JournalSource, watch
+
+    if args.target.startswith(("http://", "https://")):
+        source = HttpSource(args.target)
+    else:
+        source = JournalSource(args.target)
+    try:
+        return watch(source, interval=args.interval, once=args.once)
+    except KeyboardInterrupt:
+        print()
+        return 130
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-chain",
@@ -672,7 +784,35 @@ def build_parser() -> argparse.ArgumentParser:
                       help="aggregate the finished run into a report "
                            "artifact (requires --journal; format from "
                            "the extension: .json/.html/.md/text)")
+    scan.add_argument("--serve", metavar="[HOST:]PORT",
+                      help="serve live telemetry over HTTP while the "
+                           "run is in flight: /metrics (OpenMetrics), "
+                           "/healthz, /progress, /report; port 0 binds "
+                           "an ephemeral port (the chosen URL is "
+                           "printed at startup)")
+    scan.add_argument("--health", action="append", default=[],
+                      metavar="NAME<=V",
+                      help="declarative health/SLO rule over the "
+                           "metrics surface (e.g. "
+                           "'scan.error_ratio<=0.05', 'breaker.*=0'; "
+                           "also NAME>=V / NAME<V / NAME>V; NAME may "
+                           "be an fnmatch pattern); drives /healthz "
+                           "and exits 3 when still breached at "
+                           "end-of-run; repeatable")
     scan.set_defaults(func=_cmd_scan)
+
+    watch = sub.add_parser(
+        "watch",
+        help="live dashboard over a running (or finished) campaign",
+    )
+    watch.add_argument("target",
+                       help="run journal path, or the telemetry URL "
+                            "printed by 'scan --serve'")
+    watch.add_argument("--interval", type=float, default=1.0,
+                       help="seconds between polls (default: 1)")
+    watch.add_argument("--once", action="store_true",
+                       help="render a single frame and exit")
+    watch.set_defaults(func=_cmd_watch)
 
     stats = sub.add_parser(
         "stats", help="render a metrics snapshot as a readable table"

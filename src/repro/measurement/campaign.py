@@ -344,6 +344,8 @@ class Campaign:
         workers: int = 0,
         cache=None,
         oversubscribe: bool = False,
+        status=None,
+        live_view=None,
     ) -> tuple[DatasetReport, list[ChainComplianceReport]]:
         """Run the Section 3.1 compliance analysis over a collection.
 
@@ -366,6 +368,15 @@ class Campaign:
         :class:`~repro.measurement.parallel.VerdictCache` carries
         verdicts across phases.  Output is byte-identical to the
         default sequential loop either way.
+
+        ``status``/``live_view`` (a
+        :class:`~repro.obs.server.RunStatus` and
+        :class:`~repro.obs.server.LiveRegistryView`, both optional)
+        feed the embedded telemetry server: progress advances once per
+        observation, and the fork-pool path streams worker snapshot
+        partials into the live view.  Pure read-side telemetry —
+        reports, journals, and merged metrics are byte-identical with
+        or without them.
         """
         if observations is None:
             observations = self.ecosystem.observations()
@@ -383,6 +394,7 @@ class Campaign:
                     workers=workers or 1, cache=cache, journal=journal,
                     snapshot_writer=snapshot_writer,
                     oversubscribe=oversubscribe,
+                    status=status, live_view=live_view,
                 )
             if snapshot_writer is not None:
                 snapshot_writer.write_now()
@@ -411,6 +423,8 @@ class Campaign:
                         journal.record_verdict(domain, key, report)
                 reports.append(report)
                 throughput.inc()
+                if status is not None:
+                    status.advance()
                 if snapshot_writer is not None:
                     snapshot_writer.tick()
             if resumed:

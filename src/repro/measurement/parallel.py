@@ -49,6 +49,7 @@ from __future__ import annotations
 import math
 import multiprocessing
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
@@ -62,9 +63,10 @@ from repro.core.compliance import (
     record_outcome,
 )
 from repro.obs.journal import RunJournal, encode_verdict_event
-from repro.obs.metrics import MetricsRegistry, NullMetricsRegistry
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY, \
+    NullMetricsRegistry
 from repro.obs.probe import phase_scope
-from repro.obs.trace import NULL_TRACER
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.trust.aia import AIAFetcher
 from repro.trust.rootstore import RootStore
 from repro.x509 import Certificate
@@ -90,6 +92,12 @@ DEFAULT_SPAN = 256
 #: Environment escape hatch for the cpu_count cap (tests use this to
 #: exercise the real pool on single-core machines).
 OVERSUBSCRIBE_ENV = "REPRO_PIPELINE_OVERSUBSCRIBE"
+
+#: Chains a worker analyses between partial-snapshot shipments to the
+#: live view (when one is attached); small enough that ``/metrics``
+#: moves visibly during a long span, large enough that pickling
+#: snapshots stays a rounding error next to the analyses themselves.
+LIVE_SNAPSHOT_EVERY = 32
 
 
 def chain_key(chain: list[Certificate]) -> ChainKey:
@@ -239,33 +247,79 @@ def resolve_workers(requested: int, *,
 _WORKER_STATE: tuple | None = None
 
 
-def _analyze_span(start: int, end: int) -> tuple[list, dict | None]:
+def _analyze_span(start: int,
+                  end: int) -> tuple[list, dict | None, list | None]:
     """Worker: analyse one contiguous span of the pending list.
 
-    Returns ``(results, metrics_snapshot)`` where each result is
+    Returns ``(results, metrics_snapshot, spans)`` where each result is
     ``(report, encoded_line)`` — the line ``None`` when the run is not
     journaled.  The span runs under a fresh metrics registry (when the
     parent's was live at fork) so its snapshot is exactly this span's
-    delta; the parent merges the deltas.
+    delta; the parent merges the deltas.  Likewise for the tracer: a
+    fresh :class:`~repro.obs.trace.Tracer` (when the parent's was live)
+    collects this span's timing tree, returned as picklable root spans
+    for the parent to adopt — a null tracer here would silently drop
+    every worker span from ``--trace-out``.
+
+    When a live view is attached (``scan --serve``), the worker also
+    ships its snapshot-so-far over the inherited queue every
+    :data:`LIVE_SNAPSHOT_EVERY` chains, keyed by the span's start
+    index, so ``/metrics`` moves *during* the pool phase.  Shipping is
+    strictly additive telemetry: the final returned snapshot — the one
+    merged into the real registry — is computed exactly as before.
     """
-    pending, store, fetcher, journaled, live_metrics = _WORKER_STATE
-    if live_metrics:
-        obs.enable(metrics=MetricsRegistry(), tracer=NULL_TRACER)
+    (pending, store, fetcher, journaled, live_metrics, live_trace,
+     live_queue) = _WORKER_STATE
+    if live_metrics or live_trace:
+        obs.enable(
+            metrics=MetricsRegistry() if live_metrics else NULL_REGISTRY,
+            tracer=Tracer() if live_trace else NULL_TRACER,
+        )
     relation.enable_memo()
+    tracer = obs.get_tracer()
     results = []
     # Phase-scoped resource accounting: each span observes its own
     # wall/CPU/RSS into the worker's fresh registry, and the parent's
     # merge_snapshot folds the per-worker histograms into one
     # ``analyze.worker`` series — the report's per-phase table then
     # shows pool cost exactly, not just the parent's wait time.
-    with phase_scope("analyze.worker"):
-        for domain, chain, hexkey in pending[start:end]:
+    with phase_scope("analyze.worker"), \
+            tracer.span("analyze.span", start=start, chains=end - start):
+        for offset, (domain, chain, hexkey) in enumerate(
+            pending[start:end], 1
+        ):
             report = analyze_chain(domain, chain, store, fetcher)
             line = (encode_verdict_event(domain, hexkey, report)
                     if journaled else None)
             results.append((report, line))
+            if (live_queue is not None and live_metrics
+                    and offset % LIVE_SNAPSHOT_EVERY == 0
+                    and offset < end - start):
+                try:
+                    live_queue.put((start, obs.get_metrics().snapshot()))
+                except (OSError, ValueError):
+                    live_queue = None  # pipe gone; keep analysing
     snapshot = obs.get_metrics().snapshot() if live_metrics else None
-    return results, snapshot
+    spans = tracer.roots() if live_trace else None
+    return results, snapshot, spans
+
+
+def _drain_live_snapshots(queue, live_view) -> None:
+    """Parent-side pump: worker partials → the live registry view.
+
+    Runs on a daemon thread until the sentinel ``None`` arrives (or the
+    queue's pipe dies with the pool).  Strictly read-side: it only ever
+    touches the view's partial map, never the real registry.
+    """
+    while True:
+        try:
+            item = queue.get()
+        except (EOFError, OSError):
+            break
+        if item is None:
+            break
+        key, snapshot = item
+        live_view.update(key, snapshot)
 
 
 # ----------------------------------------------------------------------
@@ -282,6 +336,8 @@ def analyze_observations(
     journal: RunJournal | None = None,
     snapshot_writer=None,
     oversubscribe: bool = False,
+    status=None,
+    live_view=None,
 ) -> tuple[list[ChainComplianceReport], PipelineStats]:
     """Analyse a corpus with chain dedup and an optional worker pool.
 
@@ -293,6 +349,13 @@ def analyze_observations(
     ``campaign.chains_resumed``; ``campaign.chains_analyzed`` ticks once
     per observation; compliance counters record once per observation
     that a sequential run would have analysed.
+
+    ``status`` (a :class:`~repro.obs.server.RunStatus`) is advanced
+    once per observation; ``live_view`` (a
+    :class:`~repro.obs.server.LiveRegistryView`) receives the workers'
+    periodic partial snapshots during the pool phase.  Both are pure
+    read-side telemetry: attaching them changes no report, journal
+    line, or merged metric.
     """
     cache = cache if cache is not None else VerdictCache()
     digest = store.digest()
@@ -307,14 +370,15 @@ def analyze_observations(
                 observations, store=store, fetcher=fetcher, cache=cache,
                 digest=digest, journal=journal,
                 snapshot_writer=snapshot_writer, throughput=throughput,
-                requested=workers,
+                requested=workers, status=status,
             )
         else:
             reports, stats = _run_pool(
                 observations, store=store, fetcher=fetcher, cache=cache,
                 digest=digest, journal=journal,
                 snapshot_writer=snapshot_writer, throughput=throughput,
-                requested=workers, effective=effective,
+                requested=workers, effective=effective, status=status,
+                live_view=live_view,
             )
 
     if stats.resumed:
@@ -334,7 +398,7 @@ def analyze_observations(
 
 def _run_in_process(
     observations, *, store, fetcher, cache, digest, journal,
-    snapshot_writer, throughput, requested,
+    snapshot_writer, throughput, requested, status=None,
 ):
     """Single-pass dedup + analysis in the calling process."""
     journaled = journal is not None
@@ -378,6 +442,8 @@ def _run_in_process(
                 run_reports[(domain, key)] = report
         reports.append(report)
         throughput.inc()
+        if status is not None:
+            status.advance()
         if snapshot_writer is not None:
             snapshot_writer.tick()
 
@@ -392,7 +458,8 @@ def _run_in_process(
 
 def _run_pool(
     observations, *, store, fetcher, cache, digest, journal,
-    snapshot_writer, throughput, requested, effective,
+    snapshot_writer, throughput, requested, effective, status=None,
+    live_view=None,
 ):
     """Plan → shard unique chains across forked workers → ordered merge.
 
@@ -403,10 +470,17 @@ def _run_pool(
     order.  Pass 2 walks the observations in order again, so journal
     appends, metric ticks, and the report list are sequenced exactly as
     the in-process path sequences them.
+
+    Progress accounting sums exactly to ``len(observations)``: the
+    merge loop advances ``status`` by each span's fresh results as its
+    future completes (near-live visibility through the longest phase),
+    and pass 2 advances only the non-fresh entries.
     """
     journaled = journal is not None
     metrics = obs.get_metrics()
+    tracer = obs.get_tracer()
     live_metrics = not isinstance(metrics, NullMetricsRegistry)
+    live_trace = not isinstance(tracer, NullTracer)
 
     # -- pass 1: plan ---------------------------------------------------
     RESUMED, PAIR_DUP, HIT, FRESH = range(4)
@@ -452,25 +526,51 @@ def _run_pool(
         span = max(1, min(DEFAULT_SPAN, math.ceil(len(pending) / effective)))
         spans = [(start, min(start + span, len(pending)))
                  for start in range(0, len(pending), span)]
+        context = multiprocessing.get_context("fork")
+        live_queue = drainer = None
+        if live_view is not None and live_metrics:
+            # Workers inherit the queue's write end through fork; the
+            # drainer folds their partial snapshots into the live view
+            # while the parent blocks in future.result() below.
+            live_queue = context.SimpleQueue()
+            drainer = threading.Thread(
+                target=_drain_live_snapshots, args=(live_queue, live_view),
+                name="repro-live-drain", daemon=True,
+            )
+            drainer.start()
         global _WORKER_STATE
-        _WORKER_STATE = (pending, store, fetcher, journaled, live_metrics)
+        _WORKER_STATE = (pending, store, fetcher, journaled,
+                         live_metrics, live_trace, live_queue)
         try:
-            context = multiprocessing.get_context("fork")
             with ProcessPoolExecutor(max_workers=effective,
                                      mp_context=context) as pool:
                 futures = [pool.submit(_analyze_span, start, end)
                            for start, end in spans]
                 index = 0
-                for future in futures:  # submission order: deterministic
-                    results, snapshot = future.result()
+                for lane, ((span_start, _), future) in enumerate(
+                    zip(spans, futures), 1
+                ):  # submission order: deterministic
+                    results, snapshot, worker_spans = future.result()
                     for report, line in results:
                         domain, chain, _ = pending[index]
                         fresh[chain_key(chain)] = (report, line)
                         index += 1
                     if snapshot:
                         metrics.merge_snapshot(snapshot)
+                    if live_view is not None:
+                        # the real registry holds this span now; its
+                        # partial must leave the composite
+                        live_view.discard(span_start)
+                    if worker_spans:
+                        tracer.adopt(worker_spans, thread_id=lane)
+                    if status is not None and results:
+                        status.advance(len(results))
         finally:
             _WORKER_STATE = None
+            if live_queue is not None:
+                live_queue.put(None)
+                drainer.join(timeout=5.0)
+                live_view.clear()
 
     # -- pass 2: fan out in observation order ---------------------------
     reports: list[ChainComplianceReport] = []
@@ -506,6 +606,8 @@ def _run_pool(
                 run_reports[(domain, key)] = report
         reports.append(report)
         throughput.inc()
+        if status is not None and kind != FRESH:
+            status.advance()  # FRESH advanced live in the merge loop
         if snapshot_writer is not None:
             snapshot_writer.tick()
 

@@ -39,6 +39,12 @@ from repro.obs import catalogue
 from repro.obs.diff import RunDiff, diff_reports, render_diff_text
 from repro.obs.evidence import Evidence, evidence_from_dict, render_evidence
 from repro.obs.export import ProgressLine, SnapshotWriter, to_openmetrics
+from repro.obs.health import (
+    HealthMonitor,
+    HealthReport,
+    HealthRule,
+    parse_health_rule,
+)
 from repro.obs.journal import RunJournal, read_journal, validate_journal
 from repro.obs.log import StructLogger, configure, get_logger
 from repro.obs.metrics import (
@@ -54,10 +60,17 @@ from repro.obs.render import render_metrics_table
 from repro.obs.report import (
     RunReport,
     build_report,
+    flatten_metrics,
     render_report_html,
     render_report_markdown,
     render_report_text,
     report_from_journal,
+)
+from repro.obs.server import (
+    LiveRegistryView,
+    RunStatus,
+    TelemetryServer,
+    parse_serve_address,
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer
 
@@ -66,7 +79,11 @@ __all__ = [
     "Evidence",
     "catalogue",
     "Gauge",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthRule",
     "Histogram",
+    "LiveRegistryView",
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NullTracer",
@@ -74,10 +91,12 @@ __all__ = [
     "RunDiff",
     "RunJournal",
     "RunReport",
+    "RunStatus",
     "SamplingProbe",
     "SnapshotWriter",
     "Span",
     "StructLogger",
+    "TelemetryServer",
     "Tracer",
     "build_report",
     "configure",
@@ -86,10 +105,13 @@ __all__ = [
     "enable",
     "enabled",
     "evidence_from_dict",
+    "flatten_metrics",
     "get_logger",
     "get_metrics",
     "get_tracer",
     "instrumented",
+    "parse_health_rule",
+    "parse_serve_address",
     "phase_scope",
     "read_journal",
     "read_rss_bytes",

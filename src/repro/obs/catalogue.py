@@ -58,6 +58,7 @@ COUNTERS: tuple[str, ...] = (
     "compliance.completeness",    # category (Table 7 classes)
     "compliance.verdict",         # verdict
     "journal.events",             # type (manifest | scan | verdict | ...)
+    "snapshot.write_errors",      # SnapshotWriter disabled by an OSError
 )
 
 #: Gauge families.

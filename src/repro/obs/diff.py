@@ -31,6 +31,7 @@ Exit-code semantics (``RunDiff.exit_code``, surfaced by the
 from __future__ import annotations
 
 import json
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from fnmatch import fnmatchcase
 from typing import Any
@@ -42,6 +43,7 @@ __all__ = [
     "RunDiff",
     "VerdictFlip",
     "diff_reports",
+    "most_specific",
     "parse_threshold",
     "render_diff_text",
 ]
@@ -179,19 +181,29 @@ def parse_threshold(spec: str) -> tuple[str, float]:
     return name, pct
 
 
-def _threshold_for(name: str,
-                   thresholds: dict[str, float]) -> float | None:
-    """Most specific matching threshold: exact name beats patterns;
-    among patterns the longest (most constrained) wins."""
-    if name in thresholds:
-        return thresholds[name]
-    best: tuple[int, float] | None = None
-    for pattern, pct in thresholds.items():
+def most_specific(name: str, table: Mapping[str, Any]) -> Any | None:
+    """The most specific entry in a pattern-keyed table for ``name``.
+
+    The resolution rule shared by the diff threshold gates and the
+    health/SLO engine (:mod:`repro.obs.health`): an exact name beats
+    any ``fnmatch`` pattern; among matching patterns the longest (most
+    constrained) wins.  ``None`` when nothing matches.
+    """
+    if name in table:
+        return table[name]
+    best: tuple[int, Any] | None = None
+    for pattern, value in table.items():
         if fnmatchcase(name, pattern):
-            candidate = (len(pattern), pct)
+            candidate = (len(pattern), value)
             if best is None or candidate[0] > best[0]:
                 best = candidate
     return best[1] if best else None
+
+
+def _threshold_for(name: str,
+                   thresholds: dict[str, float]) -> float | None:
+    """Most specific matching threshold (see :func:`most_specific`)."""
+    return most_specific(name, thresholds)
 
 
 def _describe(verdict: DomainVerdict | None) -> str:

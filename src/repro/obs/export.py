@@ -137,6 +137,11 @@ class SnapshotWriter:
     get OpenMetrics, everything else JSON) to a temp file and
     ``os.replace``s it over the target, so scrapers never observe a
     half-written snapshot.
+
+    Snapshot export is telemetry, not the campaign's product: a write
+    error (ENOSPC, a vanished directory, a permission flip) disables
+    the writer — warned once, counted as ``snapshot.write_errors`` —
+    instead of killing a scan hours into its sweep.
     """
 
     #: extensions rendered as OpenMetrics text instead of JSON
@@ -150,6 +155,8 @@ class SnapshotWriter:
         self._clock = clock
         self._last_write = float("-inf")
         self.writes = 0
+        self.disabled = False
+        self.last_error: OSError | None = None
 
     def _render(self) -> str:
         if self.path.suffix in self.OPENMETRICS_SUFFIXES:
@@ -158,19 +165,44 @@ class SnapshotWriter:
 
     def tick(self) -> bool:
         """Write if the interval elapsed; returns whether it wrote."""
+        if self.disabled:
+            return False
         now = self._clock()
         if now - self._last_write < self.interval:
             return False
         self._last_write = now
-        self.write_now()
+        return self.write_now()
+
+    def write_now(self) -> bool:
+        """Atomic snapshot write; returns whether one file appeared.
+
+        The first :class:`OSError` disables the writer for the rest of
+        the run (the scan keeps going with stale or absent snapshots,
+        which monitoring treats as a stuck exporter — exactly right).
+        """
+        if self.disabled:
+            return False
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        try:
+            tmp.write_text(self._render(), encoding="utf-8")
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            self.disabled = True
+            self.last_error = exc
+            self._record_failure(exc)
+            return False
+        self.writes += 1
         return True
 
-    def write_now(self) -> None:
-        """Unconditional atomic snapshot write."""
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        tmp.write_text(self._render(), encoding="utf-8")
-        os.replace(tmp, self.path)
-        self.writes += 1
+    def _record_failure(self, exc: OSError) -> None:
+        """One warning + one ``snapshot.write_errors`` tick, best effort."""
+        from repro import obs
+
+        obs.get_metrics().counter("snapshot.write_errors").inc()
+        obs.get_logger("obs.export").warning(
+            "snapshot.write_failed", path=str(self.path),
+            error=str(exc), disabled=True,
+        )
 
 
 class ProgressLine:

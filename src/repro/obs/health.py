@@ -1,0 +1,238 @@
+"""Declarative health/SLO rules over the flattened metrics surface.
+
+A long scan is *healthy* when a handful of ratios and totals stay
+inside bounds the operator declared up front — error ratio under 5%,
+no breaker trips, no snapshot-export failures.  This module turns
+``--health NAME=THRESHOLD`` specs into that judgement:
+
+* :func:`parse_health_rule` — one spec string to a :class:`HealthRule`
+  (grammar below);
+* :class:`HealthMonitor` — evaluates a rule set against a registry
+  snapshot, producing a :class:`HealthReport` that the ``/healthz``
+  endpoint serialises (HTTP 200/503) and the ``scan`` command checks
+  once at end-of-run (exit 3 on breach).
+
+Rule grammar
+------------
+
+``NAME`` is a metric name from the flattened surface
+(:func:`repro.obs.report.flatten_metrics`: family totals, labeled
+series as ``name{k=v}``, histogram ``.count``/``.sum``) plus the
+derived ratios below, or an ``fnmatch`` pattern over those names.
+Which rule governs a metric reuses the diff-threshold resolution
+(:func:`repro.obs.diff.most_specific`): an exact name beats any
+pattern, the longest pattern beats shorter ones.
+
+=============  ===================================================
+``NAME<=V``    value must not exceed V (ceiling)
+``NAME=V``     shorthand for ``NAME<=V`` — "at most", the common
+               SLO reading, mirroring diff's ``NAME=PCT`` ceilings
+``NAME<V``     strictly below V
+``NAME>=V``    value must reach V (floor, e.g. a success ratio)
+``NAME>V``     strictly above V
+=============  ===================================================
+
+Derived ratios
+--------------
+
+Ratio SLOs ("fail if more than 5% of scans error") need a metric the
+registry does not store directly, so evaluation extends the surface
+with a few conventional quotients, each 0.0 while its denominator is
+zero (no traffic yet ⇒ healthy, matching load-balancer probe
+semantics):
+
+* ``scan.error_ratio`` — ``scan.error / scan.attempts`` (failed
+  handshake attempts, retries included);
+* ``scan.failure_ratio`` — failed scans over finished scans
+  (``scan.failure / (scan.failure + scan.success)``);
+* ``aia.fetch.failure_ratio`` — ``aia.fetch.failure /
+  aia.fetch.attempts``;
+* ``cache.hit_ratio`` — ``cache.hits / (cache.hits + cache.misses)``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.obs.diff import most_specific
+from repro.obs.report import flatten_metrics
+
+__all__ = [
+    "DERIVED_RATIOS",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthRule",
+    "RuleResult",
+    "parse_health_rule",
+]
+
+#: derived name -> (numerator metrics, denominator metrics); each side
+#: sums the flattened values of the metrics listed.
+DERIVED_RATIOS: dict[str, tuple[tuple[str, ...], tuple[str, ...]]] = {
+    "scan.error_ratio": (("scan.error",), ("scan.attempts",)),
+    "scan.failure_ratio": (
+        ("scan.failure",), ("scan.failure", "scan.success")
+    ),
+    "aia.fetch.failure_ratio": (
+        ("aia.fetch.failure",), ("aia.fetch.attempts",)
+    ),
+    "cache.hit_ratio": (("cache.hits",), ("cache.hits", "cache.misses")),
+}
+
+#: operators in match order (two-character ones first).
+_OPERATORS = ("<=", ">=", "<", ">", "=")
+
+_PATTERN_CHARS = frozenset("*?[")
+
+
+@dataclass(frozen=True)
+class HealthRule:
+    """One parsed ``NAME(op)THRESHOLD`` rule."""
+
+    name: str     # metric name or fnmatch pattern
+    op: str       # one of <=, >=, <, > (bare = normalises to <=)
+    bound: float
+    spec: str     # the original spec string, for messages
+
+    @property
+    def is_pattern(self) -> bool:
+        return bool(_PATTERN_CHARS & set(self.name))
+
+    def check(self, value: float) -> bool:
+        if self.op == "<=":
+            return value <= self.bound
+        if self.op == ">=":
+            return value >= self.bound
+        if self.op == "<":
+            return value < self.bound
+        return value > self.bound
+
+
+def parse_health_rule(spec: str) -> HealthRule:
+    """Parse one ``--health`` spec (see the module grammar table)."""
+    for op in _OPERATORS:
+        name, sep, raw = spec.partition(op)
+        if sep:
+            break
+    else:
+        sep = ""
+    if not sep or not name:
+        raise ValueError(
+            f"health rule {spec!r} is not of the form "
+            f"NAME<=V / NAME>=V / NAME<V / NAME>V / NAME=V"
+        )
+    try:
+        bound = float(raw)
+    except ValueError as exc:
+        raise ValueError(
+            f"health rule {spec!r}: {raw!r} is not a number"
+        ) from exc
+    return HealthRule(
+        name=name.strip(), op="<=" if op == "=" else op,
+        bound=bound, spec=spec,
+    )
+
+
+@dataclass(frozen=True)
+class RuleResult:
+    """One (metric, governing rule) evaluation."""
+
+    rule: HealthRule
+    metric: str
+    value: float
+    ok: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule.spec,
+            "metric": self.metric,
+            "value": self.value,
+            "ok": self.ok,
+        }
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """The full judgement one evaluation produced."""
+
+    ok: bool
+    results: tuple[RuleResult, ...]
+    unmatched: tuple[str, ...]  # pattern rules that governed nothing
+
+    @property
+    def failures(self) -> tuple[RuleResult, ...]:
+        return tuple(r for r in self.results if not r.ok)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "checks": [r.to_dict() for r in self.results],
+            "failures": [r.to_dict() for r in self.failures],
+            "unmatched_rules": list(self.unmatched),
+        }
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def derived_ratios(flat: Mapping[str, float]) -> dict[str, float]:
+    """The :data:`DERIVED_RATIOS` quotients over one flattened surface."""
+    out: dict[str, float] = {}
+    for name, (numerator, denominator) in DERIVED_RATIOS.items():
+        total = sum(flat.get(metric, 0.0) for metric in denominator)
+        part = sum(flat.get(metric, 0.0) for metric in numerator)
+        out[name] = part / total if total else 0.0
+    return out
+
+
+class HealthMonitor:
+    """Evaluates a fixed rule set against registry snapshots.
+
+    Stateless between evaluations, so ``/healthz`` can call
+    :meth:`evaluate` on every request against the live snapshot and
+    the end-of-run gate can call it once against the final one.
+    """
+
+    def __init__(self, rules: list[HealthRule] | tuple[HealthRule, ...]):
+        self.rules = tuple(rules)
+        #: resolution table (later duplicates of the same NAME win,
+        #: like repeated CLI flags)
+        self._by_name = {rule.name: rule for rule in self.rules}
+
+    def evaluate(self, snapshot: Mapping[str, Mapping]) -> HealthReport:
+        """Judge one ``MetricsRegistry.snapshot()`` dict."""
+        surface = dict(flatten_metrics(dict(snapshot)))
+        surface.update(derived_ratios(surface))
+
+        results: list[RuleResult] = []
+        governed: set[str] = set()
+        for metric in sorted(surface):
+            rule = most_specific(metric, self._by_name)
+            if rule is None:
+                continue
+            governed.add(rule.name)
+            value = surface[metric]
+            results.append(
+                RuleResult(rule, metric, value, rule.check(value))
+            )
+
+        unmatched: list[str] = []
+        for name, rule in self._by_name.items():
+            if name in governed:
+                continue
+            if rule.is_pattern:
+                # A pattern that matched nothing is a configuration
+                # smell, not an outage: surfaced, never failing.
+                unmatched.append(rule.spec)
+            else:
+                # An exact name absent from the surface reads as zero —
+                # flatten_metrics omits zero-valued families, and a
+                # counter that never ticked is exactly 0.
+                results.append(RuleResult(rule, name, 0.0, rule.check(0.0)))
+        return HealthReport(
+            ok=all(r.ok for r in results),
+            results=tuple(results),
+            unmatched=tuple(unmatched),
+        )

@@ -46,6 +46,7 @@ __all__ = [
     "SlowScan",
     "VantageStat",
     "build_report",
+    "flatten_metrics",
     "render_report_html",
     "render_report_markdown",
     "render_report_text",
@@ -496,7 +497,7 @@ def build_report(manifest: dict[str, Any],
 
     # -- metrics-derived sections --------------------------------------
     if metrics:
-        report.metric_totals = _flatten_metrics(metrics)
+        report.metric_totals = flatten_metrics(metrics)
         report.phases = _phase_stats(metrics)
     return report
 
@@ -512,13 +513,14 @@ def report_from_journal(path: str | Path, *,
                         top_slowest=top_slowest)
 
 
-def _flatten_metrics(snapshot: dict[str, Any]) -> dict[str, float]:
+def flatten_metrics(snapshot: dict[str, Any]) -> dict[str, float]:
     """One ``name -> number`` map from a registry snapshot.
 
     Counters/gauges flatten to their family total plus one
     ``name{k=v,...}`` entry per labeled series; histograms contribute
     ``name.count`` and ``name.sum``.  This is the diffable surface the
-    threshold gates in :mod:`repro.obs.diff` operate on.
+    threshold gates in :mod:`repro.obs.diff` and the health rules in
+    :mod:`repro.obs.health` operate on.
     """
     flat: dict[str, float] = {}
     for name in sorted(snapshot):

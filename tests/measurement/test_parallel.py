@@ -339,3 +339,117 @@ class TestPhaseHistogramMerge:
         ]
         assert series[0]["count"] == totals
         assert sum(series[0]["buckets"].values()) == totals
+
+
+class TestWorkerSpans:
+    """Fork-pool workers trace for real; the parent adopts their spans.
+
+    Regression: the pool used to pin workers to ``NULL_TRACER``, so a
+    traced ``scan --workers 4`` silently lost every worker-side span.
+    """
+
+    def test_worker_spans_surface_in_parent_trace(
+        self, ecosystem, union, stream
+    ):
+        with obs.instrumented() as (_, tracer):
+            _, stats = analyze_observations(
+                stream, store=union, fetcher=ecosystem.aia_repo,
+                workers=2, oversubscribe=True,
+            )
+            events = tracer.to_chrome_trace()
+        assert stats.mode == "fork-pool"
+        worker_events = [e for e in events if e["name"] == "analyze.span"]
+        assert worker_events  # the regression: these used to vanish
+        # each submitted span rides its own Chrome-trace tid lane, so
+        # worker timelines render side by side instead of stacked
+        lanes = {e["tid"] for e in worker_events}
+        assert len(lanes) == len(worker_events)
+        assert 0 not in lanes  # lane 0 stays the parent's
+
+    def test_worker_span_children_keep_the_lane(
+        self, ecosystem, union, stream
+    ):
+        with obs.instrumented() as (_, tracer):
+            analyze_observations(
+                stream, store=union, fetcher=ecosystem.aia_repo,
+                workers=2, oversubscribe=True,
+            )
+            roots = [s for s in tracer.roots() if s.name == "analyze.span"]
+        assert roots
+        for root in roots:
+            for child in root.children:
+                assert child.thread_id == root.thread_id
+
+    def test_untraced_run_adopts_nothing(self, ecosystem, union, stream):
+        with obs.instrumented(tracer=obs.NullTracer()) as (_, tracer):
+            analyze_observations(
+                stream, store=union, fetcher=ecosystem.aia_repo,
+                workers=2, oversubscribe=True,
+            )
+        assert tracer.roots() == []
+
+
+class TestLiveView:
+    def run_with_live_view(self, ecosystem, union, stream, *, metrics=True):
+        from repro.obs.server import LiveRegistryView, RunStatus
+
+        status = RunStatus()
+        if metrics:
+            context = obs.instrumented()
+        else:
+            from contextlib import nullcontext
+            context = nullcontext((obs.get_metrics(), obs.get_tracer()))
+        with context as (registry, _):
+            view = LiveRegistryView(registry)
+            reports, stats = analyze_observations(
+                stream, store=union, fetcher=ecosystem.aia_repo,
+                workers=2, oversubscribe=True,
+                status=status, live_view=view,
+            )
+        return reports, stats, status, view
+
+    def test_results_unchanged_by_live_plumbing(
+        self, ecosystem, union, stream, sequential_reports
+    ):
+        reports, stats, _, _ = self.run_with_live_view(
+            ecosystem, union, stream
+        )
+        assert reports == sequential_reports
+        assert aggregate_json(reports) == aggregate_json(sequential_reports)
+        assert stats.mode == "fork-pool"
+
+    def test_status_accounts_every_observation(
+        self, ecosystem, union, stream
+    ):
+        _, _, status, _ = self.run_with_live_view(ecosystem, union, stream)
+        snap = status.snapshot()
+        assert snap["done"] == len(stream)
+
+    def test_view_is_drained_and_cleared_at_the_end(
+        self, ecosystem, union, stream
+    ):
+        _, _, _, view = self.run_with_live_view(ecosystem, union, stream)
+        assert len(view) == 0  # every partial discarded or cleared
+
+    def test_in_process_mode_advances_status_too(
+        self, ecosystem, union, stream
+    ):
+        from repro.obs.server import RunStatus
+
+        status = RunStatus()
+        _, stats = analyze_observations(
+            stream, store=union, fetcher=ecosystem.aia_repo, workers=1,
+            status=status,
+        )
+        assert stats.mode == "in-process"
+        assert status.snapshot()["done"] == len(stream)
+
+    def test_null_metrics_run_skips_the_pipe(
+        self, ecosystem, union, stream, sequential_reports
+    ):
+        reports, _, status, view = self.run_with_live_view(
+            ecosystem, union, stream, metrics=False,
+        )
+        assert reports == sequential_reports
+        assert status.snapshot()["done"] == len(stream)
+        assert len(view) == 0

@@ -122,6 +122,53 @@ class TestSnapshotWriter:
         assert [p.name for p in tmp_path.iterdir()] == ["m.om"]
 
 
+class TestSnapshotWriterFailure:
+    """Telemetry export errors must never kill the scan."""
+
+    def test_write_error_disables_instead_of_raising(self, tmp_path):
+        target = tmp_path / "gone" / "m.om"  # parent never exists
+        writer = SnapshotWriter(build_registry(), target)
+        assert writer.write_now() is False   # swallowed, not raised
+        assert writer.disabled
+        assert isinstance(writer.last_error, OSError)
+        assert writer.writes == 0
+
+    def test_disabled_writer_stops_touching_the_filesystem(self, tmp_path):
+        clock = FakeClock()
+        target = tmp_path / "m.om"
+        writer = SnapshotWriter(build_registry(), target,
+                                interval=0.0, clock=clock)
+        assert writer.tick()
+        target_dir_mode_error = tmp_path / "gone" / "m.om"
+        writer.path = target_dir_mode_error  # simulate directory vanishing
+        clock.now += 1.0
+        assert not writer.tick()
+        assert writer.disabled
+        clock.now += 1.0
+        assert not writer.tick()             # stays off: no retry storm
+        assert not writer.write_now()
+        assert writer.writes == 1
+
+    def test_failure_warns_once_and_counts_once(self, tmp_path):
+        from repro import obs
+
+        with obs.instrumented() as (registry, _):
+            clock = FakeClock()
+            writer = SnapshotWriter(build_registry(),
+                                    tmp_path / "gone" / "m.om",
+                                    interval=0.0, clock=clock)
+            for _ in range(3):
+                clock.now += 1.0
+                writer.tick()
+            assert registry.total("snapshot.write_errors") == 1
+
+    def test_failure_with_null_instrumentation_is_silent(self, tmp_path):
+        # no registry installed: the best-effort accounting no-ops
+        writer = SnapshotWriter(build_registry(), tmp_path / "g" / "m.om")
+        assert writer.write_now() is False
+        assert writer.disabled
+
+
 class TestProgressLine:
     def test_silent_on_non_tty(self):
         stream = io.StringIO()

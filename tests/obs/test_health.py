@@ -1,0 +1,178 @@
+"""Health/SLO rules: grammar, resolution, and derived ratios."""
+
+import pytest
+
+from repro.obs.health import (
+    DERIVED_RATIOS,
+    HealthMonitor,
+    HealthRule,
+    derived_ratios,
+    parse_health_rule,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def snapshot(**totals):
+    """A registry snapshot with the given counter totals."""
+    registry = MetricsRegistry()
+    for name, value in totals.items():
+        registry.counter(name.replace("__", ".")).inc(value)
+    return registry.snapshot()
+
+
+class TestParse:
+    @pytest.mark.parametrize("spec, name, op, bound", [
+        ("scan.error_ratio<=0.05", "scan.error_ratio", "<=", 0.05),
+        ("cache.hit_ratio>=0.9", "cache.hit_ratio", ">=", 0.9),
+        ("breaker.tripped<1", "breaker.tripped", "<", 1.0),
+        ("scan.success>10", "scan.success", ">", 10.0),
+        ("snapshot.write_errors=0", "snapshot.write_errors", "<=", 0.0),
+        ("scan.*=5", "scan.*", "<=", 5.0),
+    ])
+    def test_grammar(self, spec, name, op, bound):
+        rule = parse_health_rule(spec)
+        assert (rule.name, rule.op, rule.bound) == (name, op, bound)
+        assert rule.spec == spec
+
+    def test_bare_equals_is_a_ceiling(self):
+        rule = parse_health_rule("retry.attempts=3")
+        assert rule.check(3.0)
+        assert not rule.check(3.5)
+
+    def test_whitespace_around_name_is_stripped(self):
+        assert parse_health_rule(" scan.error <= 1").name == "scan.error"
+
+    @pytest.mark.parametrize("bad", [
+        "no-operator", "<=5", "scan.error<=not-a-number", "scan.error<=",
+    ])
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(ValueError):
+            parse_health_rule(bad)
+
+    def test_pattern_detection(self):
+        assert parse_health_rule("scan.*<=1").is_pattern
+        assert parse_health_rule("scan.err?r<=1").is_pattern
+        assert not parse_health_rule("scan.error<=1").is_pattern
+
+
+class TestRuleCheck:
+    @pytest.mark.parametrize("op, value, ok", [
+        ("<=", 5.0, True), ("<=", 5.1, False),
+        (">=", 5.0, True), (">=", 4.9, False),
+        ("<", 5.0, False), ("<", 4.9, True),
+        (">", 5.0, False), (">", 5.1, True),
+    ])
+    def test_operators(self, op, value, ok):
+        assert HealthRule("m", op, 5.0, f"m{op}5").check(value) is ok
+
+
+class TestDerivedRatios:
+    def test_error_ratio(self):
+        flat = {"scan.error": 2.0, "scan.attempts": 8.0}
+        assert derived_ratios(flat)["scan.error_ratio"] == 0.25
+
+    def test_zero_denominator_reads_healthy_zero(self):
+        ratios = derived_ratios({})
+        assert set(ratios) == set(DERIVED_RATIOS)
+        assert all(value == 0.0 for value in ratios.values())
+
+    def test_failure_ratio_over_finished_scans(self):
+        flat = {"scan.failure": 1.0, "scan.success": 3.0}
+        assert derived_ratios(flat)["scan.failure_ratio"] == 0.25
+
+    def test_cache_hit_ratio(self):
+        flat = {"cache.hits": 9.0, "cache.misses": 1.0}
+        assert derived_ratios(flat)["cache.hit_ratio"] == 0.9
+
+
+class TestMonitor:
+    def test_passing_rules(self):
+        monitor = HealthMonitor([
+            parse_health_rule("scan.error_ratio<=0.5"),
+            parse_health_rule("breaker.tripped=0"),
+        ])
+        report = monitor.evaluate(
+            snapshot(scan__error=1, scan__attempts=10)
+        )
+        assert report.ok
+        assert not report.failures
+        # breaker.tripped absent from the surface evaluates at 0
+        breaker = next(r for r in report.results
+                       if r.metric == "breaker.tripped")
+        assert breaker.value == 0.0 and breaker.ok
+
+    def test_breach_fails_the_report(self):
+        monitor = HealthMonitor([parse_health_rule("scan.error_ratio<=0.05")])
+        report = monitor.evaluate(
+            snapshot(scan__error=3, scan__attempts=10)
+        )
+        assert not report.ok
+        (failure,) = report.failures
+        assert failure.metric == "scan.error_ratio"
+        assert failure.value == pytest.approx(0.3)
+        assert failure.rule.spec == "scan.error_ratio<=0.05"
+
+    def test_exact_rule_beats_pattern(self):
+        monitor = HealthMonitor([
+            parse_health_rule("scan.*<=0"),        # would fail everything
+            parse_health_rule("scan.success>=1"),  # exact, passes
+        ])
+        report = monitor.evaluate(snapshot(scan__success=4))
+        governing = {r.metric: r.rule.spec for r in report.results}
+        assert governing["scan.success"] == "scan.success>=1"
+        assert report.ok
+
+    def test_pattern_governs_every_match(self):
+        monitor = HealthMonitor([parse_health_rule("aia.*=0")])
+        report = monitor.evaluate(
+            snapshot(aia__fetch__attempts=2, aia__fetch__failure=1,
+                     scan__success=5)
+        )
+        metrics = {r.metric for r in report.results}
+        assert "aia.fetch.attempts" in metrics
+        assert "aia.fetch.failure_ratio" in metrics  # derived, matches too
+        assert "scan.success" not in metrics
+        assert not report.ok
+
+    def test_unmatched_pattern_is_reported_not_failed(self):
+        monitor = HealthMonitor([parse_health_rule("nothing.matches.*<=0")])
+        report = monitor.evaluate(snapshot(scan__success=1))
+        assert report.ok
+        assert report.unmatched == ("nothing.matches.*<=0",)
+
+    def test_later_duplicate_name_wins(self):
+        monitor = HealthMonitor([
+            parse_health_rule("scan.success>=100"),
+            parse_health_rule("scan.success>=1"),
+        ])
+        assert monitor.evaluate(snapshot(scan__success=5)).ok
+
+    def test_to_dict_shape(self):
+        monitor = HealthMonitor([
+            parse_health_rule("scan.error_ratio<=0.0"),
+            parse_health_rule("ghost.*<=1"),
+        ])
+        payload = monitor.evaluate(
+            snapshot(scan__error=1, scan__attempts=2)
+        ).to_dict()
+        assert payload["ok"] is False
+        assert payload["unmatched_rules"] == ["ghost.*<=1"]
+        (failure,) = payload["failures"]
+        assert failure == {
+            "rule": "scan.error_ratio<=0.0",
+            "metric": "scan.error_ratio",
+            "value": 0.5,
+            "ok": False,
+        }
+        assert failure in payload["checks"]
+
+    def test_labeled_series_are_on_the_surface(self):
+        registry = MetricsRegistry()
+        registry.counter("scan.error", vantage="us").inc(2)
+        monitor = HealthMonitor([
+            parse_health_rule("scan.error{vantage=us}<=1")
+        ])
+        report = monitor.evaluate(registry.snapshot())
+        assert not report.ok
+        (failure,) = report.failures
+        assert failure.metric == "scan.error{vantage=us}"

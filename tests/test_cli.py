@@ -695,3 +695,119 @@ class TestExplainValidatesJournal:
         err = capsys.readouterr().err
         assert "corrupt journal" in err
         assert "one-summary" in err
+
+
+class TestScanServeAndHealth:
+    BASE = ["scan", "--domains", "120", "--seed", "6",
+            "--simulate-network"]
+
+    def test_bad_serve_spec_exits_two(self, capsys):
+        code = main(self.BASE + ["--serve", "not-a-port"])
+        assert code == 2
+        assert "not a port number" in capsys.readouterr().err
+
+    def test_bad_health_spec_exits_two(self, capsys):
+        code = main(self.BASE + ["--health", "scan.error_ratio"])
+        assert code == 2
+        assert "not of the form" in capsys.readouterr().err
+
+    def test_health_pass_prints_ok(self, capsys):
+        code = main(self.BASE + ["--health", "scan.failure_ratio<=1.0",
+                                 "--health", "snapshot.write_errors=0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "health: ok (2 checks)" in out
+
+    def test_health_breach_exits_three(self, capsys):
+        # a scan that succeeds at all breaches "no successful scans"
+        code = main(self.BASE + ["--health", "scan.success=0"])
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "health: FAIL scan.success" in captured.err
+        assert "rule scan.success=0" in captured.err
+        # the run itself still rendered its tables before the verdict
+        assert "Table 7" in captured.out
+
+    def test_unmatched_pattern_rule_warns_but_passes(self, capsys):
+        code = main(self.BASE + ["--health", "no.such.family.*<=1"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "matched no metric" in captured.err
+        assert "health: ok" in captured.out
+
+    def test_serve_prints_url_and_preserves_journal_bytes(
+        self, tmp_path, capsys
+    ):
+        plain = tmp_path / "plain.jsonl"
+        served = tmp_path / "served.jsonl"
+        assert main(self.BASE + ["--journal", str(plain),
+                                 "--workers", "2"]) == 0
+        capsys.readouterr()
+        assert main(self.BASE + ["--journal", str(served),
+                                 "--workers", "2",
+                                 "--serve", "127.0.0.1:0"]) == 0
+        out = capsys.readouterr().out
+        assert "serving telemetry on http://127.0.0.1:" in out
+        # a scraped run's journal is byte-identical to an unscraped one
+        assert served.read_bytes() == plain.read_bytes()
+
+    def test_serve_bind_failure_exits_two(self, tmp_path, capsys):
+        import socket
+
+        with socket.socket() as sock:
+            sock.bind(("127.0.0.1", 0))
+            port = sock.getsockname()[1]
+            code = main(self.BASE + ["--serve", f"127.0.0.1:{port}"])
+        assert code == 2
+        assert "cannot serve" in capsys.readouterr().err
+
+
+class TestMetricsEndpointMatchesStats:
+    def test_scrape_is_byte_identical_to_stats_openmetrics(
+        self, tmp_path, capsys
+    ):
+        import urllib.request
+
+        from repro import obs
+
+        registry = obs.MetricsRegistry()
+        registry.counter("scan.success", vantage="us").inc(3)
+        registry.histogram("scan.wire_bytes", buckets=(10, 100)).observe(42)
+        metrics_file = tmp_path / "metrics.json"
+        metrics_file.write_text(registry.to_json())
+
+        with obs.TelemetryServer(registry) as server:
+            with urllib.request.urlopen(
+                server.url + "/metrics", timeout=5
+            ) as response:
+                scraped = response.read().decode("utf-8")
+        assert main(["stats", str(metrics_file), "--openmetrics"]) == 0
+        assert capsys.readouterr().out == scraped
+
+
+class TestWatchCommand:
+    def test_watch_finished_journal_once(self, journaled_scan, capsys):
+        journal, _, _ = journaled_scan
+        code = main(["watch", str(journal), "--once"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("watch finished")
+        assert "100.0%" in out
+
+    def test_watch_missing_journal_exits_two(self, tmp_path, capsys):
+        code = main(["watch", str(tmp_path / "nope.jsonl"), "--once"])
+        assert code == 2
+        assert "watch:" in capsys.readouterr().err
+
+    def test_watch_http_endpoint_once(self, capsys):
+        from repro import obs
+
+        registry = obs.MetricsRegistry()
+        status = obs.RunStatus()
+        status.begin_phase("collect[us]", 10)
+        status.advance(4)
+        with obs.TelemetryServer(registry, status=status) as server:
+            code = main(["watch", server.url, "--once"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "watch collect[us] 4/10" in out

@@ -87,3 +87,44 @@ def test_package_docstring_snippet():
 
     assert repro.__version__
     assert "Chaos in the Chain" in repro.__doc__
+
+
+def test_live_monitoring_snippet(tmp_path):
+    """The README's --serve / --health / watch tour, in-process.
+
+    The README backgrounds the scan and curls mid-run; here the same
+    surfaces are exercised against a finished run's registry and
+    journal — same endpoints, same rules, same dashboard.
+    """
+    import json
+    import urllib.request
+
+    from repro import obs
+    from repro.cli import main
+
+    journal = tmp_path / "run.jsonl"
+    code = main([
+        "scan", "--domains", "120", "--seed", "833",
+        "--simulate-network", "--journal", str(journal),
+        "--serve", "127.0.0.1:0",
+        "--health", "scan.error_ratio<=0.05",
+        "--health", "breaker.tripped=0",
+    ])
+    assert code == 0  # both SLOs hold on the reference world
+
+    # the same endpoints, served from the run's journal artefacts
+    registry = obs.MetricsRegistry()
+    monitor = obs.HealthMonitor([
+        obs.parse_health_rule("scan.error_ratio<=0.05"),
+    ])
+    with obs.TelemetryServer(
+        registry, health=monitor, journal_path=journal
+    ) as server:
+        with urllib.request.urlopen(server.url + "/healthz") as response:
+            assert response.status == 200
+            assert json.loads(response.read())["ok"] is True
+        with urllib.request.urlopen(server.url + "/metrics") as response:
+            assert response.read().endswith(b"# EOF\n")
+
+    # `repro-chain watch run.jsonl` over the finished journal
+    assert main(["watch", str(journal), "--once"]) == 0
