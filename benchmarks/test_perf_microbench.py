@@ -12,6 +12,7 @@ subsequent performance PRs a measured trajectory to compare against.
 """
 
 import json
+import os
 import pathlib
 import time
 
@@ -331,6 +332,7 @@ def test_perf_pipeline_snapshot(ecosystem, tmp_path):
         "requested_workers": stats.requested_workers,
         "effective_workers": stats.effective_workers,
         "mode": stats.mode,
+        "cpu_count": os.cpu_count(),
         "sequential_seconds": round(baseline, 6),
         "pipeline_seconds": round(pipe_seconds, 6),
         "speedup": round(speedup, 2),
@@ -349,6 +351,20 @@ def test_perf_pipeline_snapshot(ecosystem, tmp_path):
     # means dedup silently stopped working
     assert stats.hit_rate > 0.0
     assert speedup > 1.0
+    # The fork-pool guard: the published numbers once silently recorded
+    # an in-process run (effective_workers=1) because resolve_workers
+    # capped the 4 requested workers on a 1-core builder.  That cap is
+    # the right *behaviour*, but the bench must not claim to measure
+    # the pool without running it — so on any multi-core machine (CI
+    # runners included) an in-process fallback is a hard failure, and
+    # the recorded mode/cpu_count make a capped single-core run
+    # self-describing.
+    if (os.cpu_count() or 1) >= 2:
+        assert stats.mode == "fork-pool", (
+            f"bench requested 4 workers on {os.cpu_count()} cores but "
+            f"ran {stats.mode} with {stats.effective_workers} workers; "
+            "the published speedup would not measure the pool"
+        )
     out_path = pathlib.Path(__file__).resolve().parent.parent / (
         "BENCH_pipeline.json"
     )

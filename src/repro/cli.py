@@ -188,6 +188,8 @@ def _cmd_scan(args: argparse.Namespace) -> int:
                     journal=journal, progress_factory=progress_factory,
                     retry_policy=retry_policy,
                     breaker_threshold=args.breaker_threshold or None,
+                    collect_workers=args.collect_workers,
+                    status=status, live_view=live_view,
                 )
                 observations = collection.observations
                 for line in _render_reachability(registry.snapshot()):
@@ -777,6 +779,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="analyse through the deduplicating pipeline "
                            "with this many workers (capped at the core "
                            "count; 0: plain sequential loop)")
+    scan.add_argument("--collect-workers", type=int, default=0,
+                      help="collect through the probe/replay pipeline "
+                           "with this many probe workers (capped at "
+                           "the core count; output is byte-identical "
+                           "to the sequential scan for any count; "
+                           "requires --simulate-network; 0: direct "
+                           "sequential scan)")
     scan.add_argument("--journal-flush-every", type=int, default=64,
                       help="buffer this many journal records between "
                            "flushes (1: flush per record; default: 64)")

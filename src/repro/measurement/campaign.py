@@ -36,6 +36,37 @@ def _chain_key(chain: tuple[Certificate, ...]) -> tuple[bytes, ...]:
     return tuple(cert.fingerprint for cert in chain)
 
 
+def _merge_union(
+    vantages: tuple[str, ...],
+    per_vantage: dict[str, list[ScanRecord]],
+) -> tuple[set[tuple[str, tuple[bytes, ...]]],
+           list[tuple[str, list[Certificate]]], set[bytes]]:
+    """The paper's union rule over the per-vantage record streams.
+
+    Returns ``(seen_keys, observations, all_cert_fingerprints)``.
+    Records carry their chain identity precomputed
+    (:attr:`ScanRecord.chain_key`), so merging a second vantage that
+    served the identical chains costs set lookups, not a re-hash of
+    every certificate — the collect bench pins that merge cost stays
+    sub-linear in vantage count.
+    """
+    seen: set[tuple[str, tuple[bytes, ...]]] = set()
+    observations: list[tuple[str, list[Certificate]]] = []
+    all_certs: set[bytes] = set()
+    for vantage in vantages:
+        for record in per_vantage[vantage]:
+            if not record.success or not record.chain:
+                continue
+            key = (record.domain,
+                   record.chain_key or _chain_key(record.chain))
+            if key in seen:
+                continue
+            seen.add(key)
+            observations.append((record.domain, list(record.chain)))
+            all_certs.update(key[1])
+    return seen, observations, all_certs
+
+
 def _chain_key_hex(chain) -> tuple[str, ...]:
     """The journal form of a chain identity: fingerprint hexes."""
     return tuple(cert.fingerprint_hex for cert in chain)
@@ -138,7 +169,11 @@ class Campaign:
                 progress_factory=None,
                 retry_policy: RetryPolicy | None = None,
                 breaker_threshold: int | None = None,
-                breaker_probe_interval: float = 300.0) -> CollectionResult:
+                breaker_probe_interval: float = 300.0,
+                collect_workers: int = 0,
+                oversubscribe: bool = False,
+                status=None,
+                live_view=None) -> CollectionResult:
         """Scan every domain from each vantage and merge (union rule).
 
         Parameters
@@ -165,6 +200,23 @@ class Campaign:
             this many consecutive unreachable scans; a vantage whose
             breaker is still open when its sweep ends is marked
             *degraded* rather than merged as if complete.
+        collect_workers:
+            ``>= 1`` switches collection onto the probe/replay
+            pipeline in :mod:`repro.measurement.parallel_collect`: the
+            pure per-(vantage, domain) handshake outcomes are computed
+            first (``1``: in-process, ``N``: sharded across forked
+            workers, capped at the core count unless
+            ``oversubscribe``), then the per-vantage sweeps *replay*
+            them against the shared clock/RNG/fault plan in the
+            sequential order.  Results — records, journal events, scan
+            metrics — are byte-identical to the default (``0``) direct
+            path for any worker count.
+        status / live_view:
+            Optional :class:`~repro.obs.server.RunStatus` /
+            :class:`~repro.obs.server.LiveRegistryView` feeding the
+            embedded telemetry server: the probe phase registers its
+            own ``collect.probe`` progress phase and streams worker
+            snapshot partials into the live view.  Read-side only.
 
         A vantage that finishes its sweep with zero successful scans
         (over a non-empty domain list) is always marked degraded, with
@@ -193,6 +245,28 @@ class Campaign:
         with phase_scope("collect"), \
                 tracer.span("campaign.collect", domains=len(domains),
                             vantages=len(vantages)):
+            probes = None
+            if collect_workers:
+                from repro.measurement.parallel_collect import (
+                    probe_collection,
+                )
+
+                with phase_scope("collect.probe"), \
+                        tracer.span("campaign.probe",
+                                    units=len(domains) * len(vantages),
+                                    workers=collect_workers):
+                    probes, probe_stats = probe_collection(
+                        network, vantages, domains,
+                        versions=(TLS12,),
+                        workers=collect_workers,
+                        oversubscribe=oversubscribe,
+                        status=status, live_view=live_view,
+                    )
+                _log.info("campaign.probed",
+                          units=probe_stats.units,
+                          unique_flights=probe_stats.unique_flights,
+                          workers=probe_stats.effective_workers,
+                          mode=probe_stats.mode)
             for vantage in vantages:
                 with phase_scope(f"collect.scan.{vantage}"), \
                         tracer.span("campaign.scan", vantage=vantage):
@@ -235,7 +309,8 @@ class Campaign:
                             progress.update(ok=record.success)
 
                     records = scanner.scan(
-                        domains, versions=(TLS12,), progress=observe
+                        domains, versions=(TLS12,), progress=observe,
+                        probes=probes,
                     )
                     per_vantage[vantage] = records
                     if progress is not None:
@@ -252,24 +327,10 @@ class Campaign:
                                 and vantage not in journaled_degradations):
                             journal.record_degradation(vantage, reason)
 
-            seen: set[tuple[str, tuple[bytes, ...]]] = set()
-            observations: list[tuple[str, list[Certificate]]] = []
-            all_certs: set[bytes] = set()
             with tracer.span("campaign.union_merge"):
-                for vantage in vantages:
-                    for record in per_vantage[vantage]:
-                        if not record.success or not record.chain:
-                            continue
-                        key = (record.domain, _chain_key(record.chain))
-                        if key in seen:
-                            continue
-                        seen.add(key)
-                        observations.append(
-                            (record.domain, list(record.chain))
-                        )
-                        all_certs.update(
-                            c.fingerprint for c in record.chain
-                        )
+                seen, observations, all_certs = _merge_union(
+                    vantages, per_vantage
+                )
         _log.info("campaign.collected", domains=len(domains),
                   observations=len(observations),
                   unique_chains=len(seen),

@@ -1,0 +1,335 @@
+"""Parallel collection: probe workers + deterministic sequential replay.
+
+The collection phase dominates a real campaign's wall-clock, but its
+expensive part — the TLS exchange, PEM decode, and fingerprint hashing
+per (vantage, domain) — is *pure*: it depends only on the installed
+topology, never on the simulated clock, the network RNG, or the fault
+plan.  Everything order-dependent (RTT draws, clock advances, fault
+counters, token-bucket waits, breaker state) is cheap.  So instead of
+trying to parallelise the stateful scan loop itself — which would
+interleave RNG draws and clock advances nondeterministically — the
+pipeline splits collection in two:
+
+1. **Probe phase (parallel).**  Every statically reachable
+   (vantage, domain) unit gets a
+   :class:`~repro.net.tls.HandshakeProbe`: the handler's answer
+   (negotiated version, decoded chain, wire size, or the deterministic
+   protocol failure), computed without touching clock, RNG, or fault
+   plan.  Units are sharded in contiguous spans across fork-started
+   workers exactly like the analyse pipeline
+   (:mod:`repro.measurement.parallel`); chains are decoded once per
+   unique server flight (both vantages almost always share it) and
+   shipped back with fingerprints pre-hashed.
+2. **Replay phase (sequential, in :meth:`Campaign.collect`).**  The
+   ordinary per-vantage sweep runs unchanged, but each
+   :meth:`Scanner.scan_domain` replays its probe instead of calling
+   the handler: the *real* ``network.connect`` still performs the RNG
+   draw, clock advance, fault-plan consultation, and truncation check
+   in exactly the legacy order, then the probe supplies the answer the
+   handler would have produced.  Retries, rate limiting, and breaker
+   transitions all happen in the replay, against the one shared clock.
+
+Because the replay performs every order-dependent effect in the
+sequential order, ``CollectionResult``, journal events, scan metrics,
+and reports are byte-identical to the sequential path for *any* worker
+count — including under an active :class:`~repro.net.simnet.FaultPlan`
+(the chaos-parity tests pin this).  The per-vantage 500 KB/s token
+bucket is likewise consumed only in the replay, so the ethics bound
+holds under sharding by construction.  See docs/PERFORMANCE.md,
+"Parallel collection".
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+from repro import obs
+from repro.measurement.parallel import (
+    _drain_live_snapshots,
+    resolve_workers,
+)
+from repro.net.simnet import SimulatedNetwork
+from repro.net.tls import (
+    DEFAULT_PORT,
+    TLS12,
+    HandshakeProbe,
+    probe_handshake,
+)
+from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY, \
+    NullMetricsRegistry
+from repro.obs.probe import phase_scope
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+from repro.x509 import Certificate
+
+__all__ = [
+    "CollectStats",
+    "ProbeTable",
+    "probe_collection",
+]
+
+_log = obs.get_logger("measurement.parallel_collect")
+
+#: ``(vantage, domain) -> HandshakeProbe`` for every statically
+#: reachable unit of a campaign.
+ProbeTable = dict[tuple[str, str], HandshakeProbe]
+
+#: Span size cap for probe sharding.  Probes are cheaper than chain
+#: analyses, so spans run larger than the analyse pipeline's to keep
+#: IPC amortised.
+PROBE_SPAN = 512
+
+#: Probed units between partial-snapshot shipments to the live view.
+PROBE_SNAPSHOT_EVERY = 128
+
+
+@dataclass(frozen=True)
+class CollectStats:
+    """What one :func:`probe_collection` run did, for logs/benches."""
+
+    units: int
+    probed: int
+    #: statically unreachable units that got no probe (the replay's
+    #: connect fails for them before any exchange, live or replayed)
+    skipped_unreachable: int
+    #: server flights actually decoded (fork mode: summed per worker,
+    #: so the count depends on sharding; in-process: the true number
+    #: of unique flights)
+    unique_flights: int
+    requested_workers: int
+    effective_workers: int
+    mode: str  # "in-process" | "fork-pool"
+
+
+# ----------------------------------------------------------------------
+# Pool workers
+# ----------------------------------------------------------------------
+
+#: Inputs for the current probe pool, installed immediately before the
+#: executor forks so workers inherit them copy-on-write (the network's
+#: host/handler tables are large; pickling them per task would swamp
+#: the probes themselves).
+_PROBE_STATE: tuple | None = None
+
+#: Per-worker-process flight-decode memo; persists across the spans one
+#: worker handles.  Reset in the parent before each fork so object-id
+#: keys never alias flights from an earlier network.
+_PROBE_MEMO: dict[int, tuple[Certificate, ...]] = {}
+
+
+def _encode_span(probes: list[HandshakeProbe | None]) -> tuple:
+    """Strip a span's probes for IPC: chains deduped into one list.
+
+    Both vantages of a host share the server's cached flight, so a
+    span covering the same domains from two vantages would otherwise
+    pickle every chain twice; shipping each distinct chain tuple once
+    roughly halves the unpickle cost on the parent.
+    """
+    chains: list[tuple[Certificate, ...]] = []
+    refs: dict[int, int] = {}
+    entries = []
+    for probe in probes:
+        if probe is None:
+            entries.append(None)
+            continue
+        ref = -1
+        if probe.chain:
+            ref = refs.get(id(probe.chain))
+            if ref is None:
+                ref = len(chains)
+                refs[id(probe.chain)] = ref
+                chains.append(probe.chain)
+        entries.append((probe.domain, probe.kind, probe.version,
+                        probe.wire_bytes, probe.message, ref))
+    return entries, chains
+
+
+def _decode_span(payload: tuple, port: int) -> list[HandshakeProbe | None]:
+    entries, chains = payload
+    probes: list[HandshakeProbe | None] = []
+    for entry in entries:
+        if entry is None:
+            probes.append(None)
+            continue
+        domain, kind, version, wire_bytes, message, ref = entry
+        probes.append(HandshakeProbe(
+            domain=domain, port=port, kind=kind, version=version,
+            chain=chains[ref] if ref >= 0 else (),
+            wire_bytes=wire_bytes, message=message,
+        ))
+    return probes
+
+
+def _probe_one(network: SimulatedNetwork, vantage: str, domain: str,
+               versions: tuple[str, ...], port: int, memo: dict,
+               metrics) -> HandshakeProbe | None:
+    """One unit: a probe, or None for a statically unreachable host."""
+    if not network.is_reachable(vantage, domain):
+        metrics.counter("collect.probe.skipped", vantage=vantage).inc()
+        return None
+    probe = probe_handshake(network, vantage, domain, versions=versions,
+                            port=port, memo=memo)
+    metrics.counter("collect.probe.scans", vantage=vantage).inc()
+    return probe
+
+
+def _probe_span(start: int, end: int) -> tuple:
+    """Worker: probe one contiguous span of the unit list.
+
+    Returns ``(payload, metrics_snapshot, spans, decoded)`` with the
+    span's probes encoded for IPC.  Runs under a fresh metrics
+    registry / tracer (when the parent's were live at fork) exactly
+    like the analyse pipeline's workers, so the parent can fold the
+    deltas in and adopt the timing spans; with a live view attached it
+    also ships partial snapshots over the inherited queue so
+    ``/metrics`` moves during the probe phase.
+    """
+    (units, versions, port, network, live_metrics, live_trace,
+     live_queue) = _PROBE_STATE
+    if live_metrics or live_trace:
+        obs.enable(
+            metrics=MetricsRegistry() if live_metrics else NULL_REGISTRY,
+            tracer=Tracer() if live_trace else NULL_TRACER,
+        )
+    metrics = obs.get_metrics()
+    tracer = obs.get_tracer()
+    memo_before = len(_PROBE_MEMO)
+    probes: list[HandshakeProbe | None] = []
+    with phase_scope("collect.probe.worker"), \
+            tracer.span("collect.probe.span", start=start,
+                        units=end - start):
+        for offset, (vantage, domain) in enumerate(units[start:end], 1):
+            probes.append(_probe_one(network, vantage, domain, versions,
+                                     port, _PROBE_MEMO, metrics))
+            if (live_queue is not None and live_metrics
+                    and offset % PROBE_SNAPSHOT_EVERY == 0
+                    and offset < end - start):
+                try:
+                    live_queue.put((f"probe:{start}", metrics.snapshot()))
+                except (OSError, ValueError):
+                    live_queue = None  # pipe gone; keep probing
+    payload = _encode_span(probes)
+    snapshot = metrics.snapshot() if live_metrics else None
+    spans = tracer.roots() if live_trace else None
+    return payload, snapshot, spans, len(_PROBE_MEMO) - memo_before
+
+
+# ----------------------------------------------------------------------
+# The probe phase
+# ----------------------------------------------------------------------
+
+def probe_collection(
+    network: SimulatedNetwork,
+    vantages: tuple[str, ...],
+    domains: list[str],
+    *,
+    versions: tuple[str, ...] = (TLS12,),
+    port: int = DEFAULT_PORT,
+    workers: int = 1,
+    oversubscribe: bool = False,
+    status=None,
+    live_view=None,
+) -> tuple[ProbeTable, CollectStats]:
+    """Probe every (vantage, domain) unit, optionally across a pool.
+
+    The returned table feeds :meth:`Scanner.scan` (via
+    :meth:`Campaign.collect`'s ``collect_workers``); its contents are a
+    pure function of the installed topology, so worker count and span
+    boundaries cannot change it — only how fast it is built.
+
+    ``status`` (a :class:`~repro.obs.server.RunStatus`) gets its own
+    ``collect.probe`` phase advanced once per unit; ``live_view``
+    receives the fork workers' periodic partial snapshots.  Both are
+    read-side telemetry only.
+    """
+    # Domain-major: a domain's vantage units sit adjacent, so they land
+    # in the same span and the second one reuses the first's decoded
+    # flight instead of re-decoding it in another worker.
+    units = [(vantage, domain) for domain in domains
+             for vantage in vantages]
+    effective, mode = resolve_workers(workers, oversubscribe=oversubscribe)
+    metrics = obs.get_metrics()
+    tracer = obs.get_tracer()
+    if status is not None:
+        status.begin_phase("collect.probe", len(units))
+    table: ProbeTable = {}
+    decoded = 0
+
+    if mode == "in-process" or not units:
+        memo: dict[int, tuple[Certificate, ...]] = {}
+        for vantage, domain in units:
+            probe = _probe_one(network, vantage, domain, versions, port,
+                               memo, metrics)
+            if probe is not None:
+                table[(vantage, domain)] = probe
+            if status is not None:
+                status.advance()
+        decoded = len(memo)
+        mode = "in-process"
+        effective = 1
+    else:
+        live_metrics = not isinstance(metrics, NullMetricsRegistry)
+        live_trace = not isinstance(tracer, NullTracer)
+        span = max(1, min(PROBE_SPAN, math.ceil(len(units) / effective)))
+        spans = [(s, min(s + span, len(units)))
+                 for s in range(0, len(units), span)]
+        context = multiprocessing.get_context("fork")
+        live_queue = drainer = None
+        if live_view is not None and live_metrics:
+            live_queue = context.SimpleQueue()
+            drainer = threading.Thread(
+                target=_drain_live_snapshots, args=(live_queue, live_view),
+                name="repro-probe-drain", daemon=True,
+            )
+            drainer.start()
+        global _PROBE_STATE, _PROBE_MEMO
+        _PROBE_MEMO = {}
+        _PROBE_STATE = (units, versions, port, network,
+                        live_metrics, live_trace, live_queue)
+        try:
+            with ProcessPoolExecutor(max_workers=effective,
+                                     mp_context=context) as pool:
+                futures = [pool.submit(_probe_span, s, e)
+                           for s, e in spans]
+                for lane, ((span_start, _), future) in enumerate(
+                    zip(spans, futures), 1
+                ):  # submission order: deterministic
+                    payload, snapshot, worker_spans, span_decoded = (
+                        future.result()
+                    )
+                    probes = _decode_span(payload, port)
+                    for offset, probe in enumerate(probes):
+                        if probe is not None:
+                            table[units[span_start + offset]] = probe
+                    decoded += span_decoded
+                    if snapshot:
+                        metrics.merge_snapshot(snapshot)
+                    if live_view is not None:
+                        live_view.discard(f"probe:{span_start}")
+                    if worker_spans:
+                        tracer.adopt(worker_spans, thread_id=lane)
+                    if status is not None and probes:
+                        status.advance(len(probes))
+        finally:
+            _PROBE_STATE = None
+            if live_queue is not None:
+                live_queue.put(None)
+                drainer.join(timeout=5.0)
+                live_view.clear()
+
+    stats = CollectStats(
+        units=len(units),
+        probed=len(table),
+        skipped_unreachable=len(units) - len(table),
+        unique_flights=decoded,
+        requested_workers=workers,
+        effective_workers=effective,
+        mode=mode,
+    )
+    _log.info("collect.probed", units=stats.units, probed=stats.probed,
+              unique_flights=stats.unique_flights,
+              workers=stats.effective_workers, mode=stats.mode)
+    return table, stats

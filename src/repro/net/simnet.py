@@ -331,6 +331,22 @@ class SimulatedNetwork:
         return self.hosts.get(name) or self.add_host(name)
 
     def add_vantage(self, name: str, *, base_rtt: float = 0.05) -> None:
+        """Register a vantage point (idempotent for the same RTT).
+
+        Re-registering with a *different* ``base_rtt`` raises
+        :class:`~repro.errors.NetworkError` instead of silently
+        rewriting the latency model under any scanner already bound to
+        the vantage — every RTT draw after such an overwrite would
+        belong to a different network than the one the campaign
+        started on.
+        """
+        existing = self._vantage_rtt.get(name)
+        if existing is not None and existing != base_rtt:
+            raise NetworkError(
+                f"vantage {name!r} already registered with base_rtt "
+                f"{existing}; re-registration may not change it "
+                f"(requested {base_rtt})"
+            )
         self._vantage_rtt[name] = base_rtt
         self._unreachable.setdefault(name, set())
 

@@ -52,6 +52,19 @@ class TestTopology:
         with pytest.raises(NetworkError):
             connection.request("x")
 
+    def test_vantage_reregistration_same_rtt_idempotent(self):
+        network = SimulatedNetwork()
+        network.add_vantage("v", base_rtt=0.1)
+        network.add_vantage("v", base_rtt=0.1)  # no-op, not an error
+
+    def test_vantage_reregistration_may_not_change_rtt(self):
+        # Silently overwriting base_rtt would desynchronise every
+        # latency draw after the second registration; refuse instead.
+        network = SimulatedNetwork()
+        network.add_vantage("v", base_rtt=0.1)
+        with pytest.raises(NetworkError):
+            network.add_vantage("v", base_rtt=0.2)
+
 
 class TestReachability:
     def test_unknown_vantage_rejected(self):

@@ -156,6 +156,44 @@ class TestScanNetworkMode:
         assert "campaign.collect" in names and "campaign.analyze" in names
 
 
+class TestScanCollectWorkers:
+    """--collect-workers N must be invisible in every output: journal
+    bytes, stdout report, and deterministic metrics families."""
+
+    def run_scan(self, tmp_path, tag, workers, capsys):
+        import json
+
+        journal = tmp_path / f"{tag}.jsonl"
+        metrics = tmp_path / f"{tag}-metrics.json"
+        code = main(["scan", "--domains", "100", "--seed", "6",
+                     "--simulate-network",
+                     "--collect-workers", str(workers),
+                     "--journal", str(journal),
+                     "--metrics-out", str(metrics)])
+        assert code == 0
+        out = (capsys.readouterr().out
+               .replace(str(journal), "<journal>")
+               .replace(str(metrics), "<metrics>"))
+        families = json.loads(metrics.read_text())
+        deterministic = {
+            name: family for name, family in families.items()
+            if not name.startswith("phase.")
+        }
+        return journal.read_bytes(), out, deterministic
+
+    def test_worker_count_is_invisible(self, tmp_path, capsys,
+                                       monkeypatch):
+        from repro.measurement.parallel import OVERSUBSCRIBE_ENV
+
+        monkeypatch.setenv(OVERSUBSCRIBE_ENV, "1")
+        one = self.run_scan(tmp_path, "one", 1, capsys)
+        four = self.run_scan(tmp_path, "four", 4, capsys)
+        assert four[0] == one[0]  # journal bytes
+        assert four[1] == one[1]  # rendered report
+        assert four[2] == one[2]  # deterministic metric families
+        assert "collect.probe.scans" in one[2]
+
+
 class TestStats:
     def test_stats_from_file(self, tmp_path, capsys):
         import json

@@ -82,6 +82,27 @@ def test_report_snippet(tmp_path):
     ]) == 0
 
 
+def test_parallel_collect_snippet(tmp_path, monkeypatch):
+    """The README's `--collect-workers 4 --workers 4` line, plus the
+    byte-identical-to-sequential claim made right under it."""
+    from repro.cli import main
+    from repro.measurement.parallel import OVERSUBSCRIBE_ENV
+
+    monkeypatch.setenv(OVERSUBSCRIBE_ENV, "1")  # force the pool on 1 core
+    parallel = tmp_path / "parallel.jsonl"
+    assert main([
+        "scan", "--domains", "60", "--seed", "833", "--simulate-network",
+        "--collect-workers", "4", "--workers", "4",
+        "--journal", str(parallel),
+    ]) == 0
+    sequential = tmp_path / "sequential.jsonl"
+    assert main([
+        "scan", "--domains", "60", "--seed", "833", "--simulate-network",
+        "--journal", str(sequential),
+    ]) == 0
+    assert parallel.read_bytes() == sequential.read_bytes()
+
+
 def test_package_docstring_snippet():
     import repro
 
