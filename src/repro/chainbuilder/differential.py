@@ -197,21 +197,37 @@ _POOL_STATE: tuple | None = None
 
 
 def _evaluate_span(indices: list[int]):
-    """Worker: evaluate one span of observation indices."""
-    from repro import obs
-    from repro.obs.metrics import MetricsRegistry
-    from repro.obs.trace import NULL_TRACER
+    """Worker: evaluate one span of observation indices.
 
-    harness, observations, at_time, live = _POOL_STATE
-    if live:
-        obs.enable(metrics=MetricsRegistry(), tracer=NULL_TRACER)
-    outcomes = [
-        harness.evaluate(observations[i][0], observations[i][1],
-                         at_time=at_time)
-        for i in indices
-    ]
-    snapshot = obs.get_metrics().snapshot() if live else None
-    return outcomes, snapshot
+    Returns ``(outcomes, metrics_snapshot, spans)``.  The span runs
+    under a fresh metrics registry (when the parent's was live at
+    fork) so its snapshot is exactly this span's delta; likewise a
+    fresh :class:`~repro.obs.trace.Tracer` collects this span's
+    handshake/build timing tree, returned as picklable root spans for
+    the parent to adopt — a null tracer here would silently drop
+    every worker span from ``--trace-out``.
+    """
+    from repro import obs
+    from repro.obs.metrics import MetricsRegistry, NULL_REGISTRY
+    from repro.obs.trace import NULL_TRACER, Tracer
+
+    (harness, observations, at_time,
+     live_metrics, live_trace) = _POOL_STATE
+    if live_metrics or live_trace:
+        obs.enable(
+            metrics=MetricsRegistry() if live_metrics else NULL_REGISTRY,
+            tracer=Tracer() if live_trace else NULL_TRACER,
+        )
+    tracer = obs.get_tracer()
+    with tracer.span("differential.span", chains=len(indices)):
+        outcomes = [
+            harness.evaluate(observations[i][0], observations[i][1],
+                             at_time=at_time)
+            for i in indices
+        ]
+    snapshot = obs.get_metrics().snapshot() if live_metrics else None
+    spans = tracer.roots() if live_trace else None
+    return outcomes, snapshot, spans
 
 
 class DifferentialHarness:
@@ -381,14 +397,18 @@ class DifferentialHarness:
 
         from repro import obs
         from repro.obs.metrics import NullMetricsRegistry
+        from repro.obs.trace import NullTracer
 
         metrics = obs.get_metrics()
-        live = not isinstance(metrics, NullMetricsRegistry)
+        tracer = obs.get_tracer()
+        live_metrics = not isinstance(metrics, NullMetricsRegistry)
+        live_trace = not isinstance(tracer, NullTracer)
         span = max(1, min(256, math.ceil(len(pending) / workers)))
         spans = [pending[start:start + span]
                  for start in range(0, len(pending), span)]
         global _POOL_STATE
-        _POOL_STATE = (self, observations, at_time, live)
+        _POOL_STATE = (self, observations, at_time,
+                       live_metrics, live_trace)
         try:
             context = multiprocessing.get_context("fork")
             with ProcessPoolExecutor(max_workers=workers,
@@ -396,11 +416,15 @@ class DifferentialHarness:
                 futures = [pool.submit(_evaluate_span, chunk)
                            for chunk in spans]
                 evaluated: list[ChainOutcome] = []
-                for future in futures:
-                    outcomes, snapshot = future.result()
+                for lane, future in enumerate(futures, 1):
+                    outcomes, snapshot, worker_spans = future.result()
                     evaluated.extend(outcomes)
                     if snapshot:
                         metrics.merge_snapshot(snapshot)
+                    if worker_spans:
+                        # one Chrome-trace lane per span, in submission
+                        # order — same convention as the analyse pool
+                        tracer.adopt(worker_spans, thread_id=lane)
         finally:
             _POOL_STATE = None
         return evaluated

@@ -183,40 +183,93 @@ def _cmd_scan(args: argparse.Namespace) -> int:
                 retries=args.retries, base_delay=args.backoff
             )
         try:
-            if args.simulate_network:
-                collection = campaign.collect(
-                    journal=journal, progress_factory=progress_factory,
-                    retry_policy=retry_policy,
+            cache = None
+            if args.workers:
+                from repro.measurement import VerdictCache
+
+                cache = VerdictCache()
+            if args.shard_size:
+                if not args.simulate_network:
+                    print("repro-chain scan: --shard-size requires "
+                          "--simulate-network", file=sys.stderr)
+                    return 2
+                if args.output:
+                    print("repro-chain scan: --output needs the full "
+                          "observation list, which a sharded run "
+                          "releases shard by shard; drop --shard-size "
+                          "to export observations", file=sys.stderr)
+                    return 2
+                if args.progress:
+                    print("note: --progress is per-vantage; a sharded "
+                          "run reports progress through its "
+                          "collect.shard.K/analyze.shard.K status "
+                          "phases instead", file=sys.stderr)
+                sharded = campaign.run_sharded(
+                    args.shard_size,
+                    journal=journal, retry_policy=retry_policy,
                     breaker_threshold=args.breaker_threshold or None,
                     collect_workers=args.collect_workers,
+                    workers=args.workers, cache=cache,
+                    snapshot_writer=snapshot_writer,
                     status=status, live_view=live_view,
                 )
-                observations = collection.observations
-                for line in _render_reachability(registry.snapshot()):
-                    print(line)
+                report = sharded.report
+                # reachability from the result, not the metrics
+                # snapshot: resumed shards fold from the journal
+                # without re-scanning, so the registry only covers
+                # the shards this process actually ran
+                for vantage in sorted(sharded.attempted_counts):
+                    reached = sharded.reachable_counts.get(vantage, 0)
+                    attempts = sharded.attempted_counts[vantage]
+                    share = (100.0 * reached / attempts
+                             if attempts else 0.0)
+                    print(f"vantage {vantage:<4} reachable "
+                          f"{reached:,}/{attempts:,} ({share:.1f}%)")
                 for vantage, reason in sorted(
-                    collection.degraded_vantages.items()
+                    sharded.degraded_vantages.items()
                 ):
                     if status is not None:
                         status.mark_degraded(vantage, reason)
                     print(f"warning: vantage {vantage} degraded "
                           f"({reason}); union dataset is partial",
                           file=sys.stderr)
+                resumed_note = (
+                    f" ({sharded.resumed_shards} resumed from journal)"
+                    if sharded.resumed_shards else ""
+                )
+                print(f"shards: {len(sharded.shards)} × "
+                      f"{args.shard_size:,} domains{resumed_note}")
             else:
-                observations = ecosystem.observations()
-            cache = None
-            if args.workers:
-                from repro.measurement import VerdictCache
-
-                cache = VerdictCache()
-            if status is not None:
-                status.begin_phase("analyze", len(observations))
-            report, _ = campaign.analyze(
-                observations, journal=journal,
-                snapshot_writer=snapshot_writer,
-                workers=args.workers, cache=cache,
-                status=status, live_view=live_view,
-            )
+                if args.simulate_network:
+                    collection = campaign.collect(
+                        journal=journal,
+                        progress_factory=progress_factory,
+                        retry_policy=retry_policy,
+                        breaker_threshold=args.breaker_threshold or None,
+                        collect_workers=args.collect_workers,
+                        status=status, live_view=live_view,
+                    )
+                    observations = collection.observations
+                    for line in _render_reachability(registry.snapshot()):
+                        print(line)
+                    for vantage, reason in sorted(
+                        collection.degraded_vantages.items()
+                    ):
+                        if status is not None:
+                            status.mark_degraded(vantage, reason)
+                        print(f"warning: vantage {vantage} degraded "
+                              f"({reason}); union dataset is partial",
+                              file=sys.stderr)
+                else:
+                    observations = ecosystem.observations()
+                if status is not None:
+                    status.begin_phase("analyze", len(observations))
+                report, _ = campaign.analyze(
+                    observations, journal=journal,
+                    snapshot_writer=snapshot_writer,
+                    workers=args.workers, cache=cache,
+                    status=status, live_view=live_view,
+                )
             if status is not None:
                 status.finish()
         finally:
@@ -786,6 +839,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "to the sequential scan for any count; "
                            "requires --simulate-network; 0: direct "
                            "sequential scan)")
+    scan.add_argument("--shard-size", type=int, default=0,
+                      help="stream collect → analyse in contiguous "
+                           "domain shards of this size, bounding peak "
+                           "memory by the shard instead of the corpus; "
+                           "the report and tables are byte-identical "
+                           "to an unsharded run for any size; requires "
+                           "--simulate-network (0: unsharded)")
     scan.add_argument("--journal-flush-every", type=int, default=64,
                       help="buffer this many journal records between "
                            "flushes (1: flush per record; default: 64)")

@@ -62,6 +62,29 @@ class DatasetReport:
             self.noncompliant += 1
             self.noncompliant_domains.append(report.domain)
 
+    def merge(self, other: DatasetReport) -> None:
+        """Fold another aggregate into this one, in place.
+
+        Exactly equivalent to having :meth:`add`-ed ``other``'s chains
+        after this report's own: counters sum, and ``other``'s
+        ``noncompliant_domains`` extend this list in their recorded
+        order.  Sharded campaigns aggregate each shard independently
+        and merge shard-by-shard in shard order, so the final report
+        is byte-identical to one built from the whole corpus at once
+        — without ever holding every per-chain report in memory.
+        """
+        self.total += other.total
+        self.leaf_placements.update(other.leaf_placements)
+        self.order_defects.update(other.order_defects)
+        self.order_noncompliant += other.order_noncompliant
+        self.duplicate_roles.update(other.duplicate_roles)
+        self.completeness.update(other.completeness)
+        self.reversed_all_paths += other.reversed_all_paths
+        self.incomplete_aia_outcomes.update(other.incomplete_aia_outcomes)
+        self.missing_one_intermediate += other.missing_one_intermediate
+        self.noncompliant += other.noncompliant
+        self.noncompliant_domains.extend(other.noncompliant_domains)
+
     # ------------------------------------------------------------------
     # Serialisation
     # ------------------------------------------------------------------

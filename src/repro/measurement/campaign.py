@@ -10,6 +10,7 @@ dataset report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import zip_longest
 
 from repro import obs
 from repro.core.compliance import ChainComplianceReport, analyze_chain
@@ -39,32 +40,47 @@ def _chain_key(chain: tuple[Certificate, ...]) -> tuple[bytes, ...]:
 def _merge_union(
     vantages: tuple[str, ...],
     per_vantage: dict[str, list[ScanRecord]],
-) -> tuple[set[tuple[str, tuple[bytes, ...]]],
+) -> tuple[set[tuple[bytes, ...]],
            list[tuple[str, list[Certificate]]], set[bytes]]:
     """The paper's union rule over the per-vantage record streams.
 
-    Returns ``(seen_keys, observations, all_cert_fingerprints)``.
+    Returns ``(chain_keys, observations, all_cert_fingerprints)``.
+    Deduplication is per ``(domain, chain_key)`` — two domains serving
+    the identical chain are two observations — but ``chain_keys``
+    holds each distinct chain fingerprint once, so
+    ``len(chain_keys)`` is the number of unique *chains*, not a
+    restatement of the observation count.
+
     Records carry their chain identity precomputed
     (:attr:`ScanRecord.chain_key`), so merging a second vantage that
     served the identical chains costs set lookups, not a re-hash of
     every certificate — the collect bench pins that merge cost stays
     sub-linear in vantage count.
+
+    Iteration is domain-major (every vantage's record for one domain
+    before any vantage's record for the next), which makes the merge
+    prefix-decomposable: the union of a contiguous shard of the
+    domain population is the matching slice of the full union — the
+    property sharded campaigns rely on for byte-identical reports.
     """
     seen: set[tuple[str, tuple[bytes, ...]]] = set()
+    chain_keys: set[tuple[bytes, ...]] = set()
     observations: list[tuple[str, list[Certificate]]] = []
     all_certs: set[bytes] = set()
-    for vantage in vantages:
-        for record in per_vantage[vantage]:
-            if not record.success or not record.chain:
+    streams = [per_vantage[vantage] for vantage in vantages]
+    for group in zip_longest(*streams):
+        for record in group:
+            if record is None or not record.success or not record.chain:
                 continue
-            key = (record.domain,
-                   record.chain_key or _chain_key(record.chain))
+            chain_key = record.chain_key or _chain_key(record.chain)
+            key = (record.domain, chain_key)
             if key in seen:
                 continue
             seen.add(key)
+            chain_keys.add(chain_key)
             observations.append((record.domain, list(record.chain)))
-            all_certs.update(key[1])
-    return seen, observations, all_certs
+            all_certs.update(chain_key)
+    return chain_keys, observations, all_certs
 
 
 def _chain_key_hex(chain) -> tuple[str, ...]:
@@ -328,19 +344,19 @@ class Campaign:
                             journal.record_degradation(vantage, reason)
 
             with tracer.span("campaign.union_merge"):
-                seen, observations, all_certs = _merge_union(
+                chain_keys, observations, all_certs = _merge_union(
                     vantages, per_vantage
                 )
         _log.info("campaign.collected", domains=len(domains),
                   observations=len(observations),
-                  unique_chains=len(seen),
+                  unique_chains=len(chain_keys),
                   degraded=bool(degraded_vantages))
         if journal is not None and not collection_journaled:
             journal.record(
                 "collection",
                 domains=len(domains),
                 observations=len(observations),
-                unique_chains=len(seen),
+                unique_chains=len(chain_keys),
                 unique_certificates=len(all_certs),
                 degraded=bool(degraded_vantages),
                 degraded_vantages=degraded_vantages,
@@ -352,10 +368,24 @@ class Campaign:
                 v: sum(1 for r in records if r.success)
                 for v, records in per_vantage.items()
             },
-            unique_chains=len(seen),
+            unique_chains=len(chain_keys),
             unique_certificates=len(all_certs),
             degraded_vantages=degraded_vantages,
         )
+
+    def run_sharded(self, shard_size: int, **kwargs):
+        """Stream collect → analyse in contiguous domain shards.
+
+        Peak memory is bounded by ``shard_size`` instead of the
+        population: each shard's records and chains are released once
+        its verdicts are journaled and its aggregate merged.  The
+        final report is byte-identical to ``collect()`` + ``analyze()``
+        for any shard size; see :func:`repro.measurement.shards.run_sharded`
+        for the full parameter list and equivalence guarantees.
+        """
+        from repro.measurement.shards import run_sharded
+
+        return run_sharded(self, shard_size, **kwargs)
 
     @staticmethod
     def _degradation_reason(records: list[ScanRecord],

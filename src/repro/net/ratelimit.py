@@ -7,6 +7,8 @@ verify the bound actually holds over a simulated campaign.
 
 from __future__ import annotations
 
+import math
+
 from repro import obs
 from repro.net.simnet import SimClock
 
@@ -55,8 +57,11 @@ class TokenBucket:
         if remaining > 0:
             # Wait exactly long enough to mint the shortfall, then spend
             # it all at once — a single step avoids floating-point
-            # crumbs that an iterative drain would chase forever.
-            waited = remaining / self.rate
+            # crumbs that an iterative drain would chase forever.  The
+            # wait is rounded *up* to the clock's nanosecond grain:
+            # rounding down would mint fractionally fewer tokens than
+            # the shortfall and let consumption creep past the rate cap.
+            waited = math.ceil(remaining / self.rate * 1e9) / 1e9
             self.clock.advance(waited)
             self._tokens = 0.0
             self._last_refill = self.clock.now()

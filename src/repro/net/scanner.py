@@ -319,7 +319,10 @@ class Scanner:
             return self._failure(domain, ScanErrorKind.SKIPPED, attempts=0)
         policy = self.retry_policy
         clock = self.network.clock
-        started = clock.now()
+        # Durations are journaled and must be byte-identical however
+        # the sweep is chunked, so they come from the exact integer-
+        # nanosecond clock, not float subtraction of absolute times.
+        started_ns = clock.now_ns()
         result = None
         failure_reason = ScanErrorKind.UNREACHABLE
         attempts = 0
@@ -343,7 +346,7 @@ class Scanner:
                     return self._failure(
                         domain, ScanErrorKind.HANDSHAKE_FAILED,
                         attempts=attempts,
-                        duration=clock.now() - started,
+                        duration=(clock.now_ns() - started_ns) / 1e9,
                     )
                 except ConnectionResetError_:
                     failure_reason = ScanErrorKind.RESET
@@ -357,7 +360,7 @@ class Scanner:
                 delay = policy.delay(retry, vantage=self.vantage,
                                      domain=domain)
                 if (policy.scan_budget is not None
-                        and clock.now() - started + delay
+                        and (clock.now_ns() - started_ns) / 1e9 + delay
                         > policy.scan_budget):
                     metrics.counter("scan.retry.budget_exhausted",
                                     vantage=self.vantage).inc()
@@ -373,8 +376,10 @@ class Scanner:
                 breaker.record(
                     reachable=failure_reason is ScanErrorKind.RESET
                 )
-            return self._failure(domain, failure_reason, attempts=attempts,
-                                 duration=clock.now() - started)
+            return self._failure(
+                domain, failure_reason, attempts=attempts,
+                duration=(clock.now_ns() - started_ns) / 1e9,
+            )
         if breaker is not None:
             breaker.record(reachable=True)
         waited = self.bucket.consume(result.wire_bytes)
@@ -394,7 +399,7 @@ class Scanner:
             wire_bytes=result.wire_bytes,
             timestamp=self.network.clock.now(),
             attempts=attempts,
-            duration=self.network.clock.now() - started,
+            duration=(self.network.clock.now_ns() - started_ns) / 1e9,
             chain_key=tuple(c.fingerprint for c in result.chain),
         )
 

@@ -8,6 +8,15 @@ of Tranco and occasionally different certificates), a simulated clock,
 and seeded latency.  Everything above this layer — TLS handshakes, HTTP
 fetches, the scanner — goes through :meth:`SimulatedNetwork.connect`.
 
+Latency (and per-host flakiness) draws are *keyed*, not streamed: the
+n-th connect from one vantage to one host seeds its own
+``random.Random(f"{seed}|{vantage}|{host}|{n}")``, so the value
+depends only on the (vantage, host, ordinal) triple — never on how
+many other connects ran in between.  Reordering a sweep (sharded
+campaigns, partial resumes) therefore reproduces the exact RTT and
+flakiness stream a monolithic sweep draws, the property the
+sharded-vs-unsharded byte-parity guarantee rests on.
+
 Fault injection is scripted through a :class:`FaultPlan` attached to
 the network: per-host transient flakiness, deterministic
 fail-the-next-N connects, vantage outage windows on the simulated
@@ -33,18 +42,33 @@ Handler = Callable[[object], object]
 
 
 class SimClock:
-    """Monotonic simulated time in seconds."""
+    """Monotonic simulated time in seconds.
+
+    Time is held as integer *nanoseconds*, so elapsed intervals are
+    exact: ``now_ns() - started_ns`` yields the same value no matter
+    where on the timeline the interval sits.  With a float
+    accumulator, ``now() - started`` picks up last-ULP noise that
+    depends on the absolute clock value — which differs between a
+    whole-corpus sweep and the same sweep chunked into shards — and
+    journaled scan durations would stop being byte-identical across
+    the two.  Durations that must reproduce exactly are computed from
+    :meth:`now_ns`; :meth:`now` stays the float-seconds view for
+    rate limits, fault windows, and breaker timing.
+    """
 
     def __init__(self, start: float = 0.0) -> None:
-        self._now = start
+        self._now_ns = round(start * 1e9)
 
     def now(self) -> float:
-        return self._now
+        return self._now_ns / 1e9
+
+    def now_ns(self) -> int:
+        return self._now_ns
 
     def advance(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError("time cannot go backwards")
-        self._now += seconds
+        self._now_ns += round(seconds * 1e9)
 
 
 @dataclass(frozen=True, slots=True)
@@ -292,7 +316,10 @@ class SimulatedNetwork:
     ----------
     seed:
         Drives latency sampling and any stochastic reachability, making
-        whole campaigns reproducible.
+        whole campaigns reproducible.  Draws are keyed per
+        (vantage, host, connect ordinal) rather than taken from one
+        shared stream, so the n-th connect to a host sees the same
+        latency whatever ran before it.
     fault_plan:
         An optional :class:`FaultPlan` consulted on every connect.  The
         plan draws from its own RNG, so attaching one leaves the
@@ -301,7 +328,9 @@ class SimulatedNetwork:
 
     def __init__(self, *, seed: int = 0,
                  fault_plan: FaultPlan | None = None) -> None:
-        self._rng = random.Random(seed)
+        self._seed = seed
+        #: (vantage, host) -> connects so far; the ordinal keys the draw
+        self._connects: Counter[tuple[str, str]] = Counter()
         self.clock = SimClock()
         self.hosts: dict[str, Host] = {}
         #: per-vantage sets of unreachable host names
@@ -384,7 +413,15 @@ class SimulatedNetwork:
             )
         plan = self.fault_plan
         base = self._vantage_rtt[vantage]
-        rtt = base * self._rng.uniform(0.8, 1.6)
+        self._connects[(vantage, host_name)] += 1
+        # Keyed draw: random.Random(str) hashes the seed string, so the
+        # RTT (and the flakiness roll below) depend only on
+        # (seed, vantage, host, ordinal) — not on global connect order.
+        draws = random.Random(
+            f"{self._seed}|{vantage}|{host_name}"
+            f"|{self._connects[(vantage, host_name)]}"
+        )
+        rtt = base * draws.uniform(0.8, 1.6)
         if plan is not None:
             rtt *= plan.latency_multiplier(vantage, self.clock.now())
         self.clock.advance(rtt)
@@ -396,7 +433,7 @@ class SimulatedNetwork:
                     f"(injected {fault})"
                 )
         flakiness = self._flaky.get(host_name, 0.0)
-        if flakiness and self._rng.random() < flakiness:
+        if flakiness and draws.random() < flakiness:
             raise HostUnreachableError(
                 f"{host_name}: transient connection failure from {vantage}"
             )

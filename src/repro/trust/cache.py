@@ -66,6 +66,9 @@ class IntermediateCache:
         """Cached certificates that issued ``subject`` (LRU order).
 
         Updates hit/miss counters so tests can assert cache behaviour.
+        A hit refreshes the matched entries' recency — an issuer that
+        keeps completing chains must outlive one-shot intermediates
+        under capacity pressure, or the cache is LRU in name only.
         """
         matches = [
             cert
@@ -73,6 +76,8 @@ class IntermediateCache:
             if cert.fingerprint != subject.fingerprint
             and issued(cert, subject, policy)
         ]
+        for cert in matches:
+            self._entries.move_to_end(cert.fingerprint)
         metrics = obs.get_metrics()
         if matches:
             self.hits += 1

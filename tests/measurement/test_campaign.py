@@ -33,12 +33,69 @@ class TestCollection:
 
     def test_unique_counts_consistent(self, campaign):
         result = campaign.collect()
-        assert result.unique_chains == result.total_observations
+        assert 0 < result.unique_chains <= result.total_observations
         assert result.unique_certificates > 0
 
     def test_tls_version_comparison_high(self, campaign):
         identical = campaign.compare_tls_versions(sample=200)
         assert identical >= 95.0  # paper: 98.8%
+
+
+class TestUnionAccounting:
+    """Two domains serving the identical chain are two *observations*
+    but one unique *chain*.  ``unique_chains`` used to be keyed by
+    (domain, chain_key), silently restating the observation count."""
+
+    @pytest.fixture()
+    def cloned_campaign(self):
+        import dataclasses
+
+        ecosystem = Ecosystem.generate(
+            EcosystemConfig(n_domains=40, seed=21)
+        )
+        donor = next(
+            d for d in ecosystem.deployments if not d.unreachable_from
+        )
+        clone = dataclasses.replace(
+            donor,
+            domain="clone-of-" + donor.domain,
+            rank=len(ecosystem.deployments) + 1,
+            case_study=None,
+        )
+        ecosystem.deployments.append(clone)
+        return Campaign(ecosystem, network=ecosystem.install())
+
+    def test_unique_chains_counts_distinct_chains(
+        self, cloned_campaign, tmp_path
+    ):
+        from repro.obs import RunJournal
+        from repro.obs.journal import read_journal
+        from repro.obs.report import build_report, render_report_text
+
+        path = tmp_path / "run.jsonl"
+        with RunJournal.open(path, cloned_campaign.manifest()) as journal:
+            result = cloned_campaign.collect(journal=journal)
+
+        distinct_chains = {
+            record.chain_key
+            for records in result.per_vantage.values()
+            for record in records
+            if record.success and record.chain
+        }
+        assert result.unique_chains == len(distinct_chains)
+        # the clone duplicates its donor's chain: strictly fewer
+        # unique chains than union observations
+        assert result.unique_chains < result.total_observations
+
+        manifest, events = read_journal(path)
+        collection = next(e for e in events if e["type"] == "collection")
+        assert collection["unique_chains"] == result.unique_chains
+        assert collection["observations"] == result.total_observations
+        assert collection["unique_chains"] < collection["observations"]
+
+        rendered = render_report_text(build_report(manifest, events))
+        assert f"{result.unique_chains:,}" in rendered
+        assert f"{result.total_observations:,}" in rendered
 
 
 class TestAnalysis:

@@ -76,12 +76,13 @@ class TestProbeEquivalence:
                                                  domains):
         network = ecosystem.install()
         before_clock = network.clock.now()
-        before_rng = network._rng.getstate()
+        before_connects = dict(network._connects)
         for domain in domains[:20]:
             probe_handshake(network, VANTAGE_US, domain,
                             versions=(TLS12,))
         assert network.clock.now() == before_clock
-        assert network._rng.getstate() == before_rng
+        # no connect ordinals consumed -> no RNG draws keyed off them
+        assert dict(network._connects) == before_connects
 
     def test_refused_probe_resolves_to_network_error(self, ecosystem):
         network = ecosystem.install()

@@ -103,6 +103,48 @@ def test_parallel_collect_snippet(tmp_path, monkeypatch):
     assert parallel.read_bytes() == sequential.read_bytes()
 
 
+def test_sharded_scan_snippet(tmp_path):
+    """The README's `--shard-size` line, plus the byte-identical-report
+    claim made right under it.
+
+    Unlike the parallel-collect snippet the journals are *not* compared
+    raw: a sharded journal interleaves events per shard and adds
+    `shard` boundary markers. The contract is same events (same
+    content, order interleaved), same verdict order, byte-identical
+    rendered report.
+    """
+    import json
+
+    from repro.cli import main
+
+    sharded = tmp_path / "sharded.jsonl"
+    assert main([
+        "scan", "--domains", "60", "--seed", "833", "--simulate-network",
+        "--shard-size", "25", "--journal", str(sharded),
+    ]) == 0
+    sequential = tmp_path / "sequential.jsonl"
+    assert main([
+        "scan", "--domains", "60", "--seed", "833", "--simulate-network",
+        "--journal", str(sequential),
+    ]) == 0
+
+    from repro.obs.journal import read_journal
+    from repro.obs.report import build_report, render_report_text
+
+    manifest_a, events_a = read_journal(sharded)
+    manifest_b, events_b = read_journal(sequential)
+    assert [e for e in events_a if e["type"] == "verdict"] == [
+        e for e in events_b if e["type"] == "verdict"
+    ]
+    multiset = lambda events: sorted(  # noqa: E731
+        json.dumps(e, sort_keys=True)
+        for e in events if e.get("type") != "shard"
+    )
+    assert multiset(events_a) == multiset(events_b)
+    assert (render_report_text(build_report(manifest_a, events_a))
+            == render_report_text(build_report(manifest_b, events_b)))
+
+
 def test_package_docstring_snippet():
     import repro
 

@@ -79,6 +79,28 @@ class TestEviction:
         assert hierarchies[0].root.certificate not in cache
         assert hierarchies[2].root.certificate in cache
 
+    def test_hit_refreshes_recency_under_pressure(self):
+        """A repeatedly-*hit* issuer outlives later one-shot
+        observations: ``find_issuers`` must refresh the recency of
+        the entries it matched, not just ``observe``."""
+        cache = IntermediateCache(capacity=3)
+        hot = build_hierarchy("HotIssuer", depth=0,
+                              key_seed_prefix="hotissuer")
+        leaf = hot.issue_leaf("hot.example")
+        cache.observe(hot.root.certificate)
+        one_shots = [
+            build_hierarchy(f"OneShot{i}", depth=0,
+                            key_seed_prefix=f"oneshot{i}")
+            for i in range(5)
+        ]
+        for h in one_shots:
+            cache.observe(h.root.certificate)
+            # the hot issuer keeps completing chains between arrivals
+            assert cache.find_issuers(leaf) == [hot.root.certificate]
+        assert hot.root.certificate in cache
+        assert one_shots[0].root.certificate not in cache
+        assert one_shots[-1].root.certificate in cache
+
     def test_touch_refreshes_recency(self):
         cache = IntermediateCache(capacity=2)
         hierarchies = [
