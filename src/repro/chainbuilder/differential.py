@@ -37,6 +37,22 @@ ISSUE_AIA = "I-4:aia_completion"
 ISSUE_OTHER = "other"
 
 
+@dataclass(frozen=True, slots=True)
+class RecordedVerdict:
+    """A client verdict reconstructed from a persistent store.
+
+    Duck-types the ``.ok`` / ``.error`` surface of
+    :class:`~repro.chainbuilder.engine.ClientVerdict` — everything the
+    outcome aggregation reads — without the build trace a live
+    validation carries.  ``ChainOutcome.result_of`` on a reconstructed
+    verdict therefore reproduces the original result label byte for
+    byte, which is what keeps warm differential runs identical.
+    """
+
+    ok: bool
+    error: str | None = None
+
+
 @dataclass
 class ChainOutcome:
     """All client verdicts for one (domain, chain) observation."""
@@ -262,6 +278,39 @@ class DifferentialHarness:
         """Warm the intermediate cache from previously seen chains."""
         return sum(self.cache.observe_chain(chain) for chain in chains)
 
+    def capability_digest(self) -> str:
+        """Content hash of everything a stored outcome depends on.
+
+        Covers every policy field of every client (enums by value),
+        each client's root-store digest, whether it can fetch AIA, and
+        the intermediate-cache population it validates against.  A
+        persisted outcome is only reused under an identical digest —
+        change a client's capabilities (or prime the cache) and every
+        stored outcome silently invalidates, which is the safe
+        direction.
+        """
+        import hashlib
+        import json
+        from dataclasses import fields as dataclass_fields
+
+        description = []
+        for client in self.clients:
+            builder = self._builders[client.name]
+            policy = {}
+            for spec in dataclass_fields(client):
+                value = getattr(client, spec.name)
+                policy[spec.name] = getattr(value, "value", value)
+            description.append({
+                "policy": policy,
+                "root_store_digest": builder.store.digest(),
+                "aia": builder.aia_fetcher is not None,
+                "cache_entries": (len(self.cache)
+                                  if builder.cache is not None else None),
+            })
+        blob = json.dumps(description, sort_keys=True,
+                          separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
     def evaluate(self, domain: str, chain: list[Certificate], *,
                  at_time: datetime) -> ChainOutcome:
         """One observation through every client."""
@@ -281,6 +330,7 @@ class DifferentialHarness:
         observe_into_cache: bool = False,
         journal=None,
         cache=None,
+        verdict_store=None,
         workers: int = 1,
         oversubscribe: bool = False,
     ) -> DifferentialReport:
@@ -304,11 +354,26 @@ class DifferentialHarness:
         merge, so reports and journal events are byte-identical to a
         sequential run.
 
+        ``verdict_store`` (a
+        :class:`~repro.measurement.store.VerdictStore`) persists
+        outcomes across process lifetimes, keyed on ``(domain,
+        chain_key, capability_digest)``; stored outcomes are
+        reconstructed with :class:`RecordedVerdict` stand-ins, so
+        result labels, attribution evidence, and journal events on a
+        warm run are byte-identical to a cold one.
+
         Both short-cuts are disabled while ``observe_into_cache`` is
         set: a learning intermediate cache makes each verdict depend on
         every chain Firefox saw before it, so evaluation must stay
-        strictly sequential and un-reused to mean anything.
+        strictly sequential and un-reused to mean anything — a
+        persistent store under a learning cache is rejected outright.
         """
+        if verdict_store is not None and observe_into_cache:
+            raise ValueError(
+                "a persistent outcome store cannot back a learning "
+                "intermediate cache: outcomes would depend on "
+                "evaluation history"
+            )
         recorded: set[tuple[str, tuple[str, ...]]] = set()
         if journal is not None:
             recorded = {
@@ -330,6 +395,11 @@ class DifferentialHarness:
 
         keys = [tuple(c.fingerprint for c in chain)
                 for _, chain in observations]
+        capability = hexkeys = None
+        if verdict_store is not None:
+            capability = self.capability_digest()
+            hexkeys = [tuple(c.fingerprint_hex for c in chain)
+                       for _, chain in observations]
         results: list[ChainOutcome | None] = [None] * len(observations)
         local: dict[tuple[str, tuple[bytes, ...]], ChainOutcome] = {}
         pending: list[int] = []
@@ -338,6 +408,21 @@ class DifferentialHarness:
             outcome = local.get(pair)
             if outcome is None and cache is not None:
                 outcome = cache.outcome_for(domain, keys[index])
+            if outcome is None and verdict_store is not None:
+                payload = verdict_store.get_outcome(
+                    domain, hexkeys[index], capability
+                )
+                if payload is not None:
+                    outcome = ChainOutcome(
+                        domain, int(payload["chain_length"]),
+                        {name: RecordedVerdict(
+                            result == "ok",
+                            None if result == "ok" else result,
+                        ) for name, result in payload["results"].items()},
+                    )
+                    local[pair] = outcome
+                    if cache is not None:
+                        cache.store_outcome(domain, keys[index], outcome)
             if outcome is not None:
                 results[index] = outcome
                 continue
@@ -362,6 +447,13 @@ class DifferentialHarness:
             local[(domain, keys[index])] = outcome
             if cache is not None:
                 cache.store_outcome(domain, keys[index], outcome)
+            if verdict_store is not None:
+                verdict_store.put_outcome(
+                    domain, hexkeys[index], capability,
+                    chain_length=outcome.chain_length,
+                    results={name: outcome.result_of(name)
+                             for name in outcome.verdicts},
+                )
 
         for index, (domain, chain) in enumerate(observations):
             outcome = results[index]
@@ -434,6 +526,7 @@ __all__ = [
     "ChainOutcome",
     "DifferentialHarness",
     "DifferentialReport",
+    "RecordedVerdict",
     "ISSUE_AIA",
     "ISSUE_BACKTRACKING",
     "ISSUE_LONG_CHAIN",

@@ -122,11 +122,32 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             EcosystemConfig(n_domains=args.domains, seed=args.seed)
         )
         campaign = Campaign(ecosystem)
+        verdict_store = None
+        if args.cache_dir:
+            from repro.errors import StoreError
+            from repro.measurement import VerdictStore
+
+            try:
+                verdict_store = VerdictStore(args.cache_dir)
+            except StoreError as exc:
+                print(f"repro-chain scan: {exc}", file=sys.stderr)
+                return 2
+            loaded = verdict_store.stats()
+            if loaded["recovered_records"]:
+                print(f"verdict store: truncated a torn segment tail "
+                      f"({loaded['recovered_records']} records "
+                      f"recovered)", file=sys.stderr)
+            print(f"verdict store: {loaded['reports']:,} reports / "
+                  f"{loaded['outcomes']:,} outcomes loaded from "
+                  f"{args.cache_dir}")
+        manifest = campaign.manifest()
+        if verdict_store is not None:
+            manifest["cache"] = verdict_store.identity()
         journal = None
         if args.journal:
             try:
                 journal = obs.RunJournal.open(
-                    args.journal, campaign.manifest(),
+                    args.journal, manifest,
                     flush_every=args.journal_flush_every,
                 )
             except JournalError as exc:
@@ -184,10 +205,10 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             )
         try:
             cache = None
-            if args.workers:
+            if args.workers or verdict_store is not None:
                 from repro.measurement import VerdictCache
 
-                cache = VerdictCache()
+                cache = VerdictCache(backing=verdict_store)
             if args.shard_size:
                 if not args.simulate_network:
                     print("repro-chain scan: --shard-size requires "
@@ -275,8 +296,15 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         finally:
             if journal is not None:
                 journal.close()
+            if verdict_store is not None:
+                store_stats = verdict_store.stats()
+                verdict_store.close()
             if server is not None:
                 server.stop()
+        if verdict_store is not None:
+            print(f"verdict store: {store_stats['hits']:,} hits / "
+                  f"{store_stats['misses']:,} misses / "
+                  f"{store_stats['writes']:,} writes")
         if cache is not None and (cache.hits + cache.misses):
             print(f"verdict cache: {cache.hits:,} hits / "
                   f"{cache.misses:,} misses "
@@ -720,6 +748,19 @@ def _cmd_differential(args: argparse.Namespace) -> int:
     harness = DifferentialHarness(
         ecosystem.registry, aia_fetcher=ecosystem.aia_repo
     )
+    verdict_store = None
+    if args.cache_dir:
+        from repro.errors import StoreError
+        from repro.measurement import VerdictStore
+
+        try:
+            verdict_store = VerdictStore(args.cache_dir)
+        except StoreError as exc:
+            print(f"repro-chain differential: {exc}", file=sys.stderr)
+            return 2
+        loaded = verdict_store.stats()
+        print(f"verdict store: {loaded['outcomes']:,} outcomes loaded "
+              f"from {args.cache_dir}")
     journal = None
     if args.journal:
         try:
@@ -744,10 +785,14 @@ def _cmd_differential(args: argparse.Namespace) -> int:
     # Firefox intermediate cache is not: with --workers the harness
     # evaluates against the cold-cache model instead (the difference is
     # documented in docs/PERFORMANCE.md).
-    learning = args.workers <= 1
-    if not learning:
+    learning = args.workers <= 1 and verdict_store is None
+    if args.workers > 1:
         print(f"workers: {args.workers} requested; evaluating with a "
               f"cold (non-learning) intermediate cache")
+    elif not learning:
+        print("cache-dir: persistent outcomes require order-independent "
+              "evaluation; using a cold (non-learning) intermediate "
+              "cache")
     from repro.measurement import VerdictCache
 
     cache = VerdictCache()
@@ -756,10 +801,18 @@ def _cmd_differential(args: argparse.Namespace) -> int:
             ecosystem.observations(), at_time=ecosystem.config.now,
             observe_into_cache=learning, journal=journal,
             cache=cache, workers=args.workers,
+            verdict_store=verdict_store,
         )
     finally:
         if journal is not None:
             journal.close()
+        if verdict_store is not None:
+            store_stats = verdict_store.stats()
+            verdict_store.close()
+    if verdict_store is not None:
+        print(f"verdict store: {store_stats['hits']:,} hits / "
+              f"{store_stats['misses']:,} misses / "
+              f"{store_stats['writes']:,} writes")
     print(f"chains evaluated : {report.total:,} x 8 clients")
     print(f"library failures : {report.failure_rate(LIBRARIES):.1f}%")
     print(f"browser failures : "
@@ -767,6 +820,73 @@ def _cmd_differential(args: argparse.Namespace) -> int:
     print("attribution:")
     for tag, count in sorted(report.attribution_counts().items()):
         print(f"  {tag:28} {count:,}")
+    return 0
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    """Summarise a verdict store without opening (or repairing) it."""
+    from repro.measurement import check_store
+
+    check = check_store(args.path)
+    if check.problems and not check.store_id:
+        for problem in check.problems:
+            print(f"repro-chain cache: {args.path}: {problem}",
+                  file=sys.stderr)
+        return 2
+    print(f"store   : {check.path}")
+    print(f"id      : {check.store_id}")
+    print(f"segments: {check.segments} "
+          f"({check.disk_bytes:,} bytes on disk)")
+    print(f"reports : {check.reports:,}")
+    print(f"outcomes: {check.outcomes:,}")
+    if check.stale_records:
+        print(f"stale   : {check.stale_records:,} "
+              f"(schema-mismatched; 'cache compact' drops them)")
+    if check.superseded_records:
+        print(f"dupes   : {check.superseded_records:,} "
+              f"(superseded; 'cache compact' drops them)")
+    for problem in check.problems:
+        print(f"problem : {problem}")
+    return 0
+
+
+def _cmd_cache_verify(args: argparse.Namespace) -> int:
+    """Read-only damage check: exit 1 on problems, 2 if not a store."""
+    from repro.measurement import check_store
+
+    check = check_store(args.path)
+    if not check.store_id:
+        for problem in check.problems:
+            print(f"repro-chain cache: {args.path}: {problem}",
+                  file=sys.stderr)
+        return 2
+    if check.problems:
+        for problem in check.problems:
+            print(f"verify: {problem}")
+        print(f"verify: {len(check.problems)} problem(s) found "
+              f"(reopening the store repairs torn tails and "
+              f"temp leftovers)")
+        return 1
+    print(f"verify: ok ({check.reports:,} reports, "
+          f"{check.outcomes:,} outcomes in {check.segments} "
+          f"segment(s))")
+    return 0
+
+
+def _cmd_cache_compact(args: argparse.Namespace) -> int:
+    """Rewrite the store keeping only live current-schema records."""
+    from repro.errors import StoreError
+    from repro.measurement import VerdictStore
+
+    try:
+        with VerdictStore(args.path) as store:
+            summary = store.compact()
+    except StoreError as exc:
+        print(f"repro-chain cache: {exc}", file=sys.stderr)
+        return 2
+    print(f"compacted {summary['segments_before']} segment(s) -> "
+          f"{summary['segments_after']}: kept {summary['kept']:,} "
+          f"record(s), dropped {summary['dropped']:,}")
     return 0
 
 
@@ -859,6 +979,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "/healthz, /progress, /report; port 0 binds "
                            "an ephemeral port (the chosen URL is "
                            "printed at startup)")
+    scan.add_argument("--cache-dir",
+                      help="persist per-chain verdicts in an on-disk "
+                           "content-addressed store; a later scan of "
+                           "the same campaign warm-starts from it and "
+                           "produces byte-identical output")
     scan.add_argument("--health", action="append", default=[],
                       metavar="NAME<=V",
                       help="declarative health/SLO rule over the "
@@ -996,7 +1121,35 @@ def build_parser() -> argparse.ArgumentParser:
                               help="buffer this many journal records "
                                    "between flushes (1: flush per "
                                    "record; default: 64)")
+    differential.add_argument("--cache-dir",
+                              help="persist per-(domain, chain, "
+                                   "capability) client outcomes in an "
+                                   "on-disk store; implies a cold "
+                                   "(non-learning) intermediate cache")
     differential.set_defaults(func=_cmd_differential)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain a persistent verdict store",
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="summarise a verdict store (read-only)"
+    )
+    cache_stats.add_argument("path", help="verdict store directory")
+    cache_stats.set_defaults(func=_cmd_cache_stats)
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="check a verdict store for damage without repairing it",
+    )
+    cache_verify.add_argument("path", help="verdict store directory")
+    cache_verify.set_defaults(func=_cmd_cache_verify)
+    cache_compact = cache_sub.add_parser(
+        "compact",
+        help="rewrite the store keeping only live records",
+    )
+    cache_compact.add_argument("path", help="verdict store directory")
+    cache_compact.set_defaults(func=_cmd_cache_compact)
 
     return parser
 

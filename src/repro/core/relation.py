@@ -159,17 +159,49 @@ def issued(issuer: Certificate, subject: Certificate,
     return evaluate(issuer, subject, policy).holds
 
 
+def _structural_match(issuer: Certificate, subject: Certificate,
+                      policy: RelationPolicy) -> bool:
+    """Can ``issuer`` possibly certify ``subject``, ignoring signatures?
+
+    Mirrors the identifier half of :func:`evaluate` exactly: True when
+    the name or a determinate KID matches under the active policy, and
+    also when no identifier criterion was checkable (the relation then
+    rests on the signature alone).  A False here implies
+    ``evaluate(...).holds`` is False regardless of the signature, which
+    is what lets :func:`find_issuers` skip the (comparatively costly)
+    signature check for structurally impossible candidates.
+    """
+    checked_any = False
+    if policy.use_name_match:
+        checked_any = True
+        if (not issuer.subject.is_empty()
+                and issuer.subject == subject.issuer):
+            return True
+    if policy.use_kid_match:
+        skid = issuer.subject_key_id
+        akid = subject.authority_key_id
+        if skid is not None and akid is not None:
+            checked_any = True
+            if skid == akid:
+                return True
+    return not checked_any
+
+
 def find_issuers(subject: Certificate, candidates: list[Certificate],
                  policy: RelationPolicy = DEFAULT_POLICY) -> list[Certificate]:
     """All candidates that certify ``subject``, in candidate order.
 
     A certificate never counts as its own issuer here: self-signed
-    certificates terminate chains rather than extend them.
+    certificates terminate chains rather than extend them.  Candidates
+    that fail both the name and KID criteria are rejected structurally,
+    without evaluating the signature — the result is identical to
+    running :func:`issued` over every candidate.
     """
     return [
         candidate
         for candidate in candidates
         if candidate is not subject
         and candidate.fingerprint != subject.fingerprint
+        and _structural_match(candidate, subject, policy)
         and issued(candidate, subject, policy)
     ]

@@ -181,5 +181,15 @@ class JournalError(MeasurementError):
     """
 
 
+class StoreError(MeasurementError):
+    """A persistent verdict store could not be opened or written.
+
+    Raised when the directory is not a verdict store (missing or
+    foreign ``meta.json``), when a segment is damaged in its interior
+    (a torn *final* record is not an error — recovery truncates it),
+    or when the store is used after :meth:`close`.
+    """
+
+
 class EcosystemError(ReproError):
     """The synthetic ecosystem definition is inconsistent."""

@@ -434,6 +434,7 @@ class Campaign:
         snapshot_writer=None,
         workers: int = 0,
         cache=None,
+        verdict_store=None,
         oversubscribe: bool = False,
         status=None,
         live_view=None,
@@ -460,6 +461,14 @@ class Campaign:
         verdicts across phases.  Output is byte-identical to the
         default sequential loop either way.
 
+        ``verdict_store`` (a
+        :class:`~repro.measurement.store.VerdictStore`) persists the
+        cache across process lifetimes: chains whose report the store
+        already holds (from an earlier run against the same trust
+        anchors) skip re-analysis, and fresh reports are written
+        through, so a warm re-run produces byte-identical output at a
+        fraction of the analyse cost.
+
         ``status``/``live_view`` (a
         :class:`~repro.obs.server.RunStatus` and
         :class:`~repro.obs.server.LiveRegistryView`, both optional)
@@ -473,9 +482,17 @@ class Campaign:
             observations = self.ecosystem.observations()
         store = store or self.ecosystem.registry.union()
         fetcher = fetcher if fetcher is not None else self.ecosystem.aia_repo
-        if workers or cache is not None:
-            from repro.measurement.parallel import analyze_observations
+        if workers or cache is not None or verdict_store is not None:
+            from repro.measurement.parallel import (
+                VerdictCache,
+                analyze_observations,
+            )
 
+            if verdict_store is not None:
+                if cache is None:
+                    cache = VerdictCache(backing=verdict_store)
+                elif cache.backing is None:
+                    cache.backing = verdict_store
             with phase_scope("analyze"), \
                     obs.get_tracer().span("campaign.analyze",
                                           chains=len(observations),

@@ -129,6 +129,16 @@ class VerdictCache:
     One cache instance can serve a whole CLI invocation (analyse, then
     ``differential``, then ``explain``), which is what the
     ``--workers``/cache plumbing in ``repro.cli`` does.
+
+    ``backing`` (a :class:`~repro.measurement.store.VerdictStore`)
+    extends report lookups across process lifetimes: a miss probes the
+    store (promoting a hit into memory, so decoding happens once per
+    unique chain per run) and every fresh report is written through.
+    Cross-domain R1 rebinding stays in-process — the store holds one
+    report per (chain, trust anchors) and ``rebind_for_domain``
+    recomputes leaf placement for whichever domain served it.  All
+    cache calls happen in the parent process (the pool plan and fan-out
+    passes), so the store keeps a single writer under any worker count.
     """
 
     hits: int = 0
@@ -141,12 +151,22 @@ class VerdictCache:
     _outcomes: dict[tuple[str, ChainKey], Any] = field(
         default_factory=dict, repr=False
     )
+    #: optional persistent VerdictStore backing the report side
+    backing: Any | None = None
+
+    @staticmethod
+    def _hex(key: ChainKey) -> tuple[str, ...]:
+        return tuple(fingerprint.hex() for fingerprint in key)
 
     # -- compliance reports (keyed on chain + trust anchors) -----------
 
     def report_for(self, key: ChainKey,
                    store_digest: str) -> ChainComplianceReport | None:
         report = self._reports.get((key, store_digest))
+        if report is None and self.backing is not None:
+            report = self.backing.get_report(self._hex(key), store_digest)
+            if report is not None:
+                self._reports[(key, store_digest)] = report
         if report is None:
             self.misses += 1
         else:
@@ -154,12 +174,26 @@ class VerdictCache:
         return report
 
     def store_report(self, key: ChainKey, store_digest: str,
-                     report: ChainComplianceReport) -> None:
+                     report: ChainComplianceReport, *,
+                     report_json: str | None = None) -> None:
+        """Cache (and write through) one fresh report.
+
+        ``report_json`` is an optional pre-serialised ``to_json`` of
+        the same report: pool workers serialise in parallel so the
+        parent's write-through is a buffered append instead of a fresh
+        encode.
+        """
         self._reports[(key, store_digest)] = report
+        if self.backing is not None:
+            self.backing.put_report(self._hex(key), store_digest, report,
+                                    report_json=report_json)
 
     def has_report(self, key: ChainKey, store_digest: str) -> bool:
         """Membership probe that does not touch the hit/miss counters."""
-        return (key, store_digest) in self._reports
+        if (key, store_digest) in self._reports:
+            return True
+        return (self.backing is not None
+                and self.backing.has_report(self._hex(key), store_digest))
 
     # -- differential outcomes (keyed on domain + chain) ---------------
 
@@ -252,8 +286,9 @@ def _analyze_span(start: int,
     """Worker: analyse one contiguous span of the pending list.
 
     Returns ``(results, metrics_snapshot, spans)`` where each result is
-    ``(report, encoded_line)`` — the line ``None`` when the run is not
-    journaled.  The span runs under a fresh metrics registry (when the
+    ``(report, encoded_line, report_json)`` — the line ``None`` when
+    the run is not journaled, the serialised report ``None`` when no
+    persistent store needs it.  The span runs under a fresh metrics registry (when the
     parent's was live at fork) so its snapshot is exactly this span's
     delta; the parent merges the deltas.  Likewise for the tracer: a
     fresh :class:`~repro.obs.trace.Tracer` (when the parent's was live)
@@ -268,8 +303,8 @@ def _analyze_span(start: int,
     strictly additive telemetry: the final returned snapshot — the one
     merged into the real registry — is computed exactly as before.
     """
-    (pending, store, fetcher, journaled, live_metrics, live_trace,
-     live_queue) = _WORKER_STATE
+    (pending, store, fetcher, journaled, persist, live_metrics,
+     live_trace, live_queue) = _WORKER_STATE
     if live_metrics or live_trace:
         obs.enable(
             metrics=MetricsRegistry() if live_metrics else NULL_REGISTRY,
@@ -291,7 +326,11 @@ def _analyze_span(start: int,
             report = analyze_chain(domain, chain, store, fetcher)
             line = (encode_verdict_event(domain, hexkey, report)
                     if journaled else None)
-            results.append((report, line))
+            # pre-serialise for the parent's store write-through, so
+            # persisting costs the (parallel) workers, not the
+            # (serial) merge loop
+            payload = report.to_json() if persist else None
+            results.append((report, line, payload))
             if (live_queue is not None and live_metrics
                     and offset % LIVE_SNAPSHOT_EVERY == 0
                     and offset < end - start):
@@ -540,6 +579,7 @@ def _run_pool(
             drainer.start()
         global _WORKER_STATE
         _WORKER_STATE = (pending, store, fetcher, journaled,
+                         cache.backing is not None,
                          live_metrics, live_trace, live_queue)
         try:
             with ProcessPoolExecutor(max_workers=effective,
@@ -551,9 +591,9 @@ def _run_pool(
                     zip(spans, futures), 1
                 ):  # submission order: deterministic
                     results, snapshot, worker_spans = future.result()
-                    for report, line in results:
+                    for report, line, payload in results:
                         domain, chain, _ = pending[index]
-                        fresh[chain_key(chain)] = (report, line)
+                        fresh[chain_key(chain)] = (report, line, payload)
                         index += 1
                     if snapshot:
                         metrics.merge_snapshot(snapshot)
@@ -586,9 +626,9 @@ def _run_pool(
         elif kind == PAIR_DUP:
             report = run_reports[(domain, key)]
         elif kind == FRESH:
-            report, line = fresh[key]
+            report, line, payload = fresh[key]
             analyzed += 1
-            cache.store_report(key, digest, report)
+            cache.store_report(key, digest, report, report_json=payload)
             if journaled:
                 journal.record_verdict(domain, chain_key_hex(chain),
                                        report, encoded=line)

@@ -227,6 +227,7 @@ def run_sharded(
     collect_workers: int = 0,
     workers: int = 0,
     cache=None,
+    verdict_store=None,
     oversubscribe: bool = False,
     store: RootStore | None = None,
     fetcher: AIAFetcher | None = None,
@@ -241,7 +242,11 @@ def run_sharded(
     the probe/replay and verdict-cache fork pools *within* each shard.
     A shared :class:`~repro.measurement.parallel.VerdictCache` is
     created when ``workers`` is set and none is passed, so chain-dedup
-    hit rates match an unsharded parallel run.
+    hit rates match an unsharded parallel run.  ``verdict_store`` (a
+    :class:`~repro.measurement.store.VerdictStore`) backs that cache
+    persistently, exactly as in :meth:`Campaign.analyze` — shards of a
+    warm run resolve their chains from the store instead of
+    re-analysing them.
 
     ``status`` phases are shard-scoped — ``collect.shard.K`` counting
     scans, ``analyze.shard.K`` counting verdicts — as are the
@@ -255,10 +260,13 @@ def run_sharded(
     store = store or campaign.ecosystem.registry.union()
     fetcher = (fetcher if fetcher is not None
                else campaign.ecosystem.aia_repo)
-    if workers and cache is None:
+    if cache is None and (workers or verdict_store is not None):
         from repro.measurement.parallel import VerdictCache
 
-        cache = VerdictCache()
+        cache = VerdictCache(backing=verdict_store)
+    elif cache is not None and verdict_store is not None \
+            and cache.backing is None:
+        cache.backing = verdict_store
 
     journaled_scans: set[tuple[str, str]] = set()
     journaled_degradations: set[str] = set()

@@ -59,6 +59,10 @@ COUNTERS: tuple[str, ...] = (
     "compliance.verdict",         # verdict
     "journal.events",             # type (manifest | scan | verdict | ...)
     "snapshot.write_errors",      # SnapshotWriter disabled by an OSError
+    "store.hits",                 # kind (report | outcome)
+    "store.misses",               # kind (report | outcome)
+    "store.writes",               # kind (report | outcome)
+    "store.recovered",            # torn-tail records dropped on reopen
 )
 
 #: Gauge families.

@@ -391,8 +391,14 @@ def build_report(manifest: dict[str, Any],
     """
     from repro.obs.journal import manifest_identity
 
+    identity = manifest_identity(manifest)
+    if "cache" in manifest:
+        # Warm-started runs record which verdict store served them;
+        # surfaced with the rest of the identity but (like the rest of
+        # the manifest extras) never part of resume identity checks.
+        identity["cache"] = dict(manifest["cache"])
     report = RunReport(
-        identity=manifest_identity(manifest),
+        identity=identity,
         run=str(manifest.get("run", "campaign")),
     )
 

@@ -14,7 +14,7 @@ from collections import OrderedDict
 
 from repro import obs
 from repro.core.relation import DEFAULT_POLICY, RelationPolicy, issued
-from repro.x509 import Certificate
+from repro.x509 import Certificate, Name
 
 
 class IntermediateCache:
@@ -31,6 +31,19 @@ class IntermediateCache:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._entries: OrderedDict[bytes, Certificate] = OrderedDict()
+        # Structural lookup indexes over the entries: issuer-candidate
+        # retrieval by the subject's issuer DN and AKID instead of a
+        # full scan.  ``_no_skid`` tracks entries without an SKID —
+        # under a KID-only policy those pass on the signature alone, so
+        # they are candidates for every lookup.  ``_stamp`` assigns a
+        # monotonically increasing recency stamp (refreshed alongside
+        # ``move_to_end``), so candidate sets can be re-sorted into the
+        # exact LRU order a full scan would produce.
+        self._by_skid: dict[bytes, set[bytes]] = {}
+        self._by_subject: dict[Name, set[bytes]] = {}
+        self._no_skid: set[bytes] = set()
+        self._stamp: dict[bytes, int] = {}
+        self._tick = 0
         self.hits = 0
         self.misses = 0
 
@@ -50,11 +63,42 @@ class IntermediateCache:
         key = cert.fingerprint
         if key in self._entries:
             self._entries.move_to_end(key)
+            self._restamp(key)
             return True
         self._entries[key] = cert
+        skid = cert.subject_key_id
+        if skid is not None:
+            self._by_skid.setdefault(skid, set()).add(key)
+        else:
+            self._no_skid.add(key)
+        self._by_subject.setdefault(cert.subject, set()).add(key)
+        self._restamp(key)
         if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            _, evicted = self._entries.popitem(last=False)
+            self._unindex(evicted)
         return True
+
+    def _restamp(self, key: bytes) -> None:
+        self._tick += 1
+        self._stamp[key] = self._tick
+
+    def _unindex(self, cert: Certificate) -> None:
+        key = cert.fingerprint
+        skid = cert.subject_key_id
+        if skid is not None:
+            bucket = self._by_skid.get(skid)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._by_skid[skid]
+        else:
+            self._no_skid.discard(key)
+        bucket = self._by_subject.get(cert.subject)
+        if bucket is not None:
+            bucket.discard(key)
+            if not bucket:
+                del self._by_subject[cert.subject]
+        self._stamp.pop(key, None)
 
     def observe_chain(self, chain: list[Certificate]) -> int:
         """Cache every CA certificate in ``chain``; returns how many."""
@@ -69,15 +113,25 @@ class IntermediateCache:
         A hit refreshes the matched entries' recency — an issuer that
         keeps completing chains must outlive one-shot intermediates
         under capacity pressure, or the cache is LRU in name only.
+
+        Candidates come from the subject-DN and SKID indexes rather
+        than a full scan; every candidate is still confirmed with the
+        full :func:`issued` predicate, and the candidate set provably
+        contains every entry the full scan would match (under a
+        KID-only policy with no AKID to probe, the lookup falls back to
+        the scan).  Results are identical either way, in the same LRU
+        order.
         """
+        candidates = self._candidates(subject, policy)
         matches = [
             cert
-            for cert in self._entries.values()
+            for cert in candidates
             if cert.fingerprint != subject.fingerprint
             and issued(cert, subject, policy)
         ]
         for cert in matches:
             self._entries.move_to_end(cert.fingerprint)
+            self._restamp(cert.fingerprint)
         metrics = obs.get_metrics()
         if matches:
             self.hits += 1
@@ -88,7 +142,45 @@ class IntermediateCache:
         metrics.gauge("cache.size").set(len(self._entries))
         return matches
 
+    def _candidates(self, subject: Certificate,
+                    policy: RelationPolicy) -> list[Certificate]:
+        """Entries that could structurally issue ``subject``, LRU order.
+
+        Case analysis against :func:`repro.core.relation.evaluate`:
+
+        * name + KID policy — a matching entry satisfies the name
+          criterion (→ subject-DN index) or a determinate KID criterion
+          (→ SKID index); with both identifiers toggled on, "nothing
+          checkable" cannot happen, so the union covers every match.
+        * KID-only — entries lacking an SKID are un-checkable and pass
+          on the signature alone (→ ``_no_skid`` union); with no AKID
+          on the subject *no* entry is checkable, so fall back to the
+          full scan.
+        * signature-only — no structural criterion exists; full scan.
+        """
+        use_name = policy.use_name_match
+        use_kid = policy.use_kid_match
+        akid = subject.authority_key_id
+        if (not use_name and not use_kid) or \
+                (use_kid and not use_name and akid is None):
+            return list(self._entries.values())
+        keys: set[bytes] = set()
+        if use_name:
+            keys |= self._by_subject.get(subject.issuer, set())
+        if use_kid and akid is not None:
+            keys |= self._by_skid.get(akid, set())
+        if use_kid and not use_name:
+            keys |= self._no_skid
+        entries = self._entries
+        return [entries[key]
+                for key in sorted(keys, key=self._stamp.__getitem__)]
+
     def clear(self) -> None:
         self._entries.clear()
+        self._by_skid.clear()
+        self._by_subject.clear()
+        self._no_skid.clear()
+        self._stamp.clear()
+        self._tick = 0
         self.hits = 0
         self.misses = 0

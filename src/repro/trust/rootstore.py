@@ -27,6 +27,7 @@ class RootStore:
         self._by_fingerprint: dict[bytes, Certificate] = {}
         self._by_skid: dict[bytes, list[Certificate]] = {}
         self._by_subject: dict[Name, list[Certificate]] = {}
+        self._by_key_bytes: dict[bytes, list[Certificate]] = {}
         for anchor in anchors:
             self.add(anchor)
 
@@ -45,6 +46,9 @@ class RootStore:
         if skid is not None:
             self._by_skid.setdefault(skid, []).append(anchor)
         self._by_subject.setdefault(anchor.subject, []).append(anchor)
+        self._by_key_bytes.setdefault(
+            anchor.public_key.key_bytes, []
+        ).append(anchor)
 
     def __len__(self) -> int:
         return len(self._by_fingerprint)
@@ -60,12 +64,17 @@ class RootStore:
 
         Chrome and Firefox treat a presented root as trusted when the
         *key* matches a store anchor even if the certificate bytes
-        differ; completeness analysis uses the same relaxation.
+        differ; completeness analysis uses the same relaxation.  The
+        lookup is indexed on the key bytes, so it does not scale with
+        the store size; the equality check against the (tiny) bucket
+        still compares full :class:`PublicKey` values, which also span
+        the key scheme.
         """
-        return any(
-            anchor.public_key == cert.public_key
-            for anchor in self._by_fingerprint.values()
-        )
+        bucket = self._by_key_bytes.get(cert.public_key.key_bytes)
+        if not bucket:
+            return False
+        key = cert.public_key
+        return any(anchor.public_key == key for anchor in bucket)
 
     def find_by_skid(self, key_id: bytes) -> list[Certificate]:
         """Anchors whose SKID equals ``key_id`` (the AKID probe)."""

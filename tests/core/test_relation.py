@@ -158,3 +158,77 @@ class TestFindIssuers:
         leaf = chain[0]
         clone = copy.deepcopy(leaf)
         assert find_issuers(leaf, [clone]) == []
+
+
+class TestStructuralPrefilterEquivalence:
+    """The no-signature prefilter inside ``find_issuers`` is invisible.
+
+    ``find_issuers`` rejects candidates that fail both the name and
+    KID criteria before paying for the signature check.  Over a fuzzed
+    corpus of mutated chains (reordered, truncated, wrong-signature,
+    stripped-extension mutants) the result must equal the brute-force
+    ``issued`` filter for every policy combination — the prefilter may
+    only skip work, never change an answer.
+    """
+
+    POLICIES = (
+        DEFAULT_POLICY,
+        RelationPolicy(use_kid_match=False),
+        RelationPolicy(use_name_match=False),
+        RelationPolicy(use_name_match=False, use_kid_match=False),
+        STRUCTURAL_POLICY,
+        RelationPolicy(require_signature=False, use_name_match=False),
+    )
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        import random
+
+        from repro.ca import build_hierarchy
+        from repro.chainbuilder import ChainFuzzer, DifferentialHarness
+        from repro.trust import RootStoreRegistry, StaticAIARepository
+
+        h = build_hierarchy(
+            "RelFuzz", depth=2, key_seed_prefix="relfuzz",
+            aia_base="http://aia.relfuzz.example",
+        )
+        registry = RootStoreRegistry()
+        registry.add_everywhere(h.root.certificate)
+        repo = StaticAIARepository()
+        for authority in h.authorities:
+            repo.publish(authority.aia_uri, authority.certificate)
+        seeds = []
+        for index in range(5):
+            leaf = h.issue_leaf(f"relfuzz{index}.example",
+                                not_before=utc(2024, 1, 1), days=365,
+                                key_seed=f"relfuzz/{index}".encode())
+            seeds.append((f"relfuzz{index}.example", h.chain_for(leaf)))
+        fuzzer = ChainFuzzer(
+            DifferentialHarness(registry, aia_fetcher=repo), seeds,
+            rng=random.Random(13),
+        )
+        chains = [list(chain) for _, chain in seeds]
+        for index in range(60):
+            mutant, _ = fuzzer.mutate(
+                list(seeds[index % len(seeds)][1]),
+                depth=1 + index % 3,
+            )
+            if mutant:
+                chains.append(mutant)
+        return chains
+
+    def test_fuzzed_corpus_matches_brute_force(self, corpus):
+        pool = [cert for chain in corpus for cert in chain]
+        checked = 0
+        for chain in corpus:
+            for subject in chain:
+                for policy in self.POLICIES:
+                    expected = [
+                        candidate for candidate in pool
+                        if candidate is not subject
+                        and candidate.fingerprint != subject.fingerprint
+                        and issued(candidate, subject, policy)
+                    ]
+                    assert find_issuers(subject, pool, policy) == expected
+                    checked += 1
+        assert checked > 100  # the corpus really exercised the filter

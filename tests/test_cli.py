@@ -849,3 +849,139 @@ class TestWatchCommand:
         assert code == 0
         out = capsys.readouterr().out
         assert "watch collect[us] 4/10" in out
+
+
+class TestScanCacheDir:
+    """Warm-start scans through ``--cache-dir`` are byte-identical.
+
+    One cold run populates the store; every warm variant — plain,
+    ``--workers 4``, ``--shard-size`` — must reproduce the cold run's
+    journal verdict lines, rendered report, and printed tables exactly.
+    """
+
+    @staticmethod
+    def verdict_lines(journal) -> list[bytes]:
+        return [
+            line for line in journal.read_bytes().splitlines()
+            if line.startswith(b'{"type":"verdict"')
+        ]
+
+    @staticmethod
+    def tables(text: str) -> str:
+        """The deterministic stdout slice: tables, not stat lines."""
+        text = text[text.index("chains:"):]
+        wrote = text.find("wrote ")
+        return text if wrote < 0 else text[:wrote]
+
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        import io
+        from contextlib import redirect_stdout
+
+        tmp = tmp_path_factory.mktemp("cli-cache")
+        store = tmp / "verdict-cache"
+        variants = {
+            "cold": [],
+            "warm": [],
+            "warm-workers": ["--workers", "4"],
+            "warm-shards": ["--shard-size", "80"],
+        }
+        outputs, journals, reports = {}, {}, {}
+        for name, extra in variants.items():
+            journal = tmp / f"{name}.jsonl"
+            buffer = io.StringIO()
+            with redirect_stdout(buffer):
+                assert main(["scan", "--domains", "200", "--seed", "833",
+                             "--simulate-network",
+                             "--cache-dir", str(store),
+                             "--journal", str(journal)] + extra) == 0
+                report = tmp / f"{name}-report.json"
+                assert main(["report", str(journal),
+                             "--out", str(report)]) == 0
+            outputs[name] = buffer.getvalue()
+            journals[name] = journal
+            reports[name] = report.read_bytes()
+        return store, outputs, journals, reports
+
+    def test_warm_runs_hit_for_every_chain(self, runs):
+        _, outputs, _, _ = runs
+        assert " / 0 misses / 0 writes" not in outputs["cold"]
+        for name in ("warm", "warm-workers", "warm-shards"):
+            assert " / 0 misses / 0 writes" in outputs[name], name
+
+    def test_journal_verdicts_byte_identical(self, runs):
+        _, _, journals, _ = runs
+        cold = self.verdict_lines(journals["cold"])
+        assert cold
+        for name in ("warm", "warm-workers", "warm-shards"):
+            assert self.verdict_lines(journals[name]) == cold, name
+
+    def test_reports_byte_identical(self, runs):
+        _, _, _, reports = runs
+        for name in ("warm", "warm-workers", "warm-shards"):
+            assert reports[name] == reports["cold"], name
+
+    def test_tables_byte_identical(self, runs):
+        _, outputs, _, _ = runs
+        cold = self.tables(outputs["cold"])
+        for name in ("warm", "warm-workers", "warm-shards"):
+            assert self.tables(outputs[name]) == cold, name
+
+    def test_manifest_records_cache_identity(self, runs):
+        import json
+
+        store, _, journals, reports = runs
+        manifest = json.loads(
+            journals["cold"].read_bytes().splitlines()[0]
+        )
+        meta = json.loads((store / "meta.json").read_text())
+        assert manifest["cache"] == {
+            "store_id": meta["store_id"],
+            "schema_version": meta["schema_version"],
+        }
+        report = json.loads(reports["cold"])
+        assert report["identity"]["cache"] == manifest["cache"]
+
+    def test_cache_stats_and_verify(self, runs, capsys):
+        store, _, _, _ = runs
+        assert main(["cache", "stats", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "reports : " in out
+        assert main(["cache", "verify", str(store)]) == 0
+        assert capsys.readouterr().out.startswith("verify: ok")
+        assert main(["cache", "compact", str(store)]) == 0
+        assert "compacted" in capsys.readouterr().out
+
+    def test_verify_reports_truncation(self, runs, capsys):
+        store, _, _, _ = runs
+        segment = sorted((store / "segments").glob("*.seg"))[-1]
+        data = segment.read_bytes()
+        segment.write_bytes(data + b'{"kind":"report","sch')
+        try:
+            assert main(["cache", "verify", str(store)]) == 1
+            out = capsys.readouterr().out
+            assert "torn final record" in out
+        finally:
+            segment.write_bytes(data)
+        assert main(["cache", "verify", str(store)]) == 0
+
+    def test_verify_missing_store_exits_two(self, tmp_path, capsys):
+        assert main(["cache", "verify", str(tmp_path / "absent")]) == 2
+        assert "cache:" in capsys.readouterr().err
+
+
+class TestDifferentialCacheDir:
+    def test_warm_run_matches_cold(self, tmp_path, capsys):
+        base = ["differential", "--domains", "80", "--seed", "833",
+                "--cache-dir", str(tmp_path / "vs")]
+        assert main(base) == 0
+        cold = capsys.readouterr().out
+        assert "cold (non-learning) intermediate cache" in cold
+        assert main(base) == 0
+        warm = capsys.readouterr().out
+        assert " / 0 misses / 0 writes" in warm
+
+        def stats(text: str) -> str:
+            return text[text.index("chains evaluated"):]
+
+        assert stats(warm) == stats(cold)

@@ -145,6 +145,31 @@ def test_sharded_scan_snippet(tmp_path):
             == render_report_text(build_report(manifest_b, events_b)))
 
 
+def test_cache_dir_snippet(tmp_path):
+    """The README's `--cache-dir` lines, plus the warm-start-stays-
+    byte-identical claim made right under them."""
+    from repro.cli import main
+
+    cache = tmp_path / "verdicts"
+    cold = tmp_path / "cold.jsonl"
+    assert main([
+        "scan", "--domains", "60", "--seed", "833", "--simulate-network",
+        "--cache-dir", str(cache), "--journal", str(cold),
+    ]) == 0
+    warm = tmp_path / "warm.jsonl"
+    assert main([
+        "scan", "--domains", "60", "--seed", "833", "--simulate-network",
+        "--cache-dir", str(cache), "--journal", str(warm),
+    ]) == 0
+    verdict = lambda raw: [  # noqa: E731
+        line for line in raw.read_bytes().splitlines()
+        if line.startswith(b'{"type":"verdict"')
+    ]
+    assert verdict(warm) == verdict(cold)
+    assert main(["cache", "stats", str(cache)]) == 0
+    assert main(["cache", "verify", str(cache)]) == 0
+
+
 def test_package_docstring_snippet():
     import repro
 

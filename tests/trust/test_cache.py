@@ -3,7 +3,9 @@
 import pytest
 
 from repro.ca import build_hierarchy
+from repro.core.relation import RelationPolicy, issued
 from repro.trust import IntermediateCache
+from repro.x509 import Name
 
 
 @pytest.fixture(scope="module")
@@ -114,3 +116,102 @@ class TestEviction:
         cache.observe(hierarchies[2].root.certificate)  # evicts 1
         assert hierarchies[0].root.certificate in cache
         assert hierarchies[1].root.certificate not in cache
+
+
+#: Every criterion combination the predicate supports.
+POLICIES = (
+    RelationPolicy(),                                        # name + KID
+    RelationPolicy(use_kid_match=False),                     # name only
+    RelationPolicy(use_name_match=False),                    # KID only
+    RelationPolicy(use_name_match=False, use_kid_match=False),  # sig only
+    RelationPolicy(require_signature=False),                 # structural
+)
+
+
+class TestIndexedLookupEquivalence:
+    """The indexed ``find_issuers`` must be a pure speedup.
+
+    Results and their LRU order are compared against a brute-force
+    scan over the same entries, across every policy combination and a
+    population that exercises the identifier edge cases: entries with
+    and without SKIDs, subjects with and without AKIDs, and shared
+    issuer DNs signed by different keys.
+    """
+
+    @pytest.fixture(scope="class")
+    def population(self):
+        hierarchies = [
+            build_hierarchy(f"IdxEq{i}", depth=1,
+                            key_seed_prefix=f"idxeq{i}")
+            for i in range(4)
+        ]
+        entries, subjects = [], []
+        for h in hierarchies:
+            entries.append(h.root.certificate)
+            entries.extend(a.certificate for a in h.intermediates)
+            # an intermediate with no SKID: under a KID-only policy it
+            # passes on the signature alone, so it must surface for
+            # every probe
+            bare = h.root.issue_intermediate(
+                Name.build(common_name=f"{h.root.name} NoSKID"),
+                include_skid=False,
+            )
+            entries.append(bare.certificate)
+            subjects.append(h.issue_leaf(f"idxeq{h.root.name}.example"))
+            subjects.append(bare.issue_leaf(
+                f"bare.{h.root.name}.example".lower()
+            ))
+            # a leaf with no AKID: KID-only lookups cannot probe the
+            # SKID index and must fall back to the full scan
+            subjects.append(h.issuing_ca.issue_leaf(
+                f"noakid.{h.root.name}.example".lower(),
+                include_akid=False,
+            ))
+        # a subject no entry issued, the all-miss case
+        stranger = build_hierarchy("IdxEqStranger", depth=0,
+                                   key_seed_prefix="idxeqstranger")
+        subjects.append(stranger.root.issue_leaf("stranger.example"))
+        return entries, subjects
+
+    @staticmethod
+    def brute_force(cache, subject, policy):
+        return [
+            cert
+            for cert in cache._entries.values()
+            if cert.fingerprint != subject.fingerprint
+            and issued(cert, subject, policy)
+        ]
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_matches_brute_force_in_lru_order(self, population, policy):
+        entries, subjects = population
+        for subject in subjects:
+            cache = IntermediateCache()
+            for cert in entries:
+                cache.observe(cert)
+            expected = self.brute_force(cache, subject, policy)
+            assert cache.find_issuers(subject, policy) == expected
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_equivalence_survives_eviction(self, population, policy):
+        """Evicted entries leave the indexes too, not just the dict."""
+        entries, subjects = population
+        cache = IntermediateCache(capacity=len(entries) // 2)
+        for cert in entries:
+            cache.observe(cert)
+        for subject in subjects:
+            expected = self.brute_force(cache, subject, policy)
+            assert cache.find_issuers(subject, policy) == expected
+
+    def test_refreshed_order_matches_brute_force(self, population):
+        """Recency refreshes keep the stamp order and the LRU order in
+        lockstep: a second lookup sees the refreshed order."""
+        entries, subjects = population
+        cache = IntermediateCache()
+        for cert in entries:
+            cache.observe(cert)
+        for subject in subjects:
+            cache.find_issuers(subject)  # refresh matched entries
+        for subject in subjects:
+            expected = self.brute_force(cache, subject, RelationPolicy())
+            assert cache.find_issuers(subject) == expected

@@ -113,6 +113,69 @@ class TestRootStore:
         assert len(list(store)) == 2
 
 
+class TestContainsKeyOfScaling:
+    """``contains_key_of`` is indexed: cost must not grow with the store."""
+
+    @staticmethod
+    def build_store(size: int) -> RootStore:
+        from repro.ca import next_serial
+        from repro.x509 import (
+            CertificateBuilder, Name, SimulatedKeyPair, Validity, utc,
+        )
+
+        store = RootStore(f"bench-{size}")
+        for index in range(size):
+            keypair = SimulatedKeyPair(seed=f"bench/{size}/{index}".encode())
+            name = Name.build(common_name=f"Bench Root {size}-{index}")
+            store.add(
+                CertificateBuilder()
+                .subject_name(name)
+                .issuer_name(name)
+                .serial_number(next_serial())
+                .validity(Validity(utc(2020, 1, 1), utc(2030, 1, 1)))
+                .public_key(keypair.public_key)
+                .ca()
+                .sign(keypair)
+            )
+        return store
+
+    @staticmethod
+    def probe_time(store: RootStore, probes, rounds: int = 5) -> float:
+        import time
+
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for cert in probes:
+                store.contains_key_of(cert)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def test_lookup_does_not_scale_with_store_size(self):
+        small = self.build_store(40)
+        large = self.build_store(1000)
+        # probe with certificates absent from both stores, the worst
+        # case for a linear scan (no early exit)
+        probes = [anchor for anchor in self.build_store(50)] * 40
+        small_time = self.probe_time(small, probes)
+        large_time = self.probe_time(large, probes)
+        # a linear scan would be ~25x slower on the large store; the
+        # indexed lookup is flat (generous 5x bound absorbs timer noise)
+        assert large_time < small_time * 5, (
+            f"contains_key_of scaled with store size: "
+            f"{small_time:.6f}s @40 anchors vs {large_time:.6f}s @1000"
+        )
+
+    def test_index_agrees_with_a_full_scan(self):
+        store = self.build_store(60)
+        anchors = list(store)
+        for cert in anchors[:10] + [a for a in self.build_store(10)]:
+            scanned = any(
+                anchor.public_key == cert.public_key for anchor in anchors
+            )
+            assert store.contains_key_of(cert) == scanned
+
+
 class TestRegistry:
     def test_four_programs(self):
         registry = RootStoreRegistry()
